@@ -1,0 +1,34 @@
+// Shared fixture for every bench harness: the paper-scale synthetic
+// MovieLens twin (Table 5), the 72-participant Facebook study twin, the
+// recommender and the satisfaction oracle — built once per binary.
+#ifndef GRECA_BENCH_BENCH_COMMON_H_
+#define GRECA_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/group_recommender.h"
+#include "eval/experiments.h"
+#include "eval/satisfaction.h"
+#include "eval/study_groups.h"
+
+namespace greca::bench {
+
+struct BenchContext {
+  SyntheticRatings universe;
+  FacebookStudy study;
+  std::unique_ptr<GroupRecommender> recommender;
+  std::unique_ptr<SatisfactionOracle> oracle;
+
+  /// Lazily-built process-wide context at the paper's scale (6 040 users,
+  /// 3 952 movies, ~1M ratings, 72 study participants, 6 two-month periods).
+  /// Set GRECA_BENCH_SMALL=1 to shrink the universe for smoke runs.
+  static const BenchContext& Get();
+};
+
+/// Number of repetitions for group-sampled measurements (paper: 20 groups).
+inline constexpr std::size_t kNumRandomGroups = 20;
+
+}  // namespace greca::bench
+
+#endif  // GRECA_BENCH_BENCH_COMMON_H_

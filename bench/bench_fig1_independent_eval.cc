@@ -1,0 +1,49 @@
+// Reproduces Figure 1: "Independent Evaluation" — simulated participants
+// score the recommendation list they received (0–5, reported as %), per
+// group characteristic, for six recommender variants:
+//   (A) default: affinity-aware, discrete time model, AP consensus
+//   (B) affinity-agnostic      (C) time-agnostic
+//   (D) continuous time model  (E) MO consensus  (F) PD consensus
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace greca;
+  const auto& ctx = bench::BenchContext::Get();
+  QualityHarness harness(*ctx.recommender, *ctx.oracle,
+                         FormStudyGroups(*ctx.recommender), /*k=*/10);
+
+  const std::vector<std::pair<std::string, RecommendationVariant>> panels{
+      {"(A) Default", RecommendationVariant::Default()},
+      {"(B) Affinity-agnostic", RecommendationVariant::AffinityAgnostic()},
+      {"(C) Time-agnostic", RecommendationVariant::TimeAgnostic()},
+      {"(D) Continuous Time Model", RecommendationVariant::ContinuousModel()},
+      {"(E) MO Consensus Function",
+       RecommendationVariant::WithConsensus("MO", ConsensusSpec::LeastMisery())},
+      {"(F) PD Consensus Function",
+       RecommendationVariant::WithConsensus(
+           "PD", ConsensusSpec::PairwiseDisagreement(0.8))},
+  };
+
+  TablePrinter table("Figure 1: Independent Evaluation — satisfaction (%)");
+  std::vector<std::string> columns{"variant"};
+  for (const GroupCharacteristic c : AllCharacteristics()) {
+    columns.push_back(CharacteristicName(c));
+  }
+  table.SetColumns(columns);
+  for (const auto& [label, variant] : panels) {
+    const std::vector<double> scores = harness.IndependentEval(variant);
+    std::vector<std::string> row{label};
+    for (const double s : scores) row.push_back(TablePrinter::Cell(s, 2));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout <<
+      "\nPaper shape to match: (A) scores >= ~80% everywhere with Diss above "
+      "Sim; (B) and (C) drop by a wide margin (worst for small/high-affinity "
+      "groups in B, dissimilar/large in C); (D) favors dissimilar/large/low-"
+      "affinity groups.\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks for the core building blocks: end-to-end
+// top-k latency per algorithm, CF prediction, affinity table construction and
+// incremental maintenance, and the periodic-affinity closed form.
+#include <benchmark/benchmark.h>
+
+#include "affinity/dynamic_affinity.h"
+#include "bench_common.h"
+#include "core/greca.h"
+#include "topk/naive.h"
+#include "topk/ta.h"
+
+namespace {
+
+using namespace greca;
+using bench::BenchContext;
+
+const Group& SampleGroup() {
+  static const Group group = [] {
+    const PerformanceHarness perf(*BenchContext::Get().recommender, 99);
+    return perf.RandomGroups(1, 6)[0];
+  }();
+  return group;
+}
+
+void BM_GrecaTopK(benchmark::State& state) {
+  const auto& ctx = BenchContext::Get();
+  QuerySpec spec = PerformanceHarness::DefaultSpec();
+  spec.k = static_cast<std::size_t>(state.range(0));
+  const GroupProblem problem =
+      ctx.recommender->BuildProblem(SampleGroup(), spec);
+  GrecaConfig config;
+  config.k = spec.k;
+  double sa_percent = 0.0;
+  for (auto _ : state) {
+    const TopKResult result = Greca(problem, config);
+    sa_percent = result.SequentialAccessPercent();
+    benchmark::DoNotOptimize(result.items.data());
+  }
+  state.counters["sa_percent"] = sa_percent;
+}
+BENCHMARK(BM_GrecaTopK)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_NaiveTopK(benchmark::State& state) {
+  const auto& ctx = BenchContext::Get();
+  const GroupProblem problem = ctx.recommender->BuildProblem(
+      SampleGroup(), PerformanceHarness::DefaultSpec());
+  for (auto _ : state) {
+    const TopKResult result = NaiveTopK(problem, 10);
+    benchmark::DoNotOptimize(result.items.data());
+  }
+}
+BENCHMARK(BM_NaiveTopK);
+
+void BM_TaTopK(benchmark::State& state) {
+  const auto& ctx = BenchContext::Get();
+  const GroupProblem problem = ctx.recommender->BuildProblem(
+      SampleGroup(), PerformanceHarness::DefaultSpec());
+  for (auto _ : state) {
+    const TopKResult result = TaTopK(problem, 10);
+    benchmark::DoNotOptimize(result.items.data());
+  }
+}
+BENCHMARK(BM_TaTopK);
+
+void BM_BuildProblem(benchmark::State& state) {
+  const auto& ctx = BenchContext::Get();
+  const QuerySpec spec = PerformanceHarness::DefaultSpec();
+  for (auto _ : state) {
+    const GroupProblem problem =
+        ctx.recommender->BuildProblem(SampleGroup(), spec);
+    benchmark::DoNotOptimize(&problem);
+  }
+}
+BENCHMARK(BM_BuildProblem);
+
+void BM_CfPredictAll(benchmark::State& state) {
+  const auto& ctx = BenchContext::Get();
+  const UserKnn knn(ctx.universe.dataset, {});
+  const auto profile = ctx.study.study_ratings.RatingsOfUser(0);
+  for (auto _ : state) {
+    const auto predictions = knn.PredictAll(profile);
+    benchmark::DoNotOptimize(predictions.data());
+  }
+}
+BENCHMARK(BM_CfPredictAll);
+
+void BM_PeriodicAffinityCompute(benchmark::State& state) {
+  const auto& ctx = BenchContext::Get();
+  for (auto _ : state) {
+    const PeriodicAffinity pa =
+        PeriodicAffinity::Compute(ctx.study.likes, ctx.study.periods);
+    benchmark::DoNotOptimize(&pa);
+  }
+}
+BENCHMARK(BM_PeriodicAffinityCompute);
+
+void BM_DynamicIndexAppendPeriod(benchmark::State& state) {
+  const auto& ctx = BenchContext::Get();
+  const PeriodicAffinity& pa = ctx.recommender->periodic_affinity();
+  for (auto _ : state) {
+    state.PauseTiming();
+    DynamicAffinityIndex index(pa.num_users());
+    for (PeriodId p = 0; p + 1 < pa.num_periods(); ++p) {
+      index.AppendPeriod(pa, p);
+    }
+    state.ResumeTiming();
+    // Measure only the marginal cost of appending the newest period.
+    index.AppendPeriod(pa, static_cast<PeriodId>(pa.num_periods() - 1));
+    benchmark::DoNotOptimize(&index);
+  }
+}
+BENCHMARK(BM_DynamicIndexAppendPeriod);
+
+void BM_ClosedFormPopulationAverage(benchmark::State& state) {
+  const auto& ctx = BenchContext::Get();
+  const Period period = ctx.study.periods.period(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SumPairwiseCommonCategories(ctx.study.likes, period));
+  }
+}
+BENCHMARK(BM_ClosedFormPopulationAverage);
+
+void BM_NaivePopulationAverage(benchmark::State& state) {
+  const auto& ctx = BenchContext::Get();
+  const Period period = ctx.study.periods.period(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SumPairwiseCommonCategoriesNaive(ctx.study.likes, period));
+  }
+}
+BENCHMARK(BM_NaivePopulationAverage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

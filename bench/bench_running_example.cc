@@ -1,0 +1,81 @@
+// Walks through the paper's §3.1 running example (Tables 1–4): three users,
+// three items, two periods; prints the input lists, the exact consensus
+// scores, and GRECA's answer (top-1 = i1) with its access accounting.
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "consensus/consensus.h"
+#include "core/greca.h"
+#include "topk/naive.h"
+#include "topk/ta.h"
+#include "../tests/test_util.h"
+
+int main() {
+  using namespace greca;
+
+  {
+    TablePrinter table("Table 1: Absolute Preference Lists PL_u (stars)");
+    table.SetColumns({"user", "i1", "i2", "i3"});
+    table.AddRow({"u1", "5", "1", "1"});
+    table.AddRow({"u2", "5", "1", "0.5"});
+    table.AddRow({"u3", "2", "1", "2"});
+    table.Print(std::cout);
+  }
+  {
+    TablePrinter table("Tables 2-4: Affinity Lists (static, p1, p2)");
+    table.SetColumns({"pair", "affS", "affV p1", "affV p2"});
+    table.AddRow({"u1u2", "1.0", "0.8", "0.7"});
+    table.AddRow({"u1u3", "0.2", "0.1", "0.1"});
+    table.AddRow({"u2u3", "0.3", "0.2", "0.1"});
+    table.Print(std::cout);
+  }
+
+  const GroupProblem problem = testing::MakeRunningExampleProblem(
+      ConsensusSpec::AveragePreference(), AffinityModelSpec::Default());
+
+  {
+    TablePrinter table("Exact consensus scores (AP, discrete model)");
+    table.SetColumns({"item", "F(G, i, p)"});
+    const char* names[] = {"i1", "i2", "i3"};
+    for (ListKey key = 0; key < 3; ++key) {
+      table.AddRow({names[key], TablePrinter::Cell(problem.ExactScore(key), 4)});
+    }
+    table.Print(std::cout);
+  }
+
+  GrecaConfig config;
+  config.k = 1;
+  GrecaStats stats;
+  const TopKResult greca = Greca(problem, config, &stats);
+  const TopKResult ta = TaTopK(problem, 1);
+  const TopKResult naive = NaiveTopK(problem, 1);
+
+  TablePrinter table("Algorithm comparison on the running example (k = 1)");
+  table.SetColumns({"algorithm", "top-1", "SAs", "RAs", "total entries"});
+  const auto item_name = [](ListKey key) {
+    return std::string("i") + std::to_string(key + 1);
+  };
+  table.AddRow({"GRECA", item_name(greca.items[0].id),
+                TablePrinter::Cell(static_cast<std::size_t>(
+                    greca.accesses.sequential)),
+                TablePrinter::Cell(static_cast<std::size_t>(
+                    greca.accesses.random)),
+                TablePrinter::Cell(greca.total_entries)});
+  table.AddRow({"TA", item_name(ta.items[0].id),
+                TablePrinter::Cell(static_cast<std::size_t>(
+                    ta.accesses.sequential)),
+                TablePrinter::Cell(static_cast<std::size_t>(
+                    ta.accesses.random)),
+                TablePrinter::Cell(ta.total_entries)});
+  table.AddRow({"Naive", item_name(naive.items[0].id),
+                TablePrinter::Cell(static_cast<std::size_t>(
+                    naive.accesses.sequential)),
+                TablePrinter::Cell(static_cast<std::size_t>(
+                    naive.accesses.random)),
+                TablePrinter::Cell(naive.total_entries)});
+  table.Print(std::cout);
+  std::cout << "\nPaper reference: the top-1 item is i1; TA-style scoring of "
+               "a single item costs ~21 random accesses (3 apref + 18 "
+               "affinity entries), which GRECA avoids entirely (0 RAs).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the smallest end-to-end use of the GRECA library.
+//
+// 1. Generate a MovieLens-like rating universe (or parse a real one).
+// 2. Generate the social substrate: a 72-user study with friendships and a
+//    year of page-like history.
+// 3. Build a GroupRecommender and ask for the top-5 movies for an ad-hoc
+//    group of three users under the default temporal-affinity model.
+#include <iostream>
+
+#include "core/group_recommender.h"
+#include "groups/group_formation.h"
+
+int main() {
+  using namespace greca;
+
+  // A small universe keeps the quickstart instant; scale the numbers up (or
+  // load a real ratings file via ParseRatingsFile) for real use.
+  SyntheticRatingsConfig universe_config;
+  universe_config.num_users = 800;
+  universe_config.num_items = 1'000;
+  universe_config.target_ratings = 80'000;
+  const SyntheticRatings universe = GenerateSyntheticRatings(universe_config);
+
+  const FacebookStudy study =
+      GenerateFacebookStudy(FacebookStudyConfig{}, universe);
+
+  RecommenderOptions options;
+  options.max_candidate_items = 1'000;
+  const GroupRecommender recommender(universe, study, options);
+
+  // An ad-hoc group of three study participants.
+  const Group group{4, 17, 29};
+
+  QuerySpec spec;
+  spec.k = 5;
+  spec.model = AffinityModelSpec::Default();              // discrete temporal
+  spec.consensus = ConsensusSpec::AveragePreference();    // AP
+  spec.num_candidate_items = 1'000;
+
+  const Recommendation rec = recommender.Recommend(group, spec);
+
+  std::cout << "Top-" << spec.k << " movies for group {4, 17, 29} "
+            << "(discrete temporal affinity, AP consensus):\n";
+  for (std::size_t i = 0; i < rec.items.size(); ++i) {
+    std::cout << "  " << i + 1 << ". movie #" << rec.items[i]
+              << "  (consensus score " << rec.scores[i] << ")\n";
+  }
+  std::cout << "\nGRECA read " << rec.raw.accesses.sequential << " of "
+            << rec.raw.total_entries << " list entries ("
+            << rec.raw.SequentialAccessPercent() << "% — a "
+            << rec.raw.SaveupPercent() << "% saveup vs a full scan).\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "affinity/dynamic_affinity.h"
+
+#include <cassert>
+
+namespace greca {
+
+void DynamicAffinityIndex::AppendPeriod(const PeriodicAffinity& pa,
+                                        PeriodId p) {
+  assert(p == cumulative_.size());
+  assert(pa.num_users() == num_users_);
+  assert(p < pa.num_periods());
+  const double avg = pa.PopulationAverageNormalized(p);
+  PairTable next(num_users_);
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (UserId v = static_cast<UserId>(u + 1); v < num_users_; ++v) {
+      const double prev = p == 0 ? 0.0 : cumulative_[p - 1].Get(u, v);
+      next.Set(u, v, prev + (pa.Normalized(u, v, p) - avg));
+    }
+  }
+  cumulative_.push_back(std::move(next));
+}
+
+DynamicAffinityIndex DynamicAffinityIndex::Build(const PeriodicAffinity& pa) {
+  DynamicAffinityIndex index(pa.num_users());
+  for (PeriodId p = 0; p < pa.num_periods(); ++p) {
+    index.AppendPeriod(pa, p);
+  }
+  return index;
+}
+
+double RecomputeCumulativeDrift(const PeriodicAffinity& pa, UserId u, UserId v,
+                                PeriodId p) {
+  double sum = 0.0;
+  for (PeriodId q = 0; q <= p; ++q) {
+    sum += pa.Normalized(u, v, q) - pa.PopulationAverageNormalized(q);
+  }
+  return sum;
+}
+
+}  // namespace greca

@@ -1,0 +1,61 @@
+// Dynamic affinity affV — the cumulative drift index (paper Equation 1).
+//
+//   affV(u, u', p) = Σ_{p' ≼ p} (affP(u, u', p') − AvgAffP(p')) / Δ
+//
+// The index stores, for every pair, the running drift sum per period, built
+// incrementally: appending period p+1 only adds one term to each pair's sum
+// and never touches previously computed values — the property the paper
+// highlights ("GRECA does not need to recalculate any of the previously
+// calculated affinities and just augments the index").
+//
+// Drifts are computed on the normalized affinity scale ([0, 1] per period),
+// so a single-period drift lies in [−1, 1] and the mean drift (discrete Δ =
+// number of periods) lies in [−1, 1] as well.
+#ifndef GRECA_AFFINITY_DYNAMIC_AFFINITY_H_
+#define GRECA_AFFINITY_DYNAMIC_AFFINITY_H_
+
+#include <vector>
+
+#include "affinity/periodic_affinity.h"
+
+namespace greca {
+
+class DynamicAffinityIndex {
+ public:
+  explicit DynamicAffinityIndex(std::size_t num_users)
+      : num_users_(num_users) {}
+
+  /// Appends the next period from `pa`. `p` must equal num_periods() (periods
+  /// are appended in order). O(#pairs), independent of how many periods exist.
+  void AppendPeriod(const PeriodicAffinity& pa, PeriodId p);
+
+  /// Convenience: builds the index over all periods of `pa`.
+  static DynamicAffinityIndex Build(const PeriodicAffinity& pa);
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t num_periods() const { return cumulative_.size(); }
+
+  /// Σ_{p' ≤ p} (affP_norm − avg_norm); O(1).
+  double CumulativeDrift(UserId u, UserId v, PeriodId p) const {
+    return cumulative_[p].Get(u, v);
+  }
+
+  /// Discrete-model affV: cumulative drift divided by the number of periods
+  /// (Δ = p + 1). Always in [−1, 1].
+  double MeanDrift(UserId u, UserId v, PeriodId p) const {
+    return CumulativeDrift(u, v, p) / static_cast<double>(p + 1);
+  }
+
+ private:
+  std::size_t num_users_;
+  std::vector<PairTable> cumulative_;  // per period, running drift sums
+};
+
+/// From-scratch reference implementation of Equation 1's numerator; used to
+/// verify the incremental index and by the ablation bench.
+double RecomputeCumulativeDrift(const PeriodicAffinity& pa, UserId u, UserId v,
+                                PeriodId p);
+
+}  // namespace greca
+
+#endif  // GRECA_AFFINITY_DYNAMIC_AFFINITY_H_

@@ -1,0 +1,22 @@
+#include "affinity/online_tracker.h"
+
+#include <vector>
+
+namespace greca {
+
+double OnlineAffinityTracker::CurrentAffinity(UserId u, UserId v,
+                                              const AffinityModelSpec& spec,
+                                              double static_affinity) const {
+  std::vector<double> averages;
+  std::vector<double> aff_p;
+  averages.reserve(num_periods());
+  aff_p.reserve(num_periods());
+  for (PeriodId p = 0; p < num_periods(); ++p) {
+    averages.push_back(periodic_.PopulationAverageNormalized(p));
+    aff_p.push_back(periodic_.Normalized(u, v, p));
+  }
+  const AffinityCombiner combiner(spec, std::move(averages));
+  return combiner.Combine(static_affinity, aff_p);
+}
+
+}  // namespace greca

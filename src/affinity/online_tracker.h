@@ -1,0 +1,48 @@
+// Streaming maintenance of the affinity index structures (paper §6 future
+// work: "the maintenance of our index structures over time in relationship
+// with how often affinity between users changes").
+//
+// As time advances and a period closes, ObservePeriod ingests that period's
+// page-likes and extends both the periodic table and the cumulative drift
+// index in O(#pairs) — previously stored periods and drifts are never
+// recomputed, which is exactly the property GRECA's per-period lists rely
+// on ("just augments the index", §1).
+#ifndef GRECA_AFFINITY_ONLINE_TRACKER_H_
+#define GRECA_AFFINITY_ONLINE_TRACKER_H_
+
+#include "affinity/dynamic_affinity.h"
+#include "affinity/periodic_affinity.h"
+#include "affinity/temporal_model.h"
+#include "dataset/page_likes.h"
+
+namespace greca {
+
+class OnlineAffinityTracker {
+ public:
+  explicit OnlineAffinityTracker(std::size_t num_users)
+      : periodic_(num_users), drift_(num_users) {}
+
+  /// Ingests one closed period. Periods must arrive in chronological order.
+  void ObservePeriod(const PageLikeLog& likes, const Period& period) {
+    periodic_.AppendPeriod(likes, period);
+    drift_.AppendPeriod(periodic_,
+                        static_cast<PeriodId>(drift_.num_periods()));
+  }
+
+  std::size_t num_periods() const { return periodic_.num_periods(); }
+  const PeriodicAffinity& periodic() const { return periodic_; }
+  const DynamicAffinityIndex& drift() const { return drift_; }
+
+  /// Temporal affinity of a pair over the full observed horizon under
+  /// `spec`, given the pair's (externally normalized) static affinity.
+  double CurrentAffinity(UserId u, UserId v, const AffinityModelSpec& spec,
+                         double static_affinity) const;
+
+ private:
+  PeriodicAffinity periodic_;
+  DynamicAffinityIndex drift_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_AFFINITY_ONLINE_TRACKER_H_

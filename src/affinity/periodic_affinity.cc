@@ -1,0 +1,111 @@
+#include "affinity/periodic_affinity.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace greca {
+
+void PeriodicAffinity::AppendPeriod(const PageLikeLog& likes,
+                                    const Period& period) {
+  assert(likes.num_users() == num_users_);
+  const std::size_t n = num_users_;
+  std::vector<std::vector<CategoryId>> cats(n);
+  for (UserId u = 0; u < n; ++u) {
+    cats[u] = likes.CategoriesInPeriod(u, period);
+  }
+  PairTable table(n);
+  double max_value = 0.0;
+  for (UserId u = 0; u < n; ++u) {
+    if (cats[u].empty()) continue;
+    for (UserId v = static_cast<UserId>(u + 1); v < n; ++v) {
+      if (cats[v].empty()) continue;
+      // Sorted intersection count.
+      std::size_t i = 0, j = 0, common = 0;
+      while (i < cats[u].size() && j < cats[v].size()) {
+        if (cats[u][i] == cats[v][j]) {
+          ++common;
+          ++i;
+          ++j;
+        } else if (cats[u][i] < cats[v][j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+      if (common > 0) {
+        table.Set(u, v, static_cast<double>(common));
+        max_value = std::max(max_value, static_cast<double>(common));
+      }
+    }
+  }
+  averages_raw_.push_back(
+      SumPairwiseCommonCategories(likes, period) * 2.0 /
+      (static_cast<double>(n) * static_cast<double>(n - 1)));
+  maxima_.push_back(max_value);
+  tables_.push_back(std::move(table));
+}
+
+PeriodicAffinity PeriodicAffinity::Compute(const PageLikeLog& likes,
+                                           const Timeline& timeline) {
+  PeriodicAffinity pa(likes.num_users());
+  for (const Period& period : timeline.periods()) {
+    pa.AppendPeriod(likes, period);
+  }
+  return pa;
+}
+
+double PeriodicAffinity::Normalized(UserId u, UserId v, PeriodId p) const {
+  const double max_value = maxima_[p];
+  if (max_value == 0.0) return 0.0;
+  return tables_[p].Get(u, v) / max_value;
+}
+
+double PeriodicAffinity::PopulationAverageNormalized(PeriodId p) const {
+  const double max_value = maxima_[p];
+  if (max_value == 0.0) return 0.0;
+  return averages_raw_[p] / max_value;
+}
+
+double SumPairwiseCommonCategories(const PageLikeLog& likes, const Period& p) {
+  // n_c = number of distinct users who liked category c within p;
+  // Σ_pairs |common| = Σ_c n_c (n_c - 1) / 2.
+  std::vector<std::size_t> liker_counts(likes.num_categories(), 0);
+  for (UserId u = 0; u < likes.num_users(); ++u) {
+    for (const CategoryId c : likes.CategoriesInPeriod(u, p)) {
+      ++liker_counts[c];
+    }
+  }
+  double sum = 0.0;
+  for (const std::size_t c : liker_counts) {
+    sum += static_cast<double>(c) * static_cast<double>(c - (c > 0 ? 1 : 0)) /
+           2.0;
+  }
+  return sum;
+}
+
+double SumPairwiseCommonCategoriesNaive(const PageLikeLog& likes,
+                                        const Period& p) {
+  const std::size_t n = likes.num_users();
+  std::vector<std::vector<CategoryId>> cats(n);
+  for (UserId u = 0; u < n; ++u) cats[u] = likes.CategoriesInPeriod(u, p);
+  double sum = 0.0;
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v = u + 1; v < n; ++v) {
+      std::size_t i = 0, j = 0;
+      while (i < cats[u].size() && j < cats[v].size()) {
+        if (cats[u][i] == cats[v][j]) {
+          sum += 1.0;
+          ++i;
+          ++j;
+        } else if (cats[u][i] < cats[v][j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace greca

@@ -1,0 +1,62 @@
+#include "affinity/temporal_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace greca {
+
+std::string AffinityModelSpec::Name() const {
+  if (!affinity_aware) return "affinity-agnostic";
+  if (!time_aware) return "time-agnostic";
+  return time_model == TimeModel::kDiscrete ? "discrete" : "continuous";
+}
+
+AffinityCombiner::AffinityCombiner(AffinityModelSpec spec,
+                                   std::vector<double> period_averages)
+    : spec_(spec), period_averages_(std::move(period_averages)) {
+  for (const double a : period_averages_) average_sum_ += a;
+}
+
+double AffinityCombiner::MeanDrift(std::span<const double> aff_p) const {
+  assert(aff_p.size() == period_averages_.size());
+  if (aff_p.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : aff_p) sum += v;
+  const double drift =
+      (sum - average_sum_) / static_cast<double>(aff_p.size());
+  return std::clamp(spec_.drift_gain * drift, -1.0, 1.0);
+}
+
+double AffinityCombiner::Combine(double aff_s,
+                                 std::span<const double> aff_p) const {
+  if (!spec_.affinity_aware) return 0.0;
+  if (!spec_.time_aware || period_averages_.empty()) {
+    return std::clamp(aff_s, 0.0, 1.0);
+  }
+  const double drift = MeanDrift(aff_p);
+  double combined;
+  if (spec_.time_model == TimeModel::kDiscrete) {
+    combined = aff_s + drift;  // affD = affS + affV
+  } else {
+    combined = aff_s * std::exp(drift);  // affC = affS · e^{affV}
+  }
+  return std::clamp(combined, 0.0, 1.0);
+}
+
+Interval AffinityCombiner::CombineInterval(
+    Interval aff_s, std::span<const Interval> aff_p) const {
+  // Combine() is monotone non-decreasing in aff_s and every aff_p entry, so
+  // evaluating at the interval endpoints yields sound bounds.
+  std::vector<double> lows, highs;
+  lows.reserve(aff_p.size());
+  highs.reserve(aff_p.size());
+  for (const Interval& iv : aff_p) {
+    assert(iv.lb <= iv.ub);
+    lows.push_back(iv.lb);
+    highs.push_back(iv.ub);
+  }
+  return {Combine(aff_s.lb, lows), Combine(aff_s.ub, highs)};
+}
+
+}  // namespace greca

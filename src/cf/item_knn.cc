@@ -1,0 +1,116 @@
+#include "cf/item_knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace greca {
+
+ItemKnn::ItemKnn(const RatingsDataset& dataset, ItemKnnConfig config)
+    : dataset_(&dataset), config_(config) {
+  const std::size_t m = dataset.num_items();
+  const double global_mean = dataset.Stats().mean_rating;
+  item_means_.resize(m);
+  for (ItemId i = 0; i < m; ++i) {
+    item_means_[i] = dataset.ItemMeanRating(i, global_mean);
+  }
+
+  // Adjusted cosine: center each rating by its user's mean, accumulate
+  // pairwise dot products / norms via each user's co-rated item pairs.
+  std::vector<double> user_means(dataset.num_users());
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    user_means[u] = dataset.UserMeanRating(u, global_mean);
+  }
+  std::vector<double> norms(m, 0.0);
+  // Sparse accumulators keyed by (lo_item, hi_item).
+  struct PairAcc {
+    double dot = 0.0;
+    std::uint32_t overlap = 0;
+  };
+  std::unordered_map<std::uint64_t, PairAcc> acc;
+  acc.reserve(1 << 20);
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const auto ratings = dataset.RatingsOfUser(u);
+    for (std::size_t a = 0; a < ratings.size(); ++a) {
+      const double ca = ratings[a].rating - user_means[u];
+      norms[ratings[a].item] += ca * ca;
+      for (std::size_t b = a + 1; b < ratings.size(); ++b) {
+        const double cb = ratings[b].rating - user_means[u];
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(ratings[a].item) << 32) |
+            ratings[b].item;
+        PairAcc& pa = acc[key];
+        pa.dot += ca * cb;
+        ++pa.overlap;
+      }
+    }
+  }
+
+  // Rank neighbors per item.
+  std::vector<std::vector<ScoredItem>> per_item(m);
+  for (const auto& [key, pa] : acc) {
+    if (pa.overlap < config_.min_overlap) continue;
+    const auto i = static_cast<ItemId>(key >> 32);
+    const auto j = static_cast<ItemId>(key & 0xFFFFFFFFu);
+    const double denom = std::sqrt(norms[i] * norms[j]);
+    if (denom <= 0.0) continue;
+    const double sim = pa.dot / denom;
+    if (sim < config_.min_similarity) continue;
+    per_item[i].push_back({j, sim});
+    per_item[j].push_back({i, sim});
+  }
+  offsets_.assign(m + 1, 0);
+  for (ItemId i = 0; i < m; ++i) {
+    auto& list = per_item[i];
+    const std::size_t keep = std::min(config_.num_neighbors, list.size());
+    std::partial_sort(list.begin(),
+                      list.begin() + static_cast<std::ptrdiff_t>(keep),
+                      list.end(), [](const ScoredItem& a, const ScoredItem& b) {
+                        if (a.score != b.score) return a.score > b.score;
+                        return a.id < b.id;
+                      });
+    list.resize(keep);
+    offsets_[i + 1] = offsets_[i] + keep;
+  }
+  neighbors_.reserve(offsets_[m]);
+  for (const auto& list : per_item) {
+    neighbors_.insert(neighbors_.end(), list.begin(), list.end());
+  }
+}
+
+std::span<const ScoredItem> ItemKnn::Neighbors(ItemId item) const {
+  assert(item < num_items());
+  return {neighbors_.data() + offsets_[item],
+          offsets_[item + 1] - offsets_[item]};
+}
+
+Score ItemKnn::Predict(std::span<const UserRatingEntry> profile,
+                       ItemId item) const {
+  double weighted = config_.shrinkage * item_means_[item];
+  double weights = config_.shrinkage;
+  for (const ScoredItem& nb : Neighbors(item)) {
+    // Binary search the profile for the neighbor item.
+    const auto it = std::lower_bound(
+        profile.begin(), profile.end(), nb.id,
+        [](const UserRatingEntry& e, ItemId id) { return e.item < id; });
+    if (it == profile.end() || it->item != nb.id) continue;
+    // Deviation transfer: the profile's deviation on the neighbor item is
+    // assumed to carry over, weighted by similarity.
+    weighted += nb.score * (item_means_[item] + it->rating -
+                            item_means_[nb.id]);
+    weights += nb.score;
+  }
+  return weighted / weights;
+}
+
+std::vector<Score> ItemKnn::PredictAll(
+    std::span<const UserRatingEntry> profile) const {
+  std::vector<Score> out(num_items());
+  for (ItemId i = 0; i < num_items(); ++i) {
+    out[i] = Predict(profile, i);
+  }
+  return out;
+}
+
+}  // namespace greca

@@ -1,0 +1,29 @@
+#include "cf/preference_list.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace greca {
+
+std::vector<ScoredEntry<std::uint32_t>> BuildPreferenceEntries(
+    std::span<const Score> predictions, double scale_max,
+    std::span<const ItemId> candidates) {
+  assert(scale_max > 0.0);
+  std::vector<ScoredEntry<std::uint32_t>> entries;
+  entries.reserve(candidates.size());
+  for (std::uint32_t key = 0; key < candidates.size(); ++key) {
+    const ItemId item = candidates[key];
+    assert(item < predictions.size());
+    const double score =
+        std::clamp(predictions[item] / scale_max, 0.0, 1.0);
+    entries.push_back({key, score});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  return entries;
+}
+
+}  // namespace greca

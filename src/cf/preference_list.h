@@ -1,0 +1,26 @@
+// Builds the per-user absolute-preference lists consumed by GRECA.
+//
+// A preference list PL_u holds candidate items sorted by decreasing predicted
+// preference, with scores normalized to [0, 1] (predicted stars / max star).
+// The paper precomputes one list per user from collaborative filtering (§3.1).
+#ifndef GRECA_CF_PREFERENCE_LIST_H_
+#define GRECA_CF_PREFERENCE_LIST_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace greca {
+
+/// Sorts `candidates` by descending predicted score. `predictions` is indexed
+/// by raw ItemId; emitted scores are predictions[i] / scale_max clamped to
+/// [0, 1]. Output ids are positions into `candidates` (the dense candidate
+/// key space shared by all of a group's lists), not raw item ids.
+std::vector<ScoredEntry<std::uint32_t>> BuildPreferenceEntries(
+    std::span<const Score> predictions, double scale_max,
+    std::span<const ItemId> candidates);
+
+}  // namespace greca
+
+#endif  // GRECA_CF_PREFERENCE_LIST_H_

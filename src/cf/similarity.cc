@@ -1,0 +1,80 @@
+#include "cf/similarity.h"
+
+#include <cmath>
+
+namespace greca {
+
+namespace {
+
+/// Applies `fn(rating_a, rating_b)` to every co-rated item (sorted merge).
+template <typename Fn>
+void ForEachOverlap(std::span<const UserRatingEntry> a,
+                    std::span<const UserRatingEntry> b, Fn&& fn) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].item == b[j].item) {
+      fn(a[i].rating, b[j].rating);
+      ++i;
+      ++j;
+    } else if (a[i].item < b[j].item) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+double Norm(std::span<const UserRatingEntry> v) {
+  double sum = 0.0;
+  for (const auto& e : v) sum += e.rating * e.rating;
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+double CosineSimilarity(std::span<const UserRatingEntry> a,
+                        std::span<const UserRatingEntry> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double dot = 0.0;
+  ForEachOverlap(a, b, [&](Score ra, Score rb) { dot += ra * rb; });
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (na * nb);
+}
+
+double OverlapCosineSimilarity(std::span<const UserRatingEntry> a,
+                               std::span<const UserRatingEntry> b) {
+  double dot = 0.0, naa = 0.0, nbb = 0.0;
+  ForEachOverlap(a, b, [&](Score ra, Score rb) {
+    dot += ra * rb;
+    naa += ra * ra;
+    nbb += rb * rb;
+  });
+  if (naa == 0.0 || nbb == 0.0) return 0.0;
+  return dot / std::sqrt(naa * nbb);
+}
+
+double PearsonSimilarity(std::span<const UserRatingEntry> a,
+                         std::span<const UserRatingEntry> b) {
+  double sa = 0.0, sb = 0.0;
+  std::size_t n = 0;
+  ForEachOverlap(a, b, [&](Score ra, Score rb) {
+    sa += ra;
+    sb += rb;
+    ++n;
+  });
+  if (n < 2) return 0.0;
+  const double ma = sa / static_cast<double>(n);
+  const double mb = sb / static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  ForEachOverlap(a, b, [&](Score ra, Score rb) {
+    sxy += (ra - ma) * (rb - mb);
+    sxx += (ra - ma) * (ra - ma);
+    syy += (rb - mb) * (rb - mb);
+  });
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace greca

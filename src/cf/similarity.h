@@ -1,0 +1,30 @@
+// Rating-vector similarity measures (paper §4: cosine over the ratings of a
+// user for each movie).
+#ifndef GRECA_CF_SIMILARITY_H_
+#define GRECA_CF_SIMILARITY_H_
+
+#include <span>
+
+#include "dataset/ratings.h"
+
+namespace greca {
+
+/// Cosine similarity of two sparse rating vectors sorted ascending by item:
+/// cos(u, u') = Σ r_u(i)·r_u'(i) / (‖u‖·‖u'‖), norms over each user's full
+/// vector. Returns 0 when either vector is empty.
+double CosineSimilarity(std::span<const UserRatingEntry> a,
+                        std::span<const UserRatingEntry> b);
+
+/// Cosine restricted to co-rated items only (both norms computed over the
+/// overlap). Returns 0 when there is no overlap. Used for group cohesiveness
+/// (rating similarity between members, §4.1.3).
+double OverlapCosineSimilarity(std::span<const UserRatingEntry> a,
+                               std::span<const UserRatingEntry> b);
+
+/// Pearson correlation over co-rated items; 0 when overlap < 2 or degenerate.
+double PearsonSimilarity(std::span<const UserRatingEntry> a,
+                         std::span<const UserRatingEntry> b);
+
+}  // namespace greca
+
+#endif  // GRECA_CF_SIMILARITY_H_

@@ -1,0 +1,98 @@
+#include "cf/user_knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace greca {
+
+UserKnn::UserKnn(const RatingsDataset& dataset, UserKnnConfig config)
+    : dataset_(&dataset), config_(config) {
+  const std::size_t n = dataset.num_users();
+  user_norms_.resize(n);
+  for (UserId u = 0; u < n; ++u) {
+    double sum = 0.0;
+    for (const auto& e : dataset.RatingsOfUser(u)) sum += e.rating * e.rating;
+    user_norms_[u] = std::sqrt(sum);
+  }
+  global_mean_ = dataset.Stats().mean_rating;
+  item_means_.resize(dataset.num_items());
+  // Shrink sparse item means toward the global mean (10 pseudo-ratings).
+  constexpr double kItemMeanPrior = 10.0;
+  for (ItemId i = 0; i < dataset.num_items(); ++i) {
+    const auto ratings = dataset.RatingsOfItem(i);
+    double sum = 0.0;
+    for (const auto& e : ratings) sum += e.rating;
+    item_means_[i] =
+        (sum + kItemMeanPrior * global_mean_) /
+        (static_cast<double>(ratings.size()) + kItemMeanPrior);
+  }
+}
+
+std::vector<ScoredUser> UserKnn::Neighbors(
+    std::span<const UserRatingEntry> profile) const {
+  // Sparse dot products with every dataset user via the item index:
+  // for each profile item, walk that item's rater list.
+  std::vector<double> dots(dataset_->num_users(), 0.0);
+  double profile_norm_sq = 0.0;
+  for (const auto& pe : profile) {
+    profile_norm_sq += pe.rating * pe.rating;
+    for (const auto& ie : dataset_->RatingsOfItem(pe.item)) {
+      dots[ie.user] += pe.rating * ie.rating;
+    }
+  }
+  const double profile_norm = std::sqrt(profile_norm_sq);
+  if (profile_norm == 0.0) return {};
+
+  std::vector<ScoredUser> scored;
+  scored.reserve(256);
+  for (UserId u = 0; u < dataset_->num_users(); ++u) {
+    if (dots[u] <= 0.0 || user_norms_[u] == 0.0) continue;
+    const double sim = dots[u] / (profile_norm * user_norms_[u]);
+    if (sim >= config_.min_similarity) scored.push_back({u, sim});
+  }
+  const std::size_t keep = std::min(config_.num_neighbors, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scored.end(), [](const ScoredUser& a, const ScoredUser& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  scored.resize(keep);
+  return scored;
+}
+
+std::vector<Score> UserKnn::PredictAll(
+    std::span<const UserRatingEntry> profile) const {
+  const auto neighbors = Neighbors(profile);
+  std::vector<double> weighted(dataset_->num_items(), 0.0);
+  std::vector<double> weights(dataset_->num_items(), 0.0);
+  for (const auto& nb : neighbors) {
+    for (const auto& e : dataset_->RatingsOfUser(nb.id)) {
+      weighted[e.item] += nb.score * e.rating;
+      weights[e.item] += nb.score;
+    }
+  }
+  std::vector<Score> predictions(dataset_->num_items());
+  for (ItemId i = 0; i < dataset_->num_items(); ++i) {
+    predictions[i] =
+        (weighted[i] + config_.shrinkage * item_means_[i]) /
+        (weights[i] + config_.shrinkage);
+  }
+  return predictions;
+}
+
+Score UserKnn::PredictWithNeighbors(std::span<const ScoredUser> neighbors,
+                                    ItemId item) const {
+  double weighted = config_.shrinkage * item_means_[item];
+  double weights = config_.shrinkage;
+  for (const auto& nb : neighbors) {
+    if (const auto r = dataset_->GetRating(nb.id, item)) {
+      weighted += nb.score * *r;
+      weights += nb.score;
+    }
+  }
+  return weighted / weights;
+}
+
+}  // namespace greca

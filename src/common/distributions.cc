@@ -1,0 +1,52 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace greca {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+    : n_(n), exponent_(exponent), cdf_(n) {
+  assert(n >= 1);
+  assert(exponent >= 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent_);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated floating-point error
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(std::size_t r) const {
+  assert(r < n_);
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+double LogNormalSampler::Sample(Rng& rng) const {
+  const double x = std::exp(log_mean_ + log_sigma_ * rng.NextGaussian());
+  return std::clamp(x, min_value_, max_value_);
+}
+
+std::vector<std::size_t> SampleDistinct(Rng& rng, std::size_t n,
+                                        std::size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t unless
+  // already present, in which case insert j.
+  std::set<std::size_t> chosen;
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = rng.NextBounded(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace greca

@@ -1,0 +1,72 @@
+// Samplers for the heavy-tailed distributions that shape realistic rating
+// datasets: Zipf item popularity and log-normal user activity.
+#ifndef GRECA_COMMON_DISTRIBUTIONS_H_
+#define GRECA_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace greca {
+
+/// Zipf-distributed sampler over ranks {0, ..., n-1}: P(rank r) ∝ 1/(r+1)^s.
+/// Uses an inverted-CDF table (O(n) setup, O(log n) per sample), exact for the
+/// table-backed range. MovieLens item popularity is approximately Zipfian.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `exponent` >= 0 (0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Samples a rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `r`.
+  double Pmf(std::size_t r) const;
+
+  std::size_t size() const { return n_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  std::size_t n_;
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+/// Log-normal sampler clamped to [min_value, max_value]. Parameterized by the
+/// mean/sigma of the underlying normal (natural-log scale).
+class LogNormalSampler {
+ public:
+  LogNormalSampler(double log_mean, double log_sigma, double min_value,
+                   double max_value)
+      : log_mean_(log_mean),
+        log_sigma_(log_sigma),
+        min_value_(min_value),
+        max_value_(max_value) {}
+
+  double Sample(Rng& rng) const;
+
+ private:
+  double log_mean_;
+  double log_sigma_;
+  double min_value_;
+  double max_value_;
+};
+
+/// Samples `k` distinct indices from [0, n) uniformly (Floyd's algorithm,
+/// O(k) expected). Requires k <= n. The result is sorted ascending.
+std::vector<std::size_t> SampleDistinct(Rng& rng, std::size_t n, std::size_t k);
+
+/// In-place Fisher-Yates shuffle using the project Rng.
+template <typename T>
+void Shuffle(Rng& rng, std::vector<T>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = rng.NextBounded(i);
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace greca
+
+#endif  // GRECA_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,28 @@
+// Monotonic wall-clock timing for the experiment harness.
+#ifndef GRECA_COMMON_STOPWATCH_H_
+#define GRECA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace greca {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_COMMON_STOPWATCH_H_

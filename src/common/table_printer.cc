@@ -1,0 +1,84 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace greca {
+
+void TablePrinter::SetColumns(std::vector<std::string> names) {
+  assert(rows_.empty() && "set columns before adding rows");
+  columns_ = std::move(names);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Cell(double value, int digits) {
+  return FormatDouble(value, digits);
+}
+
+std::string TablePrinter::Cell(std::size_t value) {
+  return std::to_string(value);
+}
+
+std::string TablePrinter::Cell(int value) { return std::to_string(value); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  rule();
+  emit_row(columns_);
+  rule();
+  for (const auto& row : rows_) emit_row(row);
+  rule();
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      // Quote cells containing separators.
+      if (cells[c].find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (const char ch : cells[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace greca

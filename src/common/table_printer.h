@@ -1,0 +1,44 @@
+// ASCII table / CSV emission for the benchmark harnesses. Every figure and
+// table reproduced from the paper is printed through this class so output
+// formats stay uniform across bench binaries.
+#ifndef GRECA_COMMON_TABLE_PRINTER_H_
+#define GRECA_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace greca {
+
+class TablePrinter {
+ public:
+  /// `title` is printed as a header banner, e.g. "Figure 5(A): Varying K".
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void SetColumns(std::vector<std::string> names);
+
+  /// Appends a row; the cell count must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `digits` decimals.
+  static std::string Cell(double value, int digits = 2);
+  static std::string Cell(std::size_t value);
+  static std::string Cell(int value);
+
+  /// Renders a boxed, column-aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Renders the same data as CSV (header + rows).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,66 @@
+// Fundamental identifier and value types shared by every GRECA subsystem.
+#ifndef GRECA_COMMON_TYPES_H_
+#define GRECA_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace greca {
+
+/// Dense user identifier, 0-based. Datasets remap external ids to this space.
+using UserId = std::uint32_t;
+
+/// Dense item identifier, 0-based.
+using ItemId = std::uint32_t;
+
+/// A star rating or predicted preference score. The MovieLens scale is 1..5;
+/// predicted/derived preferences may lie outside that range.
+using Score = double;
+
+/// Seconds since an arbitrary dataset epoch. MovieLens uses Unix time; the
+/// synthetic generators use their own epoch. Only differences matter.
+using Timestamp = std::int64_t;
+
+/// Index of a discretized time period (0 = earliest).
+using PeriodId = std::uint32_t;
+
+inline constexpr UserId kInvalidUser = std::numeric_limits<UserId>::max();
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+
+/// An unordered pair of distinct users, canonicalized so `first < second`.
+/// Affinity is symmetric (paper §2.1), so all pair-keyed tables use this form.
+struct UserPair {
+  UserId first = kInvalidUser;
+  UserId second = kInvalidUser;
+
+  constexpr UserPair() = default;
+  constexpr UserPair(UserId a, UserId b)
+      : first(a < b ? a : b), second(a < b ? b : a) {}
+
+  friend constexpr bool operator==(const UserPair&, const UserPair&) = default;
+  friend constexpr auto operator<=>(const UserPair&, const UserPair&) = default;
+};
+
+/// Total number of unordered pairs among `n` users: n(n-1)/2.
+constexpr std::uint64_t NumUserPairs(std::uint64_t n) {
+  return n * (n - 1) / 2;
+}
+
+/// A (user, score) or (item, score) entry in a sorted list.
+template <typename IdT>
+struct ScoredEntry {
+  IdT id{};
+  Score score = 0.0;
+
+  friend constexpr bool operator==(const ScoredEntry&,
+                                   const ScoredEntry&) = default;
+};
+
+using ScoredItem = ScoredEntry<ItemId>;
+using ScoredUser = ScoredEntry<UserId>;
+
+}  // namespace greca
+
+#endif  // GRECA_COMMON_TYPES_H_

@@ -1,0 +1,153 @@
+#include "consensus/consensus.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace greca {
+
+std::string ConsensusSpec::Name() const {
+  if (disagreement == DisagreementKind::kNone) {
+    return aggregator == GroupAggregator::kAverage ? "AP" : "MO";
+  }
+  const std::string base =
+      disagreement == DisagreementKind::kPairwise ? "PD" : "VD";
+  return base + "(w1=" + FormatDouble(w1, 1) + ")";
+}
+
+double GroupPreferenceScore(GroupAggregator aggregator,
+                            std::span<const double> prefs) {
+  assert(!prefs.empty());
+  if (aggregator == GroupAggregator::kLeastMisery) {
+    return *std::min_element(prefs.begin(), prefs.end());
+  }
+  double sum = 0.0;
+  for (const double p : prefs) sum += p;
+  return sum / static_cast<double>(prefs.size());
+}
+
+double DisagreementScore(DisagreementKind kind,
+                         std::span<const double> prefs) {
+  const std::size_t g = prefs.size();
+  if (kind == DisagreementKind::kNone || g < 2) return 0.0;
+  if (kind == DisagreementKind::kPairwise) {
+    double sum = 0.0;
+    for (std::size_t a = 0; a < g; ++a) {
+      for (std::size_t b = a + 1; b < g; ++b) {
+        sum += std::abs(prefs[a] - prefs[b]);
+      }
+    }
+    return 2.0 * sum / (static_cast<double>(g) * static_cast<double>(g - 1));
+  }
+  // Variance.
+  double mean = 0.0;
+  for (const double p : prefs) mean += p;
+  mean /= static_cast<double>(g);
+  double var = 0.0;
+  for (const double p : prefs) var += (p - mean) * (p - mean);
+  return var / static_cast<double>(g);
+}
+
+double ConsensusScore(const ConsensusSpec& spec,
+                      std::span<const double> prefs) {
+  const double gpref = GroupPreferenceScore(spec.aggregator, prefs);
+  if (spec.disagreement == DisagreementKind::kNone) {
+    return spec.w1 * gpref + spec.w2;  // dis = 0
+  }
+  const double dis = DisagreementScore(spec.disagreement, prefs);
+  return spec.w1 * gpref + spec.w2 * (1.0 - dis);
+}
+
+Interval GroupPreferenceInterval(GroupAggregator aggregator,
+                                 std::span<const Interval> prefs) {
+  assert(!prefs.empty());
+  if (aggregator == GroupAggregator::kLeastMisery) {
+    Interval result{1.0, 1.0};
+    for (const Interval& p : prefs) result = Min(result, p);
+    return result;
+  }
+  Interval sum{0.0, 0.0};
+  for (const Interval& p : prefs) sum = sum + p;
+  const double inv = 1.0 / static_cast<double>(prefs.size());
+  return inv * sum;
+}
+
+Interval DisagreementInterval(DisagreementKind kind,
+                              std::span<const Interval> prefs) {
+  const std::size_t g = prefs.size();
+  if (kind == DisagreementKind::kNone || g < 2) return Interval::Exact(0.0);
+  if (kind == DisagreementKind::kPairwise) {
+    Interval sum{0.0, 0.0};
+    for (std::size_t a = 0; a < g; ++a) {
+      for (std::size_t b = a + 1; b < g; ++b) {
+        sum = sum + AbsDifference(prefs[a], prefs[b]);
+      }
+    }
+    const double norm =
+        2.0 / (static_cast<double>(g) * static_cast<double>(g - 1));
+    return norm * sum;
+  }
+  // Variance bounds. Lower bound: 0 is always sound (and tight whenever all
+  // member intervals share a point). Upper bound: all values lie within the
+  // global envelope [min lb, max ub]; a set of points inside a range R has
+  // variance at most (R/2)^2.
+  double lo = 1.0, hi = 0.0;
+  for (const Interval& p : prefs) {
+    lo = std::min(lo, p.lb);
+    hi = std::max(hi, p.ub);
+  }
+  const double half_range = std::max(0.0, (hi - lo) / 2.0);
+  return {0.0, half_range * half_range};
+}
+
+double PairAgreement(double apref_a, double apref_b, double scale) {
+  return 1.0 - scale * std::abs(apref_a - apref_b);
+}
+
+double ConsensusScoreWithAgreements(const ConsensusSpec& spec,
+                                    std::span<const double> prefs,
+                                    std::span<const double> agreements) {
+  if (spec.disagreement != DisagreementKind::kPairwise) {
+    return ConsensusScore(spec, prefs);
+  }
+  const double gpref = GroupPreferenceScore(spec.aggregator, prefs);
+  double agreement = 1.0;  // singleton groups have no disagreement
+  if (!agreements.empty()) {
+    agreement = 0.0;
+    for (const double a : agreements) agreement += a;
+    agreement /= static_cast<double>(agreements.size());
+  }
+  return spec.w1 * gpref + spec.w2 * agreement;
+}
+
+Interval ConsensusIntervalWithAgreements(
+    const ConsensusSpec& spec, std::span<const Interval> prefs,
+    std::span<const Interval> agreements) {
+  if (spec.disagreement != DisagreementKind::kPairwise) {
+    return ConsensusInterval(spec, prefs);
+  }
+  const Interval gpref = GroupPreferenceInterval(spec.aggregator, prefs);
+  Interval agreement{1.0, 1.0};
+  if (!agreements.empty()) {
+    agreement = {0.0, 0.0};
+    for (const Interval& a : agreements) agreement = agreement + a;
+    const double inv = 1.0 / static_cast<double>(agreements.size());
+    agreement = inv * agreement;
+  }
+  return {spec.w1 * gpref.lb + spec.w2 * agreement.lb,
+          spec.w1 * gpref.ub + spec.w2 * agreement.ub};
+}
+
+Interval ConsensusInterval(const ConsensusSpec& spec,
+                           std::span<const Interval> prefs) {
+  const Interval gpref = GroupPreferenceInterval(spec.aggregator, prefs);
+  if (spec.disagreement == DisagreementKind::kNone) {
+    return {spec.w1 * gpref.lb + spec.w2, spec.w1 * gpref.ub + spec.w2};
+  }
+  const Interval dis = DisagreementInterval(spec.disagreement, prefs);
+  return {spec.w1 * gpref.lb + spec.w2 * (1.0 - dis.ub),
+          spec.w1 * gpref.ub + spec.w2 * (1.0 - dis.lb)};
+}
+
+}  // namespace greca

@@ -1,0 +1,114 @@
+// Group consensus functions (paper §2.3).
+//
+// gpref(G, i, p): Average Preference or Least-Misery over the members'
+//                 affinity-aware preferences pref(u, i, G, p).
+// dis(G, i, p):   Average pair-wise disagreement or disagreement variance.
+// F(G, i, p) = w1·gpref + w2·(1 − dis),  w1 + w2 = 1.
+//
+// All inputs are on the normalized [0, 1] preference scale, so F ∈ [0, 1].
+// Every function also propagates score intervals; the interval versions are
+// sound (exact ∈ [lb, ub]) which is what GRECA's early termination requires.
+#ifndef GRECA_CONSENSUS_CONSENSUS_H_
+#define GRECA_CONSENSUS_CONSENSUS_H_
+
+#include <span>
+#include <string>
+
+#include "topk/interval.h"
+
+namespace greca {
+
+enum class GroupAggregator {
+  kAverage,      // AP
+  kLeastMisery,  // MO
+};
+
+enum class DisagreementKind {
+  kNone,
+  kPairwise,  // average |pref_u − pref_v| over member pairs
+  kVariance,  // population variance of member preferences
+};
+
+struct ConsensusSpec {
+  GroupAggregator aggregator = GroupAggregator::kAverage;
+  DisagreementKind disagreement = DisagreementKind::kNone;
+  double w1 = 1.0;  ///< weight of gpref
+  double w2 = 0.0;  ///< weight of (1 − dis); w1 + w2 must equal 1
+  /// Pairwise disagreement is measured on the original star scale: the
+  /// paper's walk-through computes scores on raw ratings ("by ignoring
+  /// normalization", §3.2), so a one-star prediction gap counts as 1.0 of
+  /// disagreement rather than 0.2. With preferences normalized to [0, 1]
+  /// this means dis = scale·|Δapref|; the 1..5 star scale gives 4... the
+  /// conventional value 5 maps the full preference range onto [0, 5].
+  double disagreement_scale = 5.0;
+
+  /// AP — average of member preferences.
+  static ConsensusSpec AveragePreference() { return {}; }
+  /// MO — least misery (minimum member preference).
+  static ConsensusSpec LeastMisery() {
+    return {.aggregator = GroupAggregator::kLeastMisery};
+  }
+  /// PD — average preference combined with pair-wise disagreement.
+  /// The paper's PD V1 uses w1 = 0.8, PD V2 uses w1 = 0.2 (§4.2.5).
+  static ConsensusSpec PairwiseDisagreement(double w1_weight = 0.8) {
+    return {.aggregator = GroupAggregator::kAverage,
+            .disagreement = DisagreementKind::kPairwise,
+            .w1 = w1_weight,
+            .w2 = 1.0 - w1_weight};
+  }
+  /// Variance-based disagreement variant.
+  static ConsensusSpec VarianceDisagreement(double w1_weight = 0.8) {
+    return {.aggregator = GroupAggregator::kAverage,
+            .disagreement = DisagreementKind::kVariance,
+            .w1 = w1_weight,
+            .w2 = 1.0 - w1_weight};
+  }
+
+  std::string Name() const;
+
+  friend bool operator==(const ConsensusSpec&, const ConsensusSpec&) = default;
+};
+
+/// gpref over exact member preferences. `prefs` must be non-empty.
+double GroupPreferenceScore(GroupAggregator aggregator,
+                            std::span<const double> prefs);
+
+/// dis over exact member preferences; 0 for kNone or singleton groups.
+double DisagreementScore(DisagreementKind kind, std::span<const double> prefs);
+
+/// F(G, i, p) = w1·gpref + w2·(1 − dis).
+double ConsensusScore(const ConsensusSpec& spec, std::span<const double> prefs);
+
+/// Interval versions (sound bound propagation).
+Interval GroupPreferenceInterval(GroupAggregator aggregator,
+                                 std::span<const Interval> prefs);
+Interval DisagreementInterval(DisagreementKind kind,
+                              std::span<const Interval> prefs);
+Interval ConsensusInterval(const ConsensusSpec& spec,
+                           std::span<const Interval> prefs);
+
+/// List-decomposable pairwise disagreement (Lemma 1's "pair-wise
+/// disagreement lists"): the paper's index transforms group disagreement
+/// into per-pair components that live in their own sorted lists. An
+/// *agreement* value ag_q(i) = 1 − |apref_u(i) − apref_v(i)| ∈ [0, 1] is
+/// stored per pair q so that all list entries are descending-is-better:
+///
+///   F(G, i, p) = w1·gpref(prefs) + w2·mean_q ag_q(i)
+///
+/// (equivalently w2·(1 − dis) with dis = mean pairwise |apref difference|).
+/// Only used when spec.disagreement == kPairwise; other kinds ignore
+/// `agreements`.
+double ConsensusScoreWithAgreements(const ConsensusSpec& spec,
+                                    std::span<const double> prefs,
+                                    std::span<const double> agreements);
+Interval ConsensusIntervalWithAgreements(
+    const ConsensusSpec& spec, std::span<const Interval> prefs,
+    std::span<const Interval> agreements);
+
+/// ag = 1 − scale·|a − b| for apref values a, b on the [0, 1] scale
+/// (see ConsensusSpec::disagreement_scale). In [1 − scale, 1].
+double PairAgreement(double apref_a, double apref_b, double scale);
+
+}  // namespace greca
+
+#endif  // GRECA_CONSENSUS_CONSENSUS_H_

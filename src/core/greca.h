@@ -1,0 +1,65 @@
+// GRECA — Group Recommendation with Temporal Affinities (paper §3, Alg. 1).
+//
+// An NRA-style instance-optimal top-k algorithm that consumes, via sequential
+// accesses only, the group's absolute-preference lists, its static affinity
+// list and one periodic affinity list per time period. It maintains a buffer
+// of candidate items with lower/upper consensus-score bounds, a global
+// threshold bounding every unseen item, and terminates through the paper's
+// novel *buffer condition*: once the buffer holds k' > k items where the k-th
+// best lower bound dominates the upper bound of the other k'−k items, those
+// items are pruned and the remaining k returned (Theorem 1 shows this implies
+// the classical threshold condition).
+//
+// The returned itemset is guaranteed to be a correct top-k set (Lemma 2); the
+// order within it is the partial order induced by lower bounds at
+// termination.
+#ifndef GRECA_CORE_GRECA_H_
+#define GRECA_CORE_GRECA_H_
+
+#include <cstddef>
+
+#include "topk/problem.h"
+#include "topk/result.h"
+
+namespace greca {
+
+/// Termination ablation (paper §3.2 "Stopping Condition"):
+///  * kBufferCondition — full GRECA: prune dominated buffer items and stop as
+///    soon as exactly k undominated candidates remain.
+///  * kThresholdOnly — classical threshold stopping only: may terminate only
+///    when the buffer holds exactly k items with the threshold dominated,
+///    which in practice means scanning to exhaustion (this is the paper's
+///    argument for the buffer condition's necessity).
+enum class TerminationPolicy {
+  kBufferCondition,
+  kThresholdOnly,
+};
+
+struct GrecaConfig {
+  std::size_t k = 10;
+  TerminationPolicy termination = TerminationPolicy::kBufferCondition;
+  /// Stopping conditions are evaluated every `check_interval` round-robin
+  /// rounds (1 = after every round, the paper's formulation; larger values
+  /// trade a few extra SAs for fewer bound recomputations).
+  std::size_t check_interval = 1;
+};
+
+/// Execution statistics beyond the common TopKResult fields.
+struct GrecaStats {
+  std::size_t peak_buffer_size = 0;
+  std::size_t pruned_items = 0;
+  std::size_t stop_checks = 0;
+  /// True when the buffer condition (not the plain threshold) fired.
+  bool stopped_by_buffer_condition = false;
+  /// Global threshold value at termination.
+  double final_threshold = 0.0;
+};
+
+/// Runs GRECA. Every preference list must cover the full candidate key space
+/// and every affinity list all group pairs (zero-score entries included).
+TopKResult Greca(const GroupProblem& problem, const GrecaConfig& config,
+                 GrecaStats* stats = nullptr);
+
+}  // namespace greca
+
+#endif  // GRECA_CORE_GRECA_H_

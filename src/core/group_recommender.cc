@@ -1,0 +1,185 @@
+#include "core/group_recommender.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "cf/preference_list.h"
+#include "cf/similarity.h"
+#include "topk/naive.h"
+#include "topk/ta.h"
+
+namespace greca {
+
+GroupRecommender::GroupRecommender(const RatingsDataset& universe,
+                                   const FacebookStudy& study,
+                                   RecommenderOptions options)
+    : universe_(&universe),
+      study_(&study),
+      options_(options),
+      knn_(universe, options.knn),
+      periodic_(PeriodicAffinity::Compute(study.likes, study.periods)),
+      dynamic_(DynamicAffinityIndex::Build(periodic_)) {
+  const std::size_t n = study.num_participants();
+  predictions_.reserve(n);
+  for (UserId su = 0; su < n; ++su) {
+    predictions_.push_back(
+        knn_.PredictAll(study.study_ratings.RatingsOfUser(su)));
+  }
+  static_ = ComputeCommonFriendCounts(study.graph);
+  popular_items_ = universe.TopPopularItems(options.max_candidate_items);
+}
+
+PeriodId GroupRecommender::ResolvePeriod(PeriodId requested) const {
+  const auto last =
+      static_cast<PeriodId>(study_->periods.num_periods() - 1);
+  return requested == QuerySpec::kLastPeriod ? last
+                                             : std::min(requested, last);
+}
+
+std::span<const Score> GroupRecommender::Predictions(UserId study_user) const {
+  assert(study_user < predictions_.size());
+  return predictions_[study_user];
+}
+
+double GroupRecommender::RatingSimilarity(UserId a, UserId b) const {
+  // Pearson over co-rated movies: plain cosine of all-positive star vectors
+  // is always close to 1 and cannot separate similar from dissimilar tastes.
+  return PearsonSimilarity(study_->study_ratings.RatingsOfUser(a),
+                           study_->study_ratings.RatingsOfUser(b));
+}
+
+double GroupRecommender::ModelAffinity(UserId a, UserId b, PeriodId period,
+                                       const AffinityModelSpec& spec) const {
+  const PeriodId p = ResolvePeriod(period);
+  std::vector<double> averages;
+  std::vector<double> aff_p;
+  for (PeriodId q = 0; q <= p; ++q) {
+    averages.push_back(periodic_.PopulationAverageNormalized(q));
+    aff_p.push_back(periodic_.Normalized(a, b, q));
+  }
+  const AffinityCombiner combiner(spec, std::move(averages));
+  // Static affinity normalized by the population max (group context is not
+  // available for a bare pair).
+  const double max_static = static_.Max();
+  const double aff_s = max_static > 0.0 ? static_.Get(a, b) / max_static : 0.0;
+  return combiner.Combine(aff_s, aff_p);
+}
+
+GroupProblem GroupRecommender::BuildProblem(
+    std::span<const UserId> group, const QuerySpec& spec,
+    std::vector<ItemId>* candidates_out) const {
+  assert(!group.empty());
+  const PeriodId eval_period = ResolvePeriod(spec.eval_period);
+  const std::size_t g = group.size();
+
+  // Candidate pool: top-N popular items minus the group's rated items.
+  std::unordered_set<ItemId> rated;
+  if (options_.exclude_group_rated) {
+    for (const UserId su : group) {
+      for (const auto& e : study_->study_ratings.RatingsOfUser(su)) {
+        rated.insert(e.item);
+      }
+    }
+  }
+  std::vector<ItemId> candidates;
+  const std::size_t pool =
+      std::min(spec.num_candidate_items, popular_items_.size());
+  candidates.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    if (!rated.contains(popular_items_[i])) {
+      candidates.push_back(popular_items_[i]);
+    }
+  }
+  const auto m = static_cast<ListKey>(candidates.size());
+
+  // Preference lists (apref normalized to [0, 1] by the 5-star scale).
+  std::vector<SortedList> pref_lists;
+  pref_lists.reserve(g);
+  for (const UserId su : group) {
+    pref_lists.push_back(SortedList::FromUnsorted(
+        BuildPreferenceEntries(predictions_[su], 5.0, candidates), m));
+  }
+
+  // Static affinity list, normalized within the group (paper §4.1.2).
+  const std::vector<double> static_vals = NormalizeWithinGroup(static_, group);
+  const auto num_pairs = static_cast<ListKey>(static_vals.size());
+  std::vector<ListEntry> static_entries;
+  static_entries.reserve(static_vals.size());
+  for (ListKey q = 0; q < num_pairs; ++q) {
+    static_entries.push_back({q, static_vals[q]});
+  }
+  SortedList static_list =
+      SortedList::FromUnsorted(std::move(static_entries), num_pairs);
+
+  // One periodic affinity list per period 0..eval_period.
+  std::vector<SortedList> period_lists;
+  std::vector<double> averages;
+  for (PeriodId p = 0; p <= eval_period; ++p) {
+    std::vector<ListEntry> entries;
+    entries.reserve(static_vals.size());
+    for (std::size_t a = 0; a < g; ++a) {
+      for (std::size_t b = a + 1; b < g; ++b) {
+        const auto q =
+            static_cast<ListKey>(LocalPairIndex(a, b, g));
+        entries.push_back({q, periodic_.Normalized(group[a], group[b], p)});
+      }
+    }
+    period_lists.push_back(
+        SortedList::FromUnsorted(std::move(entries), num_pairs));
+    averages.push_back(periodic_.PopulationAverageNormalized(p));
+  }
+  if (!spec.model.time_aware || !spec.model.affinity_aware) {
+    // Time-agnostic variants read no periodic lists at all.
+    period_lists.clear();
+    averages.clear();
+  }
+
+  // Pair-wise disagreement consensus reads its own agreement list (Lemma 1's
+  // "pair-wise disagreement lists"); since the lists are built per ad-hoc
+  // group anyway, the per-pair components are pre-aggregated into one
+  // group-agreement list — identical scores, tighter bounds, fewer lists.
+  std::vector<SortedList> agreement_lists;
+  if (spec.consensus.disagreement == DisagreementKind::kPairwise && g >= 2) {
+    agreement_lists.push_back(BuildGroupAgreementList(
+        pref_lists, m, spec.consensus.disagreement_scale));
+  }
+
+  AffinityCombiner combiner(spec.model, std::move(averages));
+  if (candidates_out != nullptr) *candidates_out = candidates;
+  return GroupProblem(m, std::move(pref_lists), std::move(static_list),
+                      std::move(period_lists), std::move(combiner),
+                      spec.consensus, std::move(agreement_lists));
+}
+
+Recommendation GroupRecommender::Recommend(std::span<const UserId> group,
+                                           const QuerySpec& spec) const {
+  std::vector<ItemId> candidates;
+  const GroupProblem problem = BuildProblem(group, spec, &candidates);
+
+  Recommendation rec;
+  switch (spec.algorithm) {
+    case Algorithm::kGreca: {
+      GrecaConfig config;
+      config.k = spec.k;
+      config.termination = spec.termination;
+      rec.raw = Greca(problem, config, &rec.greca_stats);
+      break;
+    }
+    case Algorithm::kNaive:
+      rec.raw = NaiveTopK(problem, spec.k);
+      break;
+    case Algorithm::kTa:
+      rec.raw = TaTopK(problem, spec.k);
+      break;
+  }
+  rec.items.reserve(rec.raw.items.size());
+  rec.scores.reserve(rec.raw.items.size());
+  for (const ListEntry& e : rec.raw.items) {
+    rec.items.push_back(candidates[e.id]);
+    rec.scores.push_back(e.score);
+  }
+  return rec;
+}
+
+}  // namespace greca

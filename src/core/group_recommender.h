@@ -1,0 +1,135 @@
+// High-level facade: builds group top-k problems from the datasets and runs
+// the recommendation algorithms. This is the public entry point a downstream
+// application uses (see examples/quickstart.cc).
+//
+// Pipeline per query (ad-hoc group G, evaluation period p):
+//  1. candidate items = most popular universe items minus items any member
+//     already rated (the problem definition excludes individually known
+//     items, §2.4);
+//  2. absolute preferences apref(u, ·) from user-based CF over the rating
+//     universe (precomputed per study participant);
+//  3. static affinities from common friends, normalized within the group;
+//  4. periodic affinities from common page-like categories per period;
+//  5. the chosen temporal model + consensus function form a GroupProblem
+//     solved by GRECA / TA / the naive scan.
+#ifndef GRECA_CORE_GROUP_RECOMMENDER_H_
+#define GRECA_CORE_GROUP_RECOMMENDER_H_
+
+#include <span>
+#include <vector>
+
+#include "affinity/dynamic_affinity.h"
+#include "affinity/periodic_affinity.h"
+#include "affinity/static_affinity.h"
+#include "affinity/temporal_model.h"
+#include "cf/user_knn.h"
+#include "consensus/consensus.h"
+#include "core/greca.h"
+#include "dataset/facebook_study.h"
+#include "dataset/synthetic.h"
+#include "topk/problem.h"
+#include "topk/result.h"
+
+namespace greca {
+
+enum class Algorithm {
+  kGreca,
+  kNaive,
+  kTa,
+};
+
+struct RecommenderOptions {
+  UserKnnConfig knn;
+  /// Candidate pool = the top-N most popular universe items (the paper's
+  /// scalability experiments sweep 900..3900 items).
+  std::size_t max_candidate_items = 3'900;
+  /// Drop items any group member has already rated (paper §2.4).
+  bool exclude_group_rated = true;
+};
+
+struct QuerySpec {
+  std::size_t k = 10;
+  AffinityModelSpec model;
+  ConsensusSpec consensus;
+  /// Evaluation period index into the study timeline; recommendations use
+  /// periods 0..eval_period inclusive. Defaults to the last study period.
+  PeriodId eval_period = kLastPeriod;
+  Algorithm algorithm = Algorithm::kGreca;
+  TerminationPolicy termination = TerminationPolicy::kBufferCondition;
+  /// Candidate pool size for this query (<= RecommenderOptions limit).
+  std::size_t num_candidate_items = 3'900;
+
+  static constexpr PeriodId kLastPeriod = 0xFFFFFFFFu;
+};
+
+struct Recommendation {
+  /// Universe item ids, best first.
+  std::vector<ItemId> items;
+  /// Matching (lower-bound) consensus scores.
+  std::vector<double> scores;
+  /// Raw algorithm output with access statistics.
+  TopKResult raw;
+  /// GRECA-only execution statistics (zeros for other algorithms).
+  GrecaStats greca_stats;
+};
+
+class GroupRecommender {
+ public:
+  /// Both references must outlive this object. Construction precomputes CF
+  /// predictions for every study participant and all affinity tables.
+  /// `universe` may be any collaborative rating dataset — the synthetic twin
+  /// or a parsed real MovieLens file.
+  GroupRecommender(const RatingsDataset& universe, const FacebookStudy& study,
+                   RecommenderOptions options);
+
+  /// Convenience overload for the synthetic universe.
+  GroupRecommender(const SyntheticRatings& universe,
+                   const FacebookStudy& study, RecommenderOptions options)
+      : GroupRecommender(universe.dataset, study, options) {}
+
+  /// Recommends spec.k items to `group` (study participant ids).
+  Recommendation Recommend(std::span<const UserId> group,
+                           const QuerySpec& spec) const;
+
+  /// Builds the underlying top-k problem (exposed for tests and benches).
+  /// `candidates_out`, when non-null, receives the candidate universe items
+  /// in key order.
+  GroupProblem BuildProblem(std::span<const UserId> group,
+                            const QuerySpec& spec,
+                            std::vector<ItemId>* candidates_out = nullptr) const;
+
+  /// CF-predicted ratings (universe scale) for a study participant.
+  std::span<const Score> Predictions(UserId study_user) const;
+
+  /// Group cohesiveness signal: overlap-cosine of two participants' own
+  /// study ratings (§4.1.3).
+  double RatingSimilarity(UserId a, UserId b) const;
+
+  /// Model affinity of a pair at a period (used to form high/low affinity
+  /// groups; the 0.4 cut of §4.1.3 applies to this value).
+  double ModelAffinity(UserId a, UserId b, PeriodId period,
+                       const AffinityModelSpec& spec) const;
+
+  const PeriodicAffinity& periodic_affinity() const { return periodic_; }
+  const PairTable& static_affinity() const { return static_; }
+  const DynamicAffinityIndex& dynamic_index() const { return dynamic_; }
+  const FacebookStudy& study() const { return *study_; }
+  std::size_t num_periods() const { return study_->periods.num_periods(); }
+
+  PeriodId ResolvePeriod(PeriodId requested) const;
+
+ private:
+  const RatingsDataset* universe_;
+  const FacebookStudy* study_;
+  RecommenderOptions options_;
+  UserKnn knn_;
+  std::vector<std::vector<Score>> predictions_;  // per study user
+  PairTable static_;                             // raw common-friend counts
+  PeriodicAffinity periodic_;
+  DynamicAffinityIndex dynamic_;
+  std::vector<ItemId> popular_items_;  // top max_candidate_items by popularity
+};
+
+}  // namespace greca
+
+#endif  // GRECA_CORE_GROUP_RECOMMENDER_H_

@@ -1,0 +1,60 @@
+#include "core/pseudo_user.h"
+
+#include <algorithm>
+#include <map>
+
+namespace greca {
+
+std::vector<UserRatingEntry> MergeGroupProfile(
+    const RatingsDataset& member_ratings, std::span<const UserId> group) {
+  struct Acc {
+    double sum = 0.0;
+    std::size_t count = 0;
+    Timestamp latest = 0;
+  };
+  std::map<ItemId, Acc> merged;  // ordered: output must be item-sorted
+  for (const UserId u : group) {
+    for (const auto& e : member_ratings.RatingsOfUser(u)) {
+      Acc& acc = merged[e.item];
+      acc.sum += e.rating;
+      ++acc.count;
+      acc.latest = std::max(acc.latest, e.timestamp);
+    }
+  }
+  std::vector<UserRatingEntry> profile;
+  profile.reserve(merged.size());
+  for (const auto& [item, acc] : merged) {
+    profile.push_back(
+        {item, acc.sum / static_cast<double>(acc.count), acc.latest});
+  }
+  return profile;
+}
+
+std::vector<ScoredItem> RecommendPseudoUser(
+    const UserKnn& knn, const RatingsDataset& member_ratings,
+    std::span<const UserId> group, std::span<const ItemId> candidates,
+    std::size_t k) {
+  const std::vector<UserRatingEntry> profile =
+      MergeGroupProfile(member_ratings, group);
+  const std::vector<Score> predictions = knn.PredictAll(profile);
+
+  std::vector<ScoredItem> scored;
+  scored.reserve(candidates.size());
+  for (const ItemId item : candidates) {
+    // The merged profile contains exactly the group's rated items.
+    const auto it = std::lower_bound(
+        profile.begin(), profile.end(), item,
+        [](const UserRatingEntry& e, ItemId id) { return e.item < id; });
+    if (it != profile.end() && it->item == item) continue;
+    scored.push_back({item, predictions[item]});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace greca

@@ -1,0 +1,36 @@
+// The *other* dominant group-recommendation strategy (paper §5): create a
+// pseudo-user whose profile merges the group members' ratings, recommend to
+// that pseudo-user with a single-user CF, and return its top-k. Provided as
+// a comparison baseline to the consensus-aggregation family implemented by
+// GroupProblem/GRECA — the paper argues aggregation with affinities is
+// richer, and the quality harness can put the two head-to-head.
+#ifndef GRECA_CORE_PSEUDO_USER_H_
+#define GRECA_CORE_PSEUDO_USER_H_
+
+#include <span>
+#include <vector>
+
+#include "cf/user_knn.h"
+#include "common/types.h"
+#include "dataset/ratings.h"
+
+namespace greca {
+
+/// Merges the members' rating profiles: for every item rated by at least one
+/// member, the pseudo-rating is the mean of the members' ratings (the
+/// standard profile-aggregation scheme). Timestamps keep the latest value.
+/// Output is sorted by item id (RatingsOfUser format).
+std::vector<UserRatingEntry> MergeGroupProfile(
+    const RatingsDataset& member_ratings, std::span<const UserId> group);
+
+/// Recommends `k` items to the pseudo-user over the candidate pool,
+/// excluding items any member already rated. Scores are predicted ratings on
+/// the dataset scale, descending.
+std::vector<ScoredItem> RecommendPseudoUser(
+    const UserKnn& knn, const RatingsDataset& member_ratings,
+    std::span<const UserId> group, std::span<const ItemId> candidates,
+    std::size_t k);
+
+}  // namespace greca
+
+#endif  // GRECA_CORE_PSEUDO_USER_H_

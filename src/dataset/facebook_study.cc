@@ -1,0 +1,117 @@
+#include "dataset/facebook_study.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/distributions.h"
+
+namespace greca {
+
+FacebookStudy GenerateFacebookStudy(const FacebookStudyConfig& config,
+                                    const SyntheticRatings& universe) {
+  const std::size_t n = config.graph.total_users;
+  assert(universe.dataset.num_users() >= n);
+  assert(universe.dataset.num_items() >= config.diversity_pool);
+  Rng rng(config.seed);
+  Rng map_rng = rng.Fork(1);
+  Rng rate_rng = rng.Fork(2);
+  Rng edge_rng = rng.Fork(3);
+
+  FacebookStudy study;
+
+  // Study window at two-month granularity (the paper's working choice).
+  study.periods = Timeline::WithGranularity(
+      config.study_start, config.study_start + config.study_length,
+      Granularity::kTwoMonth);
+
+  // Page likes first: the hidden community mixtures also shape friendships.
+  PageLikeGenConfig like_config = config.likes;
+  like_config.num_users = n;
+  like_config.seed = rng.NextU64();
+  GeneratedPageLikes likes = GeneratePageLikes(like_config, study.periods);
+  study.likes = std::move(likes.log);
+  study.like_truth = std::move(likes.truth);
+
+  // Friendships: the seed-and-invite recruitment skeleton plus homophily
+  // edges between users who start out in similar communities.
+  const SocialGraph skeleton = GenerateSeedAndInvite(config.graph);
+  std::vector<std::pair<UserId, UserId>> edges;
+  for (UserId u = 0; u < n; ++u) {
+    for (const UserId v : skeleton.FriendsOf(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v = static_cast<UserId>(u + 1); v < n; ++v) {
+      const double aff0 = study.like_truth.TrueAffinity(u, v, 0);
+      if (edge_rng.NextBool(config.friendship_homophily * aff0 * aff0)) {
+        edges.emplace_back(u, v);
+      }
+    }
+  }
+  study.graph = SocialGraph::FromEdges(n, std::move(edges));
+
+  // Map each participant to a distinct universe user (their latent taste).
+  const auto chosen =
+      SampleDistinct(map_rng, universe.dataset.num_users(), n);
+  study.universe_user.assign(chosen.begin(), chosen.end());
+  std::vector<UserId> as_users(chosen.begin(), chosen.end());
+  study.universe_user = std::move(as_users);
+  Shuffle(map_rng, study.universe_user);
+
+  // Movie sets (paper §4.1.1): popular = top-50 by #ratings; diversity = 25
+  // highest-variance among the top-200 popular.
+  study.similar_set = universe.dataset.TopPopularItems(config.popular_set_size);
+  study.dissimilar_set.assign(
+      study.similar_set.begin(),
+      study.similar_set.begin() +
+          static_cast<std::ptrdiff_t>(std::min<std::size_t>(
+              config.diversity_set_size, study.similar_set.size())));
+  // Fill up with high-variance movies; ask for extra candidates because the
+  // variance ranking may overlap the popular prefix already taken.
+  const std::size_t target =
+      study.dissimilar_set.size() + config.diversity_set_size;
+  const std::vector<ItemId> diverse = universe.dataset.HighVarianceItems(
+      config.diversity_set_size + config.popular_set_size,
+      config.diversity_pool);
+  for (const ItemId i : diverse) {
+    if (study.dissimilar_set.size() >= target) break;
+    if (std::find(study.dissimilar_set.begin(), study.dissimilar_set.end(),
+                  i) == study.dissimilar_set.end()) {
+      study.dissimilar_set.push_back(i);
+    }
+  }
+
+  // Each participant rates >= min_ratings movies from their assigned set,
+  // star = true latent preference + noise, timestamp inside the study window.
+  study.rated_dissimilar.assign(n, false);
+  std::vector<RatingRecord> records;
+  for (UserId su = 0; su < n; ++su) {
+    const bool dissimilar = (su % 2 == 1);  // half and half, deterministic
+    study.rated_dissimilar[su] = dissimilar;
+    const auto& set = dissimilar ? study.dissimilar_set : study.similar_set;
+    const std::size_t want =
+        std::min(config.min_ratings_per_user +
+                     static_cast<std::size_t>(rate_rng.NextInt(0, 10)),
+                 set.size());
+    const auto picks = SampleDistinct(rate_rng, set.size(), want);
+    const UserId uu = study.universe_user[su];
+    for (const std::size_t off : picks) {
+      const ItemId item = set[off];
+      const double star_raw =
+          universe.truth.TruePreference(uu, item) +
+          config.rating_noise_sigma * rate_rng.NextGaussian();
+      const double star = std::clamp(std::round(star_raw), 1.0, 5.0);
+      const Timestamp ts =
+          config.study_start +
+          rate_rng.NextInt(0, std::max<Timestamp>(1, config.study_length) - 1);
+      records.push_back(RatingRecord{su, item, star, ts});
+    }
+  }
+  study.study_ratings = RatingsDataset::FromRecords(
+      n, universe.dataset.num_items(), std::move(records));
+  return study;
+}
+
+}  // namespace greca

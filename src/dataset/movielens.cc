@@ -1,0 +1,153 @@
+#include "dataset/movielens.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace greca {
+
+namespace {
+
+std::string_view FormatSeparator(MovieLensFormat format) {
+  switch (format) {
+    case MovieLensFormat::kMl1m:
+      return "::";
+    case MovieLensFormat::kMl100k:
+      return "\t";
+    case MovieLensFormat::kCsv:
+      return ",";
+  }
+  return "::";
+}
+
+}  // namespace
+
+Result<MovieLensData> ParseRatings(std::istream& in,
+                                   const MovieLensParseOptions& options) {
+  const std::string_view sep = FormatSeparator(options.format);
+  MovieLensData data;
+  std::vector<RatingRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  bool skipped_header = false;
+
+  const auto fail = [&](const std::string& why) {
+    return Status::ParseError("line " + std::to_string(line_no) + ": " + why);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    // CSV files carry a header row ("userId,movieId,rating,timestamp").
+    if (options.format == MovieLensFormat::kCsv && !skipped_header) {
+      skipped_header = true;
+      if (!ParseInt64(Split(trimmed, sep)[0]).has_value()) continue;
+      // First row was already data; fall through and parse it.
+    }
+    const auto fields = Split(trimmed, sep);
+    if (fields.size() != 4) {
+      if (options.strict) return fail("expected 4 fields, got " +
+                                      std::to_string(fields.size()));
+      ++data.skipped_lines;
+      continue;
+    }
+    const auto user = ParseInt64(fields[0]);
+    const auto item = ParseInt64(fields[1]);
+    const auto rating = ParseDouble(fields[2]);
+    const auto ts = ParseInt64(fields[3]);
+    if (!user || !item || !rating || !ts) {
+      if (options.strict) return fail("non-numeric field");
+      ++data.skipped_lines;
+      continue;
+    }
+    if (*rating < options.min_rating || *rating > options.max_rating) {
+      if (options.strict) {
+        return fail("rating " + FormatDouble(*rating, 2) + " out of range");
+      }
+      ++data.skipped_lines;
+      continue;
+    }
+
+    const auto [uit, uinserted] = data.user_id_map.try_emplace(
+        *user, static_cast<UserId>(data.user_external_ids.size()));
+    if (uinserted) data.user_external_ids.push_back(*user);
+    const auto [iit, iinserted] = data.item_id_map.try_emplace(
+        *item, static_cast<ItemId>(data.item_external_ids.size()));
+    if (iinserted) data.item_external_ids.push_back(*item);
+
+    records.push_back(RatingRecord{uit->second, iit->second, *rating, *ts});
+  }
+  if (records.empty()) {
+    return Status::ParseError("no valid rating lines found");
+  }
+  data.ratings =
+      RatingsDataset::FromRecords(data.user_external_ids.size(),
+                                  data.item_external_ids.size(),
+                                  std::move(records));
+  return data;
+}
+
+Result<MovieLensData> ParseRatingsFile(const std::string& path,
+                                       const MovieLensParseOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  return ParseRatings(in, options);
+}
+
+Result<std::vector<MovieInfo>> ParseMovies(std::istream& in,
+                                           MovieLensFormat format,
+                                           bool strict) {
+  const std::string_view sep = FormatSeparator(format);
+  std::vector<MovieInfo> movies;
+  std::string line;
+  std::size_t line_no = 0;
+  bool skipped_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (format == MovieLensFormat::kCsv && !skipped_header) {
+      skipped_header = true;
+      if (!ParseInt64(Split(trimmed, sep)[0]).has_value()) continue;
+    }
+    const auto fields = Split(trimmed, sep);
+    if (fields.size() < 3) {
+      if (strict) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": expected 3 fields");
+      }
+      continue;
+    }
+    const auto id = ParseInt64(fields[0]);
+    if (!id) {
+      if (strict) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": bad movie id");
+      }
+      continue;
+    }
+    MovieInfo info;
+    info.external_id = *id;
+    info.title = std::string(fields[1]);
+    for (const auto genre : Split(fields[2], "|")) {
+      if (!Trim(genre).empty()) info.genres.emplace_back(Trim(genre));
+    }
+    movies.push_back(std::move(info));
+  }
+  return movies;
+}
+
+void WriteRatingsMl1m(const RatingsDataset& ds, std::ostream& out) {
+  for (UserId u = 0; u < ds.num_users(); ++u) {
+    for (const auto& e : ds.RatingsOfUser(u)) {
+      out << u << "::" << e.item << "::" << e.rating << "::" << e.timestamp
+          << '\n';
+    }
+  }
+}
+
+}  // namespace greca

@@ -1,0 +1,81 @@
+// Parsers for the on-disk MovieLens formats.
+//
+// Supported formats:
+//  * ml-1m   — "UserID::MovieID::Rating::Timestamp" (ratings.dat), plus
+//              movies.dat ("MovieID::Title::Genres") and users.dat.
+//  * ml-100k — tab-separated "user item rating timestamp" (u.data).
+//  * csv     — "userId,movieId,rating,timestamp" with a header row
+//              (ml-latest style).
+//
+// External ids are arbitrary and sparse; parsers remap them to dense 0-based
+// UserId/ItemId and report the mapping so callers can translate back.
+#ifndef GRECA_DATASET_MOVIELENS_H_
+#define GRECA_DATASET_MOVIELENS_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/ratings.h"
+
+namespace greca {
+
+enum class MovieLensFormat {
+  kMl1m,    // "::"-separated
+  kMl100k,  // tab-separated
+  kCsv,     // comma-separated with header
+};
+
+/// Movie metadata from movies.dat / movies.csv.
+struct MovieInfo {
+  std::int64_t external_id = 0;
+  std::string title;
+  std::vector<std::string> genres;
+};
+
+/// A parsed ratings file plus the external→dense id mappings.
+struct MovieLensData {
+  RatingsDataset ratings;
+  std::vector<std::int64_t> user_external_ids;  // dense UserId -> external
+  std::vector<std::int64_t> item_external_ids;  // dense ItemId -> external
+  std::unordered_map<std::int64_t, UserId> user_id_map;
+  std::unordered_map<std::int64_t, ItemId> item_id_map;
+  /// Number of malformed lines skipped (strict=false) — surfaced so callers
+  /// can decide whether the file was mostly garbage.
+  std::size_t skipped_lines = 0;
+};
+
+struct MovieLensParseOptions {
+  MovieLensFormat format = MovieLensFormat::kMl1m;
+  /// When true, any malformed line fails the parse; when false malformed
+  /// lines are counted in `skipped_lines` and skipped.
+  bool strict = true;
+  /// Ratings outside [min_rating, max_rating] are malformed.
+  double min_rating = 0.5;
+  double max_rating = 5.0;
+};
+
+/// Parses a ratings stream. Lines are "<user><sep><item><sep><rating><sep><ts>".
+Result<MovieLensData> ParseRatings(std::istream& in,
+                                   const MovieLensParseOptions& options);
+
+/// Parses a ratings file from disk.
+Result<MovieLensData> ParseRatingsFile(const std::string& path,
+                                       const MovieLensParseOptions& options);
+
+/// Parses movies.dat (ml-1m, "MovieID::Title::Genre1|Genre2") or movies.csv.
+Result<std::vector<MovieInfo>> ParseMovies(std::istream& in,
+                                           MovieLensFormat format,
+                                           bool strict = true);
+
+/// Serializes a dataset back to ml-1m ratings.dat format (round-trip support
+/// and test fixture generation). External ids are the dense ids unless a
+/// mapping is given.
+void WriteRatingsMl1m(const RatingsDataset& ds, std::ostream& out);
+
+}  // namespace greca
+
+#endif  // GRECA_DATASET_MOVIELENS_H_

@@ -1,0 +1,191 @@
+#include "dataset/page_likes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/distributions.h"
+
+namespace greca {
+
+PageLikeLog PageLikeLog::FromEvents(std::size_t num_users,
+                                    std::size_t num_categories,
+                                    std::vector<PageLikeEvent> events) {
+  PageLikeLog log;
+  log.num_categories_ = num_categories;
+  std::sort(events.begin(), events.end(),
+            [](const PageLikeEvent& a, const PageLikeEvent& b) {
+              if (a.user != b.user) return a.user < b.user;
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.category < b.category;
+            });
+  log.offsets_.assign(num_users + 1, 0);
+  for (const auto& e : events) {
+    assert(e.user < num_users);
+    assert(e.category < num_categories);
+    ++log.offsets_[e.user + 1];
+  }
+  for (std::size_t u = 0; u < num_users; ++u) {
+    log.offsets_[u + 1] += log.offsets_[u];
+  }
+  log.events_ = std::move(events);
+  return log;
+}
+
+std::span<const PageLikeEvent> PageLikeLog::LikesOfUser(UserId u) const {
+  assert(u < num_users());
+  return {events_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::vector<CategoryId> PageLikeLog::CategoriesInPeriod(
+    UserId u, const Period& p) const {
+  const auto likes = LikesOfUser(u);
+  const auto lo = std::lower_bound(
+      likes.begin(), likes.end(), p.start,
+      [](const PageLikeEvent& e, Timestamp t) { return e.timestamp < t; });
+  const auto hi = std::lower_bound(
+      lo, likes.end(), p.finish,
+      [](const PageLikeEvent& e, Timestamp t) { return e.timestamp < t; });
+  std::vector<CategoryId> cats;
+  for (auto it = lo; it != hi; ++it) cats.push_back(it->category);
+  std::sort(cats.begin(), cats.end());
+  cats.erase(std::unique(cats.begin(), cats.end()), cats.end());
+  return cats;
+}
+
+std::size_t PageLikeLog::EventCountInPeriod(UserId u, const Period& p) const {
+  const auto likes = LikesOfUser(u);
+  const auto lo = std::lower_bound(
+      likes.begin(), likes.end(), p.start,
+      [](const PageLikeEvent& e, Timestamp t) { return e.timestamp < t; });
+  const auto hi = std::lower_bound(
+      lo, likes.end(), p.finish,
+      [](const PageLikeEvent& e, Timestamp t) { return e.timestamp < t; });
+  return static_cast<std::size_t>(hi - lo);
+}
+
+double PageLikeGroundTruth::TrueAffinity(UserId u, UserId v,
+                                         PeriodId p) const {
+  double dot = 0.0, nu = 0.0, nv = 0.0;
+  for (std::size_t c = 0; c < num_communities_; ++c) {
+    const double wu = Weight(u, c, p);
+    const double wv = Weight(v, c, p);
+    dot += wu * wv;
+    nu += wu * wu;
+    nv += wv * wv;
+  }
+  if (nu == 0.0 || nv == 0.0) return 0.0;
+  return dot / std::sqrt(nu * nv);
+}
+
+GeneratedPageLikes GeneratePageLikes(const PageLikeGenConfig& config,
+                                     const Timeline& timeline) {
+  assert(config.num_communities >= 1);
+  assert(config.categories_per_community <= config.num_categories);
+  Rng rng(config.seed);
+  Rng profile_rng = rng.Fork(1);
+  Rng mixture_rng = rng.Fork(2);
+  Rng event_rng = rng.Fork(3);
+
+  const std::size_t num_periods = timeline.num_periods();
+  GeneratedPageLikes out{PageLikeLog(),
+                         PageLikeGroundTruth(config.num_users,
+                                             config.num_communities,
+                                             num_periods)};
+  PageLikeGroundTruth& truth = out.truth;
+
+  // Community -> favored categories (with sampling weights).
+  std::vector<std::vector<CategoryId>> community_cats(config.num_communities);
+  for (auto& cats : community_cats) {
+    const auto chosen = SampleDistinct(profile_rng, config.num_categories,
+                                       config.categories_per_community);
+    cats.assign(chosen.begin(), chosen.end());
+    std::vector<CategoryId> as_ids(chosen.begin(), chosen.end());
+    cats = std::move(as_ids);
+  }
+
+  // Initial mixtures: one dominant community plus background mass.
+  std::vector<double> mix(config.num_users * config.num_communities);
+  for (UserId u = 0; u < config.num_users; ++u) {
+    const std::size_t home = mixture_rng.NextBounded(config.num_communities);
+    double total = 0.0;
+    for (std::size_t c = 0; c < config.num_communities; ++c) {
+      double w = mixture_rng.NextDouble(0.02, 0.25);
+      if (c == home) w += 1.0;
+      mix[u * config.num_communities + c] = w;
+      total += w;
+    }
+    for (std::size_t c = 0; c < config.num_communities; ++c) {
+      mix[u * config.num_communities + c] /= total;
+    }
+  }
+
+  // Per-user like rate (events per second).
+  const double monthly_mu = std::log(config.monthly_like_rate) -
+                            config.rate_sigma * config.rate_sigma / 2.0;
+  LogNormalSampler rate_sampler(monthly_mu, config.rate_sigma, 0.02, 60.0);
+  std::vector<double> per_second_rate(config.num_users);
+  for (auto& r : per_second_rate) {
+    r = rate_sampler.Sample(mixture_rng) / (30.0 * kSecondsPerDay);
+  }
+
+  std::vector<PageLikeEvent> events;
+  for (PeriodId p = 0; p < num_periods; ++p) {
+    const Period& period = timeline.period(p);
+    for (UserId u = 0; u < config.num_users; ++u) {
+      double* w = &mix[u * config.num_communities];
+      if (p > 0) {
+        // Random-walk drift, renormalized; floors keep mixtures valid.
+        double total = 0.0;
+        for (std::size_t c = 0; c < config.num_communities; ++c) {
+          w[c] = std::max(
+              0.005, w[c] + config.drift_rate * mixture_rng.NextGaussian() *
+                                w[c]);
+          total += w[c];
+        }
+        for (std::size_t c = 0; c < config.num_communities; ++c) {
+          w[c] /= total;
+        }
+      }
+      for (std::size_t c = 0; c < config.num_communities; ++c) {
+        truth.Weight(u, c, p) = w[c];
+      }
+
+      // Expected likes this period; sample a Poisson count via inversion
+      // (rates are small, so the loop is short).
+      const double lambda =
+          per_second_rate[u] * static_cast<double>(period.length());
+      std::size_t count = 0;
+      double threshold = std::exp(-lambda);
+      double prod = event_rng.NextDouble();
+      while (prod > threshold && count < 500) {
+        ++count;
+        prod *= event_rng.NextDouble();
+      }
+      for (std::size_t e = 0; e < count; ++e) {
+        // Choose a community by mixture weight, then one of its categories.
+        double pick = event_rng.NextDouble();
+        std::size_t community = config.num_communities - 1;
+        for (std::size_t c = 0; c < config.num_communities; ++c) {
+          if (pick < w[c]) {
+            community = c;
+            break;
+          }
+          pick -= w[c];
+        }
+        const auto& cats = community_cats[community];
+        const CategoryId cat = cats[event_rng.NextBounded(cats.size())];
+        const Timestamp ts =
+            period.start +
+            event_rng.NextInt(0, std::max<Timestamp>(1, period.length()) - 1);
+        events.push_back(PageLikeEvent{u, cat, ts});
+      }
+    }
+  }
+
+  out.log = PageLikeLog::FromEvents(config.num_users, config.num_categories,
+                                    std::move(events));
+  return out;
+}
+
+}  // namespace greca

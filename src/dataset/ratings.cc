@@ -1,0 +1,156 @@
+#include "dataset/ratings.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/stats.h"
+
+namespace greca {
+
+RatingsDataset RatingsDataset::FromRecords(std::size_t num_users,
+                                           std::size_t num_items,
+                                           std::vector<RatingRecord> records) {
+  // Deduplicate (user, item): keep the latest timestamp (then highest rating
+  // for full determinism on timestamp ties).
+  std::sort(records.begin(), records.end(),
+            [](const RatingRecord& a, const RatingRecord& b) {
+              if (a.user != b.user) return a.user < b.user;
+              if (a.item != b.item) return a.item < b.item;
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.rating < b.rating;
+            });
+  std::vector<RatingRecord> unique;
+  unique.reserve(records.size());
+  for (const auto& r : records) {
+    assert(r.user < num_users);
+    assert(r.item < num_items);
+    if (!unique.empty() && unique.back().user == r.user &&
+        unique.back().item == r.item) {
+      unique.back() = r;  // later (timestamp, rating) wins
+    } else {
+      unique.push_back(r);
+    }
+  }
+
+  RatingsDataset ds;
+  ds.num_users_ = num_users;
+  ds.num_items_ = num_items;
+
+  // By-user CSR (records already sorted by user then item).
+  ds.user_offsets_.assign(num_users + 1, 0);
+  for (const auto& r : unique) ++ds.user_offsets_[r.user + 1];
+  for (std::size_t u = 0; u < num_users; ++u) {
+    ds.user_offsets_[u + 1] += ds.user_offsets_[u];
+  }
+  ds.by_user_flat_.reserve(unique.size());
+  for (const auto& r : unique) {
+    ds.by_user_flat_.push_back({r.item, r.rating, r.timestamp});
+  }
+
+  // By-item CSR.
+  ds.item_offsets_.assign(num_items + 1, 0);
+  for (const auto& r : unique) ++ds.item_offsets_[r.item + 1];
+  for (std::size_t i = 0; i < num_items; ++i) {
+    ds.item_offsets_[i + 1] += ds.item_offsets_[i];
+  }
+  ds.by_item_flat_.resize(unique.size());
+  std::vector<std::size_t> cursor(ds.item_offsets_.begin(),
+                                  ds.item_offsets_.end() - 1);
+  for (const auto& r : unique) {
+    ds.by_item_flat_[cursor[r.item]++] = {r.user, r.rating, r.timestamp};
+  }
+  return ds;
+}
+
+std::span<const UserRatingEntry> RatingsDataset::RatingsOfUser(UserId u) const {
+  assert(u < num_users_);
+  return {by_user_flat_.data() + user_offsets_[u],
+          user_offsets_[u + 1] - user_offsets_[u]};
+}
+
+std::span<const ItemRatingEntry> RatingsDataset::RatingsOfItem(ItemId i) const {
+  assert(i < num_items_);
+  return {by_item_flat_.data() + item_offsets_[i],
+          item_offsets_[i + 1] - item_offsets_[i]};
+}
+
+std::optional<Score> RatingsDataset::GetRating(UserId u, ItemId i) const {
+  const auto ratings = RatingsOfUser(u);
+  const auto it = std::lower_bound(
+      ratings.begin(), ratings.end(), i,
+      [](const UserRatingEntry& e, ItemId item) { return e.item < item; });
+  if (it == ratings.end() || it->item != i) return std::nullopt;
+  return it->rating;
+}
+
+DatasetStats RatingsDataset::Stats() const {
+  DatasetStats stats;
+  stats.num_users = num_users_;
+  stats.num_items = num_items_;
+  stats.num_ratings = num_ratings();
+  OnlineStats acc;
+  for (const auto& e : by_user_flat_) acc.Add(e.rating);
+  stats.mean_rating = acc.mean();
+  stats.min_rating = acc.count() == 0 ? 0.0 : acc.min();
+  stats.max_rating = acc.count() == 0 ? 0.0 : acc.max();
+  const double cells =
+      static_cast<double>(num_users_) * static_cast<double>(num_items_);
+  stats.density = cells == 0.0 ? 0.0 : static_cast<double>(num_ratings()) / cells;
+  return stats;
+}
+
+std::vector<ItemId> RatingsDataset::TopPopularItems(std::size_t n) const {
+  std::vector<ItemId> items(num_items_);
+  for (std::size_t i = 0; i < num_items_; ++i) {
+    items[i] = static_cast<ItemId>(i);
+  }
+  std::stable_sort(items.begin(), items.end(), [this](ItemId a, ItemId b) {
+    const std::size_t da = item_offsets_[a + 1] - item_offsets_[a];
+    const std::size_t db = item_offsets_[b + 1] - item_offsets_[b];
+    if (da != db) return da > db;
+    return a < b;
+  });
+  if (items.size() > n) items.resize(n);
+  return items;
+}
+
+std::vector<ItemId> RatingsDataset::HighVarianceItems(
+    std::size_t n, std::size_t popularity_pool) const {
+  const std::vector<ItemId> pool = TopPopularItems(popularity_pool);
+  std::vector<std::pair<double, ItemId>> scored;
+  scored.reserve(pool.size());
+  for (const ItemId i : pool) {
+    OnlineStats acc;
+    for (const auto& e : RatingsOfItem(i)) acc.Add(e.rating);
+    scored.emplace_back(acc.variance(), i);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  std::vector<ItemId> out;
+  out.reserve(std::min(n, scored.size()));
+  for (std::size_t i = 0; i < scored.size() && i < n; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+double RatingsDataset::ItemMeanRating(ItemId i, double fallback) const {
+  const auto ratings = RatingsOfItem(i);
+  if (ratings.empty()) return fallback;
+  double sum = 0.0;
+  for (const auto& e : ratings) sum += e.rating;
+  return sum / static_cast<double>(ratings.size());
+}
+
+double RatingsDataset::UserMeanRating(UserId u, double fallback) const {
+  const auto ratings = RatingsOfUser(u);
+  if (ratings.empty()) return fallback;
+  double sum = 0.0;
+  for (const auto& e : ratings) sum += e.rating;
+  return sum / static_cast<double>(ratings.size());
+}
+
+}  // namespace greca

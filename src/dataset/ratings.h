@@ -1,0 +1,109 @@
+// Collaborative-rating dataset storage (the MovieLens substrate, paper §4).
+//
+// RatingsDataset stores a user×item rating matrix in compressed sparse form,
+// indexed both by user and by item, with per-rating timestamps. It backs the
+// collaborative-filtering engine, group formation, and all experiments.
+#ifndef GRECA_DATASET_RATINGS_H_
+#define GRECA_DATASET_RATINGS_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace greca {
+
+/// One observed rating event.
+struct RatingRecord {
+  UserId user = kInvalidUser;
+  ItemId item = kInvalidItem;
+  Score rating = 0.0;
+  Timestamp timestamp = 0;
+
+  friend bool operator==(const RatingRecord&, const RatingRecord&) = default;
+};
+
+/// Per-user view entry: which item, what rating, when.
+struct UserRatingEntry {
+  ItemId item;
+  Score rating;
+  Timestamp timestamp;
+};
+
+/// Per-item view entry: which user, what rating, when.
+struct ItemRatingEntry {
+  UserId user;
+  Score rating;
+  Timestamp timestamp;
+};
+
+/// Summary statistics (Table 5 of the paper).
+struct DatasetStats {
+  std::size_t num_users = 0;
+  std::size_t num_items = 0;
+  std::size_t num_ratings = 0;
+  double mean_rating = 0.0;
+  double min_rating = 0.0;
+  double max_rating = 0.0;
+  /// Fraction of the user×item matrix that is filled.
+  double density = 0.0;
+};
+
+class RatingsDataset {
+ public:
+  RatingsDataset() = default;
+
+  /// Builds the double index from raw records. Duplicate (user, item) pairs
+  /// keep the latest-timestamped rating. Ids must be < the given bounds.
+  static RatingsDataset FromRecords(std::size_t num_users,
+                                    std::size_t num_items,
+                                    std::vector<RatingRecord> records);
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_ratings() const { return by_user_flat_.size(); }
+
+  /// Ratings of `u`, sorted ascending by item id.
+  std::span<const UserRatingEntry> RatingsOfUser(UserId u) const;
+
+  /// Ratings of `i`, sorted ascending by user id.
+  std::span<const ItemRatingEntry> RatingsOfItem(ItemId i) const;
+
+  /// O(log deg(u)) rating lookup.
+  std::optional<Score> GetRating(UserId u, ItemId i) const;
+  bool HasRating(UserId u, ItemId i) const { return GetRating(u, i).has_value(); }
+
+  DatasetStats Stats() const;
+
+  /// Items sorted by descending popularity (#ratings); ties by ascending id.
+  /// Returns at most `n` items. Used for the paper's "popular set".
+  std::vector<ItemId> TopPopularItems(std::size_t n) const;
+
+  /// Among the `popularity_pool` most popular items, the `n` items with the
+  /// highest rating variance. Used for the paper's "diversity set"
+  /// (top-200 popularity, 25 highest-variance).
+  std::vector<ItemId> HighVarianceItems(std::size_t n,
+                                        std::size_t popularity_pool) const;
+
+  /// Mean of all ratings of item `i`; `fallback` when unrated.
+  double ItemMeanRating(ItemId i, double fallback) const;
+
+  /// Mean of all ratings by user `u`; `fallback` when the user rated nothing.
+  double UserMeanRating(UserId u, double fallback) const;
+
+ private:
+  std::size_t num_users_ = 0;
+  std::size_t num_items_ = 0;
+  // CSR layout over users.
+  std::vector<std::size_t> user_offsets_;  // size num_users_+1
+  std::vector<UserRatingEntry> by_user_flat_;
+  // CSR layout over items.
+  std::vector<std::size_t> item_offsets_;  // size num_items_+1
+  std::vector<ItemRatingEntry> by_item_flat_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_DATASET_RATINGS_H_

@@ -1,0 +1,151 @@
+#include "dataset/social_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/distributions.h"
+
+namespace greca {
+
+SocialGraph SocialGraph::FromEdges(
+    std::size_t num_users, std::vector<std::pair<UserId, UserId>> edges) {
+  // Canonicalize, drop self-loops, dedupe.
+  std::vector<UserPair> canon;
+  canon.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    assert(a < num_users && b < num_users);
+    if (a == b) continue;
+    canon.emplace_back(a, b);
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  SocialGraph g;
+  g.num_edges_ = canon.size();
+  g.offsets_.assign(num_users + 1, 0);
+  for (const auto& e : canon) {
+    ++g.offsets_[e.first + 1];
+    ++g.offsets_[e.second + 1];
+  }
+  for (std::size_t u = 0; u < num_users; ++u) {
+    g.offsets_[u + 1] += g.offsets_[u];
+  }
+  g.adjacency_.resize(2 * canon.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : canon) {
+    g.adjacency_[cursor[e.first]++] = e.second;
+    g.adjacency_[cursor[e.second]++] = e.first;
+  }
+  for (std::size_t u = 0; u < num_users; ++u) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]),
+              g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[u + 1]));
+  }
+  return g;
+}
+
+std::size_t SocialGraph::num_users() const {
+  return offsets_.empty() ? 0 : offsets_.size() - 1;
+}
+
+std::span<const UserId> SocialGraph::FriendsOf(UserId u) const {
+  assert(u < num_users());
+  return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+bool SocialGraph::AreFriends(UserId u, UserId v) const {
+  const auto friends = FriendsOf(u);
+  return std::binary_search(friends.begin(), friends.end(), v);
+}
+
+std::size_t SocialGraph::CommonFriends(UserId u, UserId v) const {
+  const auto fu = FriendsOf(u);
+  const auto fv = FriendsOf(v);
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < fu.size() && j < fv.size()) {
+    if (fu[i] == fv[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (fu[i] < fv[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+double SocialGraph::AverageDegree() const {
+  if (num_users() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(num_users());
+}
+
+SocialGraph GenerateSeedAndInvite(const SeedAndInviteConfig& config) {
+  assert(config.num_seeds < config.total_users);
+  assert(config.min_invites <= config.max_invites);
+  Rng rng(config.seed);
+  std::vector<std::pair<UserId, UserId>> edges;
+
+  const std::size_t pool_size = config.total_users - config.num_seeds;
+  // Seeds are users [0, num_seeds); invitees are [num_seeds, total_users).
+  for (UserId s = 0; s < config.num_seeds; ++s) {
+    const auto invites = static_cast<std::size_t>(std::min<std::int64_t>(
+        rng.NextInt(static_cast<std::int64_t>(config.min_invites),
+                    static_cast<std::int64_t>(config.max_invites)),
+        static_cast<std::int64_t>(pool_size)));
+    const auto chosen = SampleDistinct(rng, pool_size, invites);
+    for (const std::size_t off : chosen) {
+      edges.emplace_back(s, static_cast<UserId>(config.num_seeds + off));
+    }
+  }
+  // Peer links among invitees create common-friend triangles.
+  for (UserId a = static_cast<UserId>(config.num_seeds);
+       a < config.total_users; ++a) {
+    for (UserId b = a + 1; b < config.total_users; ++b) {
+      if (rng.NextBool(config.peer_link_prob)) edges.emplace_back(a, b);
+    }
+  }
+  // Seeds of the same lab know each other with moderate probability.
+  for (UserId a = 0; a < config.num_seeds; ++a) {
+    for (UserId b = a + 1; b < config.num_seeds; ++b) {
+      if (rng.NextBool(0.3)) edges.emplace_back(a, b);
+    }
+  }
+  return SocialGraph::FromEdges(config.total_users, std::move(edges));
+}
+
+SocialGraph GeneratePreferentialAttachment(std::size_t num_users,
+                                           std::size_t edges_per_node,
+                                           std::uint64_t seed) {
+  assert(num_users >= 2);
+  assert(edges_per_node >= 1);
+  Rng rng(seed);
+  std::vector<std::pair<UserId, UserId>> edges;
+  // Repeated-endpoint list: sampling uniformly from it is proportional to
+  // degree (the standard BA construction).
+  std::vector<UserId> endpoints;
+  edges.emplace_back(0, 1);
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (UserId v = 2; v < num_users; ++v) {
+    const std::size_t m = std::min<std::size_t>(edges_per_node, v);
+    std::vector<UserId> targets;
+    while (targets.size() < m) {
+      const UserId t = endpoints[rng.NextBounded(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (const UserId t : targets) {
+      edges.emplace_back(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return SocialGraph::FromEdges(num_users, std::move(edges));
+}
+
+}  // namespace greca

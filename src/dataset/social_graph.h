@@ -1,0 +1,74 @@
+// Undirected friendship graph (the Facebook substrate).
+//
+// Static affinity in the paper is |friends(u) ∩ friends(u')| normalized; this
+// class stores adjacency and answers common-neighbor counts. Two generators
+// are provided: the seed-and-invite process that mirrors the paper's user
+// study recruitment (13 seeds inviting 10–20 friends each), and a
+// preferential-attachment process for scalability experiments.
+#ifndef GRECA_DATASET_SOCIAL_GRAPH_H_
+#define GRECA_DATASET_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace greca {
+
+class SocialGraph {
+ public:
+  SocialGraph() = default;
+
+  /// Builds from an edge list. Self-loops are dropped; duplicate edges are
+  /// collapsed. Endpoints must be < num_users.
+  static SocialGraph FromEdges(std::size_t num_users,
+                               std::vector<std::pair<UserId, UserId>> edges);
+
+  std::size_t num_users() const;
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Neighbors of `u`, sorted ascending.
+  std::span<const UserId> FriendsOf(UserId u) const;
+
+  bool AreFriends(UserId u, UserId v) const;
+
+  /// |friends(u) ∩ friends(v)| via sorted merge — the paper's raw static
+  /// affinity signal (§4.1.2).
+  std::size_t CommonFriends(UserId u, UserId v) const;
+
+  double AverageDegree() const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size num_users+1
+  std::vector<UserId> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Recruitment process of the paper's user study: `num_seeds` seed users each
+/// invite between min_invites and max_invites friends from the remaining
+/// pool (invitees may be shared between seeds); invitees are additionally
+/// linked to each other with `peer_link_prob` to create realistic triangles
+/// (common friends).
+struct SeedAndInviteConfig {
+  std::size_t num_seeds = 13;
+  std::size_t total_users = 72;
+  std::size_t min_invites = 10;
+  std::size_t max_invites = 20;
+  double peer_link_prob = 0.12;
+  std::uint64_t seed = 7;
+};
+
+SocialGraph GenerateSeedAndInvite(const SeedAndInviteConfig& config);
+
+/// Barabási–Albert style preferential attachment: each new node attaches to
+/// `edges_per_node` existing nodes with probability proportional to degree.
+SocialGraph GeneratePreferentialAttachment(std::size_t num_users,
+                                           std::size_t edges_per_node,
+                                           std::uint64_t seed);
+
+}  // namespace greca
+
+#endif  // GRECA_DATASET_SOCIAL_GRAPH_H_

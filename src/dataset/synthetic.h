@@ -1,0 +1,71 @@
+// Statistics-calibrated synthetic twin of the MovieLens 1M ratings dataset.
+//
+// The real dataset cannot be redistributed with this repository, so all
+// experiments run on a generator that matches its shape: 6 040 users,
+// 3 952 movies, ~1 M ratings on a 1..5 star scale, Zipfian item popularity,
+// log-normally distributed user activity, and a latent-factor rating model.
+// The generator also exposes its ground truth (latent user/item factors),
+// which the quality-experiment oracle uses as the simulated human judge.
+#ifndef GRECA_DATASET_SYNTHETIC_H_
+#define GRECA_DATASET_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/ratings.h"
+
+namespace greca {
+
+struct SyntheticRatingsConfig {
+  std::size_t num_users = 6'040;
+  std::size_t num_items = 3'952;
+  /// Target rating count; achieved count is within a few percent (per-user
+  /// activities are rounded and clamped). MovieLens 1M has 1 000 209.
+  std::size_t target_ratings = 1'000'209;
+  /// Zipf exponent of item popularity. ~0.9 matches MovieLens.
+  double popularity_exponent = 0.9;
+  /// Log-normal user-activity spread (sigma of ln #ratings).
+  double activity_sigma = 0.9;
+  /// Every user rates at least this many items (MovieLens guarantees 20).
+  std::size_t min_ratings_per_user = 20;
+  /// Latent taste dimensionality shared by users and items.
+  std::size_t latent_dim = 8;
+  /// Strength of the latent-taste term relative to quality/bias/noise.
+  double taste_weight = 1.8;
+  /// Std-dev of observation noise added before rounding to stars.
+  double noise_sigma = 0.35;
+  /// Rating timestamps span [epoch, epoch + span_seconds).
+  Timestamp epoch = 0;
+  Timestamp span_seconds = 3 * 365 * kSecondsPerDayForRatings;
+  std::uint64_t seed = 42;
+
+  static constexpr Timestamp kSecondsPerDayForRatings = 86'400;
+};
+
+/// The generator's hidden state: the "true" tastes behind the observed stars.
+/// TruePreference() is the noise-free utility a user has for an item, mapped
+/// to the rating scale; the quality experiments use it as the judge.
+struct RatingGroundTruth {
+  std::size_t latent_dim = 0;
+  std::vector<double> user_factors;  // num_users × latent_dim, row-major
+  std::vector<double> item_factors;  // num_items × latent_dim
+  std::vector<double> item_quality;  // per-item intercept
+  std::vector<double> user_bias;     // per-user intercept
+  double taste_weight = 0.0;
+
+  /// Noise-free utility on the 1..5 scale (clamped).
+  double TruePreference(UserId u, ItemId i) const;
+};
+
+struct SyntheticRatings {
+  RatingsDataset dataset;
+  RatingGroundTruth truth;
+};
+
+/// Generates the dataset. Deterministic in `config.seed`.
+SyntheticRatings GenerateSyntheticRatings(const SyntheticRatingsConfig& config);
+
+}  // namespace greca
+
+#endif  // GRECA_DATASET_SYNTHETIC_H_

@@ -1,0 +1,102 @@
+#include "eval/satisfaction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace greca {
+
+SatisfactionOracle::SatisfactionOracle(const RatingGroundTruth& rating_truth,
+                                       const PageLikeGroundTruth& like_truth,
+                                       std::vector<UserId> universe_user,
+                                       OracleWeights weights)
+    : rating_truth_(&rating_truth),
+      like_truth_(&like_truth),
+      universe_user_(std::move(universe_user)),
+      weights_(weights) {}
+
+double SatisfactionOracle::TruePref01(UserId study_user, ItemId item) const {
+  assert(study_user < universe_user_.size());
+  const double stars =
+      rating_truth_->TruePreference(universe_user_[study_user], item);
+  return (stars - 1.0) / 4.0;  // 1..5 stars -> [0, 1]
+}
+
+double SatisfactionOracle::ItemSatisfaction(UserId u,
+                                            std::span<const UserId> group,
+                                            ItemId item, PeriodId p) const {
+  const double own = TruePref01(u, item);
+  double social = 0.0;
+  std::size_t companions = 0;
+  for (const UserId v : group) {
+    if (v == u) continue;
+    const double affinity = std::pow(like_truth_->TrueAffinity(u, v, p),
+                                     weights_.affinity_sharpness);
+    social += affinity * TruePref01(v, item);
+    ++companions;
+  }
+  if (companions == 0) return own;
+  social /= static_cast<double>(companions);
+  return std::clamp(
+      weights_.individual * own + weights_.social * social, 0.0, 1.0);
+}
+
+double SatisfactionOracle::ListSatisfaction(UserId u,
+                                            std::span<const UserId> group,
+                                            std::span<const ItemId> items,
+                                            PeriodId p) const {
+  if (items.empty()) return 0.0;
+  double sum = 0.0;
+  for (const ItemId i : items) sum += ItemSatisfaction(u, group, i, p);
+  return sum / static_cast<double>(items.size());
+}
+
+double SatisfactionOracle::GroupSatisfactionPercent(
+    std::span<const UserId> group, std::span<const ItemId> items,
+    PeriodId p) const {
+  double sum = 0.0;
+  for (const UserId u : group) sum += ListSatisfaction(u, group, items, p);
+  return 100.0 * sum / static_cast<double>(group.size());
+}
+
+double SatisfactionOracle::PreferenceSharePercent(
+    std::span<const UserId> group, std::span<const ItemId> list1,
+    std::span<const ItemId> list2, PeriodId p) const {
+  double votes = 0.0;
+  for (const UserId u : group) {
+    const double s1 = ListSatisfaction(u, group, list1, p);
+    const double s2 = ListSatisfaction(u, group, list2, p);
+    if (s1 > s2) {
+      votes += 1.0;
+    } else if (s1 == s2) {
+      votes += 0.5;
+    }
+  }
+  return 100.0 * votes / static_cast<double>(group.size());
+}
+
+std::vector<double> SatisfactionOracle::VoteShares(
+    std::span<const UserId> group,
+    std::span<const std::vector<ItemId>> lists, PeriodId p) const {
+  std::vector<double> votes(lists.size(), 0.0);
+  for (const UserId u : group) {
+    double best = -1.0;
+    std::vector<std::size_t> winners;
+    for (std::size_t j = 0; j < lists.size(); ++j) {
+      const double s = ListSatisfaction(u, group, lists[j], p);
+      if (s > best) {
+        best = s;
+        winners.assign(1, j);
+      } else if (s == best) {
+        winners.push_back(j);
+      }
+    }
+    for (const std::size_t j : winners) {
+      votes[j] += 1.0 / static_cast<double>(winners.size());
+    }
+  }
+  for (auto& v : votes) v = 100.0 * v / static_cast<double>(group.size());
+  return votes;
+}
+
+}  // namespace greca

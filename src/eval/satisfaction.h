@@ -1,0 +1,90 @@
+// Simulated quality judge replacing the paper's human evaluation (§4.1.4).
+//
+// The paper asked 72 Facebook users how satisfied they were with watching a
+// recommended list together with their group (0–5 scale) and which of two
+// lists they preferred. Human judgments cannot be reproduced offline, so the
+// oracle derives satisfaction from the *generators' hidden ground truth*:
+//
+//   satisfaction(u, i, G, p) =
+//       w_ind · tp(u, i)  +  w_soc · Σ_{u'≠u} trueAff(u, u', p)·tp(u', i)/(|G|−1)
+//
+// where tp is the noise-free latent preference behind the observed star
+// ratings and trueAff is the generators' community-mixture affinity at the
+// evaluation period. Recommenders only ever see the *observed* ratings,
+// friendships and page-likes — a recommender that models affinity and its
+// temporal drift aligns better with this ground truth, which is exactly the
+// effect the paper's user study measures.
+#ifndef GRECA_EVAL_SATISFACTION_H_
+#define GRECA_EVAL_SATISFACTION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dataset/page_likes.h"
+#include "dataset/synthetic.h"
+
+namespace greca {
+
+struct OracleWeights {
+  /// Weight of the user's own latent preference.
+  double individual = 0.5;
+  /// Weight of the affinity-weighted companions' preferences.
+  double social = 0.5;
+  /// Exponent applied to the true affinity before weighting companions:
+  /// community-mixture cosines have a high floor (shared background mass),
+  /// so sharpening separates genuinely close pairs from incidental ones.
+  double affinity_sharpness = 3.0;
+};
+
+class SatisfactionOracle {
+ public:
+  /// `universe_user` maps study participants to universe users (their latent
+  /// tastes). All referenced objects must outlive the oracle.
+  SatisfactionOracle(const RatingGroundTruth& rating_truth,
+                     const PageLikeGroundTruth& like_truth,
+                     std::vector<UserId> universe_user, OracleWeights weights);
+
+  /// Satisfaction of study user `u` with item `i` in group `group` at period
+  /// `p`, in [0, 1].
+  double ItemSatisfaction(UserId u, std::span<const UserId> group, ItemId item,
+                          PeriodId p) const;
+
+  /// Mean item satisfaction over a recommended list, in [0, 1].
+  double ListSatisfaction(UserId u, std::span<const UserId> group,
+                          std::span<const ItemId> items, PeriodId p) const;
+
+  /// Group-mean list satisfaction as a percentage (the paper reports a 0–5
+  /// score scaled to % — "a result with an average score of 5 gets 100%").
+  double GroupSatisfactionPercent(std::span<const UserId> group,
+                                  std::span<const ItemId> items,
+                                  PeriodId p) const;
+
+  /// Comparative evaluation (§4.1.4): every member picks exactly one of the
+  /// two lists (the closed-world forced choice); returns the percentage of
+  /// members preferring `list1`. Exact ties split evenly.
+  double PreferenceSharePercent(std::span<const UserId> group,
+                                std::span<const ItemId> list1,
+                                std::span<const ItemId> list2,
+                                PeriodId p) const;
+
+  /// Three-way vote shares (Figure 2): percentage of members whose most
+  /// satisfying list is lists[j]; ties split evenly among the tied lists.
+  std::vector<double> VoteShares(
+      std::span<const UserId> group,
+      std::span<const std::vector<ItemId>> lists, PeriodId p) const;
+
+ private:
+  /// Latent preference on [0, 1].
+  double TruePref01(UserId study_user, ItemId item) const;
+
+  const RatingGroundTruth* rating_truth_;
+  const PageLikeGroundTruth* like_truth_;
+  std::vector<UserId> universe_user_;
+  OracleWeights weights_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_EVAL_SATISFACTION_H_

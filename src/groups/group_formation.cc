@@ -1,0 +1,137 @@
+#include "groups/group_formation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/distributions.h"
+
+namespace greca {
+
+GroupFormer::GroupFormer(std::vector<UserId> eligible,
+                         PairScoreFn rating_similarity, PairScoreFn affinity)
+    : eligible_(std::move(eligible)),
+      rating_similarity_(std::move(rating_similarity)),
+      affinity_(std::move(affinity)) {
+  assert(!eligible_.empty());
+}
+
+Group GroupFormer::Greedy(
+    std::size_t size,
+    const std::function<double(std::span<const UserId>, UserId)>& marginal)
+    const {
+  assert(size >= 2);
+  assert(size <= eligible_.size());
+  Group group;
+  // Seed with the best pair under the marginal objective.
+  double best = -std::numeric_limits<double>::infinity();
+  UserId seed_a = eligible_[0], seed_b = eligible_[1];
+  for (std::size_t i = 0; i < eligible_.size(); ++i) {
+    const Group single{eligible_[i]};
+    for (std::size_t j = i + 1; j < eligible_.size(); ++j) {
+      const double value = marginal(single, eligible_[j]);
+      if (value > best) {
+        best = value;
+        seed_a = eligible_[i];
+        seed_b = eligible_[j];
+      }
+    }
+  }
+  group = {seed_a, seed_b};
+  while (group.size() < size) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    UserId best_user = kInvalidUser;
+    for (const UserId u : eligible_) {
+      if (std::find(group.begin(), group.end(), u) != group.end()) continue;
+      const double gain = marginal(group, u);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_user = u;
+      }
+    }
+    assert(best_user != kInvalidUser);
+    group.push_back(best_user);
+  }
+  std::sort(group.begin(), group.end());
+  return group;
+}
+
+Group GroupFormer::FormSimilar(std::size_t size) const {
+  return Greedy(size, [this](std::span<const UserId> group, UserId u) {
+    double sum = 0.0;
+    for (const UserId v : group) sum += rating_similarity_(u, v);
+    return sum;
+  });
+}
+
+Group GroupFormer::FormDissimilar(std::size_t size) const {
+  return Greedy(size, [this](std::span<const UserId> group, UserId u) {
+    double sum = 0.0;
+    for (const UserId v : group) sum += rating_similarity_(u, v);
+    return -sum;
+  });
+}
+
+Group GroupFormer::FormHighAffinity(std::size_t size) const {
+  // Maximize the weakest link: high-affinity groups require *every* pair to
+  // clear the threshold (§4.1.3).
+  return Greedy(size, [this](std::span<const UserId> group, UserId u) {
+    double weakest = std::numeric_limits<double>::infinity();
+    for (const UserId v : group) {
+      weakest = std::min(weakest, affinity_(u, v));
+    }
+    return weakest;
+  });
+}
+
+Group GroupFormer::FormLowAffinity(std::size_t size) const {
+  return Greedy(size, [this](std::span<const UserId> group, UserId u) {
+    double strongest = 0.0;
+    for (const UserId v : group) {
+      strongest = std::max(strongest, affinity_(u, v));
+    }
+    return -strongest;
+  });
+}
+
+Group GroupFormer::FormRandom(std::size_t size, Rng& rng) const {
+  assert(size <= eligible_.size());
+  const auto picks = SampleDistinct(rng, eligible_.size(), size);
+  Group group;
+  group.reserve(size);
+  for (const std::size_t i : picks) group.push_back(eligible_[i]);
+  std::sort(group.begin(), group.end());
+  return group;
+}
+
+double GroupFormer::SumRatingSimilarity(std::span<const UserId> group) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t j = i + 1; j < group.size(); ++j) {
+      sum += rating_similarity_(group[i], group[j]);
+    }
+  }
+  return sum;
+}
+
+double GroupFormer::MinPairAffinity(std::span<const UserId> group) const {
+  double weakest = 1.0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t j = i + 1; j < group.size(); ++j) {
+      weakest = std::min(weakest, affinity_(group[i], group[j]));
+    }
+  }
+  return weakest;
+}
+
+double GroupFormer::MaxPairAffinity(std::span<const UserId> group) const {
+  double strongest = 0.0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t j = i + 1; j < group.size(); ++j) {
+      strongest = std::max(strongest, affinity_(group[i], group[j]));
+    }
+  }
+  return strongest;
+}
+
+}  // namespace greca

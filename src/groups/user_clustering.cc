@@ -1,0 +1,148 @@
+#include "groups/user_clustering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace greca {
+
+namespace {
+
+double SquaredDistance(const double* a, const double* b, std::size_t dim) {
+  double sum = 0.0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult KMeans(std::span<const double> data, std::size_t rows,
+                    std::size_t dim, const KMeansConfig& config) {
+  assert(data.size() == rows * dim);
+  assert(rows >= config.num_clusters);
+  assert(config.num_clusters >= 1);
+  const std::size_t k = config.num_clusters;
+  Rng rng(config.seed);
+
+  KMeansResult result;
+  result.centroids.resize(k * dim);
+  result.assignment.assign(rows, 0);
+
+  // k-means++ seeding: first centroid uniform, then rows weighted by their
+  // squared distance to the closest chosen centroid.
+  std::vector<std::size_t> chosen;
+  chosen.push_back(rng.NextBounded(rows));
+  std::vector<double> min_dist(rows, std::numeric_limits<double>::infinity());
+  while (chosen.size() < k) {
+    const double* last = &data[chosen.back() * dim];
+    double total = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      min_dist[r] =
+          std::min(min_dist[r], SquaredDistance(&data[r * dim], last, dim));
+      total += min_dist[r];
+    }
+    std::size_t next = 0;
+    if (total <= 0.0) {
+      next = rng.NextBounded(rows);  // all points identical: any row works
+    } else {
+      double pick = rng.NextDouble() * total;
+      for (std::size_t r = 0; r < rows; ++r) {
+        pick -= min_dist[r];
+        if (pick <= 0.0) {
+          next = r;
+          break;
+        }
+      }
+    }
+    chosen.push_back(next);
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    std::copy_n(&data[chosen[c] * dim], dim, &result.centroids[c * dim]);
+  }
+
+  std::vector<double> sums(k * dim);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    ++result.iterations;
+    bool moved = false;
+    // Assign.
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double dist = SquaredDistance(&data[r * dim],
+                                            &result.centroids[c * dim], dim);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (result.assignment[r] != best) {
+        result.assignment[r] = best;
+        moved = true;
+      }
+    }
+    // Update.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t c = result.assignment[r];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) {
+        sums[c * dim + d] += data[r * dim + d];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c * dim + d] =
+            sums[c * dim + d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!moved && iter > 0) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    result.inertia += SquaredDistance(
+        &data[r * dim], &result.centroids[result.assignment[r] * dim], dim);
+  }
+  return result;
+}
+
+std::vector<double> RatingFeatureMatrix(
+    const RatingsDataset& ratings, std::span<const UserId> users,
+    std::span<const ItemId> feature_items) {
+  const std::size_t dim = feature_items.size();
+  std::vector<double> matrix(users.size() * dim, 0.0);
+  for (std::size_t r = 0; r < users.size(); ++r) {
+    const double mean = ratings.UserMeanRating(users[r], 0.0);
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (const auto rating = ratings.GetRating(users[r], feature_items[d])) {
+        matrix[r * dim + d] = *rating - mean;
+      }
+    }
+  }
+  return matrix;
+}
+
+std::vector<std::vector<UserId>> ClusterUsersByRatings(
+    const RatingsDataset& ratings, std::span<const UserId> users,
+    std::size_t num_features, const KMeansConfig& config) {
+  const std::vector<ItemId> features = ratings.TopPopularItems(num_features);
+  const std::vector<double> matrix =
+      RatingFeatureMatrix(ratings, users, features);
+  const KMeansResult km =
+      KMeans(matrix, users.size(), features.size(), config);
+  std::vector<std::vector<UserId>> clusters(config.num_clusters);
+  for (std::size_t r = 0; r < users.size(); ++r) {
+    clusters[km.assignment[r]].push_back(users[r]);
+  }
+  return clusters;
+}
+
+}  // namespace greca

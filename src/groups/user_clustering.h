@@ -1,0 +1,59 @@
+// User clustering over rating behavior.
+//
+// The paper's related work ([19], Ntoutsi et al.) accelerates group
+// recommendation by clustering similar users; the paper's own future work
+// proposes combining incremental clustering with the affinity indices. This
+// module provides the substrate: deterministic k-means over mean-centered
+// rating feature vectors, plus a convenience that partitions users into
+// taste clusters (usable as a group-formation source or as a preference-list
+// sharing scheme).
+#ifndef GRECA_GROUPS_USER_CLUSTERING_H_
+#define GRECA_GROUPS_USER_CLUSTERING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dataset/ratings.h"
+
+namespace greca {
+
+struct KMeansConfig {
+  std::size_t num_clusters = 4;
+  std::size_t max_iterations = 50;
+  std::uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  /// Cluster index per input row.
+  std::vector<std::size_t> assignment;
+  /// num_clusters × dim centroids, row-major.
+  std::vector<double> centroids;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ style seeding (deterministic in the
+/// seed). `data` is `rows × dim` row-major; requires rows >= num_clusters.
+KMeansResult KMeans(std::span<const double> data, std::size_t rows,
+                    std::size_t dim, const KMeansConfig& config);
+
+/// Feature matrix for clustering: one row per user in `users`, one column
+/// per item in `feature_items`; entries are the user's mean-centered rating
+/// of the item (0 when unrated). Row-major, users.size() × feature_items.size().
+std::vector<double> RatingFeatureMatrix(const RatingsDataset& ratings,
+                                        std::span<const UserId> users,
+                                        std::span<const ItemId> feature_items);
+
+/// Partitions `users` into taste clusters over their ratings of the
+/// `num_features` most popular items.
+std::vector<std::vector<UserId>> ClusterUsersByRatings(
+    const RatingsDataset& ratings, std::span<const UserId> users,
+    std::size_t num_features, const KMeansConfig& config);
+
+}  // namespace greca
+
+#endif  // GRECA_GROUPS_USER_CLUSTERING_H_

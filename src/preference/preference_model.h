@@ -1,0 +1,43 @@
+// Affinity-aware user-item preference (paper §2.2).
+//
+//   rpref(u, i, G, p) = Σ_{u'≠u∈G} aff(u, u', p) · apref(u', i) / (|G|−1)
+//   pref(u, i, G, p)  = (apref(u, i) + rpref(u, i, G, p)) / 2
+//
+// All quantities live on the normalized [0, 1] scale (see
+// topk/problem.h for the normalization note). Member preferences are
+// functions of the members' absolute preferences for one item and the
+// group's pair-wise temporal affinities (local pair indexing, see
+// LocalPairIndex in affinity/static_affinity.h).
+#ifndef GRECA_PREFERENCE_PREFERENCE_MODEL_H_
+#define GRECA_PREFERENCE_PREFERENCE_MODEL_H_
+
+#include <span>
+
+#include "topk/interval.h"
+
+namespace greca {
+
+/// rpref of member `member` given all members' absolute preferences for one
+/// item and the group's pair affinities. Returns 0 for singleton groups.
+double RelativePreference(std::span<const double> apref,
+                          std::span<const double> pair_aff, std::size_t member);
+
+/// pref(u, i, G, p) = (apref + rpref) / 2.
+double MemberPreference(std::span<const double> apref,
+                        std::span<const double> pair_aff, std::size_t member);
+
+/// Fills `out[u]` with every member's preference. `out.size()` must equal
+/// `apref.size()`; `pair_aff.size()` must be g(g−1)/2.
+void AllMemberPreferences(std::span<const double> apref,
+                          std::span<const double> pair_aff,
+                          std::span<double> out);
+
+/// Sound interval propagation of the same formula: all components are
+/// non-negative, so interval endpoints multiply/add directly.
+void AllMemberPreferenceIntervals(std::span<const Interval> apref,
+                                  std::span<const Interval> pair_aff,
+                                  std::span<Interval> out);
+
+}  // namespace greca
+
+#endif  // GRECA_PREFERENCE_PREFERENCE_MODEL_H_

@@ -1,0 +1,89 @@
+#include "timeline/period.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace greca {
+
+Timestamp GranularitySeconds(Granularity g) {
+  switch (g) {
+    case Granularity::kWeek:
+      return 7 * kSecondsPerDay;
+    case Granularity::kMonth:
+      return 31 * kSecondsPerDay;
+    case Granularity::kTwoMonth:
+      return 61 * kSecondsPerDay;
+    case Granularity::kSeason:
+      return 92 * kSecondsPerDay;
+    case Granularity::kHalfYear:
+      return 183 * kSecondsPerDay;
+  }
+  return kSecondsPerDay;
+}
+
+std::string GranularityName(Granularity g) {
+  switch (g) {
+    case Granularity::kWeek:
+      return "Week";
+    case Granularity::kMonth:
+      return "Month";
+    case Granularity::kTwoMonth:
+      return "Two-Month";
+    case Granularity::kSeason:
+      return "Season";
+    case Granularity::kHalfYear:
+      return "Half-Year";
+  }
+  return "Unknown";
+}
+
+std::vector<Granularity> AllGranularities() {
+  return {Granularity::kWeek, Granularity::kMonth, Granularity::kTwoMonth,
+          Granularity::kSeason, Granularity::kHalfYear};
+}
+
+Timeline Timeline::FixedWindows(Timestamp s0, Timestamp end,
+                                Timestamp window) {
+  assert(end > s0);
+  assert(window > 0);
+  std::vector<Period> periods;
+  for (Timestamp start = s0; start < end; start += window) {
+    periods.push_back(Period{start, std::min(start + window, end)});
+  }
+  return Timeline(std::move(periods));
+}
+
+Timeline Timeline::WithGranularity(Timestamp s0, Timestamp end,
+                                   Granularity g) {
+  return FixedWindows(s0, end, GranularitySeconds(g));
+}
+
+Timeline Timeline::FromBoundaries(const std::vector<Timestamp>& boundaries) {
+  assert(boundaries.size() >= 2);
+  std::vector<Period> periods;
+  periods.reserve(boundaries.size() - 1);
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    assert(boundaries[i] < boundaries[i + 1]);
+    periods.push_back(Period{boundaries[i], boundaries[i + 1]});
+  }
+  return Timeline(std::move(periods));
+}
+
+std::size_t Timeline::PeriodOf(Timestamp t) const {
+  if (t < start() || t >= end()) return periods_.size();
+  // First period whose finish is > t.
+  const auto it = std::upper_bound(
+      periods_.begin(), periods_.end(), t,
+      [](Timestamp value, const Period& p) { return value < p.finish; });
+  assert(it != periods_.end());
+  return static_cast<std::size_t>(it - periods_.begin());
+}
+
+std::size_t Timeline::PeriodsCompletedBy(Timestamp t) const {
+  const auto it = std::partition_point(
+      periods_.begin(), periods_.end(),
+      [t](const Period& p) { return p.finish <= t; });
+  return static_cast<std::size_t>(it - periods_.begin());
+}
+
+}  // namespace greca

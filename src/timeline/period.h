@@ -1,0 +1,96 @@
+// Time periods and timeline discretization (paper §2.1).
+//
+// Time starts at a dataset-specific "beginning of time" s0 and is segmented
+// into consecutive periods p0, ..., pnow. Periods need not have equal length;
+// the provided granularities chunk a span into fixed-length windows with a
+// possibly-shorter final window (so one year at week granularity yields 53
+// periods, matching the paper's Figure 4).
+#ifndef GRECA_TIMELINE_PERIOD_H_
+#define GRECA_TIMELINE_PERIOD_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace greca {
+
+/// Closed-open interval [start, finish). `finish` must be > `start`.
+struct Period {
+  Timestamp start = 0;
+  Timestamp finish = 0;
+
+  bool Contains(Timestamp t) const { return t >= start && t < finish; }
+  Timestamp length() const { return finish - start; }
+
+  /// Paper's precedence relation p_i ≼ p_j (s_i <= s_j and f_i <= f_j).
+  bool Precedes(const Period& other) const {
+    return start <= other.start && finish <= other.finish;
+  }
+
+  friend bool operator==(const Period&, const Period&) = default;
+};
+
+/// Period lengths studied in the paper's Figure 4.
+enum class Granularity {
+  kWeek,
+  kMonth,
+  kTwoMonth,
+  kSeason,
+  kHalfYear,
+};
+
+inline constexpr Timestamp kSecondsPerDay = 86'400;
+
+/// Nominal window length in seconds for a granularity (week=7d, month=31d,
+/// two-month=61d, season=92d, half-year=183d). Lengths are chosen so one
+/// 365-day year splits into the paper's Figure 4 period counts
+/// (53 / 12 / 6 / 4 / 2).
+Timestamp GranularitySeconds(Granularity g);
+
+/// Human-readable name, e.g. "Two-Month".
+std::string GranularityName(Granularity g);
+
+/// All granularities in Figure 4 order (Week → Half-Year).
+std::vector<Granularity> AllGranularities();
+
+/// An ordered sequence of consecutive periods covering [s0, end).
+class Timeline {
+ public:
+  /// Chunks [s0, end) into ceil(span/window) windows of `window` seconds; the
+  /// final window is truncated at `end`. Requires end > s0 and window > 0.
+  static Timeline FixedWindows(Timestamp s0, Timestamp end, Timestamp window);
+
+  /// Convenience over GranularitySeconds().
+  static Timeline WithGranularity(Timestamp s0, Timestamp end, Granularity g);
+
+  /// Builds from explicit boundaries b0 < b1 < ... < bn; periods are
+  /// [b0,b1), [b1,b2), ... Used for the paper's varying-length periods.
+  static Timeline FromBoundaries(const std::vector<Timestamp>& boundaries);
+
+  std::size_t num_periods() const { return periods_.size(); }
+  const Period& period(PeriodId p) const { return periods_[p]; }
+  const std::vector<Period>& periods() const { return periods_; }
+
+  Timestamp start() const { return periods_.front().start; }
+  Timestamp end() const { return periods_.back().finish; }
+
+  /// Period containing `t`, or num_periods() when t is outside the timeline.
+  /// O(log #periods).
+  std::size_t PeriodOf(Timestamp t) const;
+
+  /// Index of the latest period whose finish is <= `t`... (exclusive bound);
+  /// i.e. the number of whole periods completed by time `t`.
+  std::size_t PeriodsCompletedBy(Timestamp t) const;
+
+ private:
+  explicit Timeline(std::vector<Period> periods)
+      : periods_(std::move(periods)) {}
+
+  std::vector<Period> periods_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_TIMELINE_PERIOD_H_

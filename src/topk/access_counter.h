@@ -1,0 +1,26 @@
+// Sorted/random access accounting — the paper's primary efficiency metric is
+// the percentage of sequential accesses (SAs) an algorithm performs relative
+// to exhaustively scanning every input list (§4.2).
+#ifndef GRECA_TOPK_ACCESS_COUNTER_H_
+#define GRECA_TOPK_ACCESS_COUNTER_H_
+
+#include <cstdint>
+
+namespace greca {
+
+struct AccessCounter {
+  std::uint64_t sequential = 0;
+  std::uint64_t random = 0;
+
+  std::uint64_t total() const { return sequential + random; }
+
+  AccessCounter& operator+=(const AccessCounter& other) {
+    sequential += other.sequential;
+    random += other.random;
+    return *this;
+  }
+};
+
+}  // namespace greca
+
+#endif  // GRECA_TOPK_ACCESS_COUNTER_H_

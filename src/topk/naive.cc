@@ -1,0 +1,68 @@
+#include "topk/naive.h"
+
+#include <algorithm>
+
+namespace greca {
+
+TopKResult NaiveTopK(const GroupProblem& problem, std::size_t k) {
+  TopKResult result;
+  result.total_entries = problem.TotalEntries();
+
+  // The naive algorithm scans every list end to end.
+  const std::size_t g = problem.group_size();
+  for (std::size_t u = 0; u < g; ++u) {
+    for (std::size_t pos = 0; pos < problem.preference_lists()[u].size();
+         ++pos) {
+      problem.preference_lists()[u].ReadSequential(pos, result.accesses);
+    }
+  }
+  for (std::size_t pos = 0; pos < problem.static_affinity().size(); ++pos) {
+    problem.static_affinity().ReadSequential(pos, result.accesses);
+  }
+  for (const auto& list : problem.period_affinity()) {
+    for (std::size_t pos = 0; pos < list.size(); ++pos) {
+      list.ReadSequential(pos, result.accesses);
+    }
+  }
+  for (const auto& list : problem.agreement_lists()) {
+    for (std::size_t pos = 0; pos < list.size(); ++pos) {
+      list.ReadSequential(pos, result.accesses);
+    }
+  }
+
+  // Score every candidate item exactly.
+  const std::vector<double> pair_aff = problem.ExactPairAffinities();
+  std::vector<double> apref(g);
+  std::vector<double> prefs(g);
+  std::vector<double> agreements(problem.agreement_lists().size());
+  std::vector<ListEntry> scored;
+  scored.reserve(problem.num_items());
+  for (ListKey key = 0; key < problem.num_items(); ++key) {
+    for (std::size_t u = 0; u < g; ++u) {
+      apref[u] = problem.preference_lists()[u].ScoreOfKey(key);
+    }
+    problem.MemberPreferences(apref, pair_aff, prefs);
+    double score;
+    if (problem.uses_agreement_lists()) {
+      for (std::size_t q = 0; q < agreements.size(); ++q) {
+        agreements[q] = problem.agreement_lists()[q].ScoreOfKey(key);
+      }
+      score = ConsensusScoreWithAgreements(problem.consensus(), prefs,
+                                           agreements);
+    } else {
+      score = ConsensusScore(problem.consensus(), prefs);
+    }
+    scored.push_back({key, score});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ListEntry& a, const ListEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (scored.size() > k) scored.resize(k);
+  result.items = std::move(scored);
+  result.early_terminated = false;
+  return result;
+}
+
+}  // namespace greca

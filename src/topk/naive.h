@@ -1,0 +1,18 @@
+// Exhaustive-scan baseline: reads every entry of every list, computes every
+// candidate's exact consensus score, and sorts. This is the "naive
+// counterpart" against which the paper's save-up percentages are measured.
+#ifndef GRECA_TOPK_NAIVE_H_
+#define GRECA_TOPK_NAIVE_H_
+
+#include "topk/problem.h"
+#include "topk/result.h"
+
+namespace greca {
+
+/// Returns the exact top-k (full order, exact scores). Sequential accesses
+/// equal TotalEntries().
+TopKResult NaiveTopK(const GroupProblem& problem, std::size_t k);
+
+}  // namespace greca
+
+#endif  // GRECA_TOPK_NAIVE_H_

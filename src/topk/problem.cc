@@ -1,0 +1,143 @@
+#include "topk/problem.h"
+
+#include <cassert>
+
+#include "affinity/static_affinity.h"
+#include "preference/preference_model.h"
+
+namespace greca {
+
+GroupProblem::GroupProblem(std::size_t num_items,
+                           std::vector<SortedList> preference_lists,
+                           SortedList static_affinity,
+                           std::vector<SortedList> period_affinity,
+                           AffinityCombiner combiner, ConsensusSpec consensus,
+                           std::vector<SortedList> agreement_lists)
+    : num_items_(num_items),
+      preference_lists_(std::move(preference_lists)),
+      static_affinity_(std::move(static_affinity)),
+      period_affinity_(std::move(period_affinity)),
+      combiner_(std::move(combiner)),
+      consensus_(std::move(consensus)),
+      agreement_lists_(std::move(agreement_lists)) {
+  assert(!preference_lists_.empty());
+  assert(period_affinity_.size() == combiner_.num_periods());
+  assert((consensus_.disagreement == DisagreementKind::kPairwise &&
+          group_size() >= 2)
+             ? (agreement_lists_.size() == num_pairs() ||
+                agreement_lists_.size() == 1)
+             : agreement_lists_.empty());
+}
+
+std::size_t GroupProblem::TotalEntries() const {
+  std::size_t total = static_affinity_.size();
+  for (const auto& list : preference_lists_) total += list.size();
+  for (const auto& list : period_affinity_) total += list.size();
+  for (const auto& list : agreement_lists_) total += list.size();
+  return total;
+}
+
+std::size_t GroupProblem::PairIndex(std::size_t a, std::size_t b) const {
+  return LocalPairIndex(a, b, group_size());
+}
+
+double GroupProblem::ExactPairAffinity(std::size_t q) const {
+  const auto key = static_cast<ListKey>(q);
+  const double aff_s = static_affinity_.ScoreOfKey(key);
+  std::vector<double> aff_p;
+  aff_p.reserve(period_affinity_.size());
+  for (const auto& list : period_affinity_) {
+    aff_p.push_back(list.ScoreOfKey(key));
+  }
+  return combiner_.Combine(aff_s, aff_p);
+}
+
+std::vector<double> GroupProblem::ExactPairAffinities() const {
+  std::vector<double> out(num_pairs());
+  for (std::size_t q = 0; q < out.size(); ++q) {
+    out[q] = ExactPairAffinity(q);
+  }
+  return out;
+}
+
+void GroupProblem::MemberPreferences(std::span<const double> apref,
+                                     std::span<const double> pair_aff,
+                                     std::span<double> out) const {
+  assert(apref.size() == group_size());
+  assert(pair_aff.size() == num_pairs());
+  AllMemberPreferences(apref, pair_aff, out);
+}
+
+void GroupProblem::MemberPreferenceIntervals(std::span<const Interval> apref,
+                                             std::span<const Interval> pair_aff,
+                                             std::span<Interval> out) const {
+  assert(apref.size() == group_size());
+  assert(pair_aff.size() == num_pairs());
+  AllMemberPreferenceIntervals(apref, pair_aff, out);
+}
+
+double GroupProblem::ExactScore(ListKey key) const {
+  const std::size_t g = group_size();
+  std::vector<double> apref(g);
+  for (std::size_t u = 0; u < g; ++u) {
+    apref[u] = preference_lists_[u].ScoreOfKey(key);
+  }
+  const std::vector<double> pair_aff = ExactPairAffinities();
+  std::vector<double> prefs(g);
+  MemberPreferences(apref, pair_aff, prefs);
+  if (uses_agreement_lists()) {
+    std::vector<double> agreements(agreement_lists_.size());
+    for (std::size_t q = 0; q < agreements.size(); ++q) {
+      agreements[q] = agreement_lists_[q].ScoreOfKey(key);
+    }
+    return ConsensusScoreWithAgreements(consensus_, prefs, agreements);
+  }
+  return ConsensusScore(consensus_, prefs);
+}
+
+std::vector<SortedList> BuildAgreementLists(
+    const std::vector<SortedList>& preference_lists, std::size_t num_items,
+    double disagreement_scale) {
+  const std::size_t g = preference_lists.size();
+  std::vector<SortedList> lists;
+  lists.reserve(NumUserPairs(g));
+  for (std::size_t a = 0; a < g; ++a) {
+    for (std::size_t b = a + 1; b < g; ++b) {
+      std::vector<ListEntry> entries;
+      entries.reserve(num_items);
+      for (ListKey key = 0; key < num_items; ++key) {
+        entries.push_back(
+            {key, PairAgreement(preference_lists[a].ScoreOfKey(key),
+                                preference_lists[b].ScoreOfKey(key),
+                                disagreement_scale)});
+      }
+      lists.push_back(SortedList::FromUnsorted(
+          std::move(entries), static_cast<ListKey>(num_items)));
+    }
+  }
+  return lists;
+}
+
+SortedList BuildGroupAgreementList(
+    const std::vector<SortedList>& preference_lists, std::size_t num_items,
+    double disagreement_scale) {
+  const std::size_t g = preference_lists.size();
+  const double num_pairs = static_cast<double>(NumUserPairs(g));
+  std::vector<ListEntry> entries;
+  entries.reserve(num_items);
+  for (ListKey key = 0; key < num_items; ++key) {
+    double sum = 0.0;
+    for (std::size_t a = 0; a < g; ++a) {
+      for (std::size_t b = a + 1; b < g; ++b) {
+        sum += PairAgreement(preference_lists[a].ScoreOfKey(key),
+                             preference_lists[b].ScoreOfKey(key),
+                             disagreement_scale);
+      }
+    }
+    entries.push_back({key, num_pairs > 0 ? sum / num_pairs : 1.0});
+  }
+  return SortedList::FromUnsorted(std::move(entries),
+                                  static_cast<ListKey>(num_items));
+}
+
+}  // namespace greca

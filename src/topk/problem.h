@@ -1,0 +1,124 @@
+// The group top-k scoring problem instance shared by every algorithm
+// (Naive, TA, GRECA).
+//
+// A problem bundles, for one ad-hoc group G and one evaluation period p:
+//  * one absolute-preference list PL_u per member (scores in [0, 1]),
+//  * one static affinity list over G's pairs (group-normalized, [0, 1]),
+//  * one periodic affinity list per period p' ≼ p (normalized, [0, 1]),
+//  * the temporal affinity combiner (discrete/continuous/ablations), and
+//  * the consensus function F.
+//
+// The affinity-aware member preference (paper §2.2) is
+//   pref(u,i,G,p) = (apref(u,i) + rpref(u,i,G,p)) / 2,
+//   rpref(u,i,G,p) = Σ_{u'≠u} aff(u,u',p)·apref(u',i) / (|G|−1),
+// the /2 and /(|G|−1) normalizations keep pref in [0, 1] (the paper computes
+// un-normalized sums in its walk-through "by ignoring normalization", §3.2,
+// but normalizes in the deployed system, §4.1.2).
+#ifndef GRECA_TOPK_PROBLEM_H_
+#define GRECA_TOPK_PROBLEM_H_
+
+#include <span>
+#include <vector>
+
+#include "affinity/temporal_model.h"
+#include "consensus/consensus.h"
+#include "topk/interval.h"
+#include "topk/sorted_list.h"
+
+namespace greca {
+
+class GroupProblem {
+ public:
+  /// `preference_lists` has one list per member keyed by candidate item
+  /// (key space [0, num_items)); `static_affinity` and each `period_affinity`
+  /// list are keyed by local pair index (see LocalPairIndex). The number of
+  /// period lists must equal combiner.num_periods().
+  ///
+  /// `agreement_lists` carry the agreement components consumed by the
+  /// pairwise-disagreement consensus (Lemma 1's "pair-wise disagreement
+  /// lists"): item-keyed lists whose mean equals 1 − dis(G, i). Two layouts
+  /// are supported — one list per pair (ag_q(i) = 1 − |Δapref|, local pair
+  /// order) or a single pre-aggregated group list (mean over pairs); both
+  /// encode the same score and the aggregated form yields tighter bounds.
+  /// Must be non-empty exactly when consensus.disagreement == kPairwise and
+  /// the group has >= 2 members.
+  GroupProblem(std::size_t num_items,
+               std::vector<SortedList> preference_lists,
+               SortedList static_affinity,
+               std::vector<SortedList> period_affinity,
+               AffinityCombiner combiner, ConsensusSpec consensus,
+               std::vector<SortedList> agreement_lists = {});
+
+  std::size_t group_size() const { return preference_lists_.size(); }
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_pairs() const { return NumUserPairs(group_size()); }
+  std::size_t num_periods() const { return period_affinity_.size(); }
+
+  const std::vector<SortedList>& preference_lists() const {
+    return preference_lists_;
+  }
+  const SortedList& static_affinity() const { return static_affinity_; }
+  const std::vector<SortedList>& period_affinity() const {
+    return period_affinity_;
+  }
+  const std::vector<SortedList>& agreement_lists() const {
+    return agreement_lists_;
+  }
+  bool uses_agreement_lists() const { return !agreement_lists_.empty(); }
+  const AffinityCombiner& combiner() const { return combiner_; }
+  const ConsensusSpec& consensus() const { return consensus_; }
+
+  /// Total entries across all input lists — the exhaustive-scan cost that
+  /// normalizes the %SA metric.
+  std::size_t TotalEntries() const;
+
+  /// Exact temporal affinity of local pair `q` (uncounted accesses).
+  double ExactPairAffinity(std::size_t q) const;
+
+  /// All pair affinities, local pair order.
+  std::vector<double> ExactPairAffinities() const;
+
+  /// Member preferences pref(u, i) from exact components.
+  /// `apref[u]` is member u's absolute preference for the item; `pair_aff[q]`
+  /// the temporal affinity of local pair q. `out` must have group_size()
+  /// entries.
+  void MemberPreferences(std::span<const double> apref,
+                         std::span<const double> pair_aff,
+                         std::span<double> out) const;
+
+  /// Interval version used for GRECA's bounds.
+  void MemberPreferenceIntervals(std::span<const Interval> apref,
+                                 std::span<const Interval> pair_aff,
+                                 std::span<Interval> out) const;
+
+  /// Exact consensus score of candidate item `key` (uncounted accesses).
+  double ExactScore(ListKey key) const;
+
+  /// Local pair index of members (a, b), a < b.
+  std::size_t PairIndex(std::size_t a, std::size_t b) const;
+
+ private:
+  std::size_t num_items_;
+  std::vector<SortedList> preference_lists_;
+  SortedList static_affinity_;
+  std::vector<SortedList> period_affinity_;
+  AffinityCombiner combiner_;
+  ConsensusSpec consensus_;
+  std::vector<SortedList> agreement_lists_;  // empty unless kPairwise
+};
+
+/// Builds the per-pair agreement lists from the members' preference lists:
+/// for pair (a, b), entry score = 1 − |apref_a(i) − apref_b(i)|, all items.
+std::vector<SortedList> BuildAgreementLists(
+    const std::vector<SortedList>& preference_lists, std::size_t num_items,
+    double disagreement_scale);
+
+/// Builds the single aggregated group-agreement list: entry score =
+/// mean over pairs of (1 − |Δapref|) = 1 − dis(G, i).
+SortedList BuildGroupAgreementList(
+    const std::vector<SortedList>& preference_lists, std::size_t num_items,
+    double disagreement_scale);
+
+}  // namespace greca
+
+#endif  // GRECA_TOPK_PROBLEM_H_

@@ -1,0 +1,43 @@
+// Common result type for the group top-k algorithms.
+#ifndef GRECA_TOPK_RESULT_H_
+#define GRECA_TOPK_RESULT_H_
+
+#include <vector>
+
+#include "topk/access_counter.h"
+#include "topk/sorted_list.h"
+
+namespace greca {
+
+struct TopKResult {
+  /// The top-k itemset, sorted by descending (lower-bound) score. For exact
+  /// algorithms the scores are exact; for GRECA they are the lower bounds at
+  /// termination (the itemset is guaranteed correct, the internal order may
+  /// be partial — paper §3.1).
+  std::vector<ListEntry> items;
+
+  AccessCounter accesses;
+
+  /// Exhaustive-scan cost (Σ list sizes) normalizing the %SA metric.
+  std::size_t total_entries = 0;
+
+  /// Round-robin rounds performed (0 for naive).
+  std::size_t rounds = 0;
+
+  /// True when the algorithm stopped before exhausting its inputs.
+  bool early_terminated = false;
+
+  /// The paper's metric: 100 · SA / total_entries.
+  double SequentialAccessPercent() const {
+    if (total_entries == 0) return 0.0;
+    return 100.0 * static_cast<double>(accesses.sequential) /
+           static_cast<double>(total_entries);
+  }
+
+  /// Save-up = 100 − %SA (the paper reports "saveups of 75% or beyond").
+  double SaveupPercent() const { return 100.0 - SequentialAccessPercent(); }
+};
+
+}  // namespace greca
+
+#endif  // GRECA_TOPK_RESULT_H_

@@ -1,0 +1,26 @@
+#include "topk/sorted_list.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace greca {
+
+SortedList SortedList::FromUnsorted(std::vector<ListEntry> entries,
+                                    ListKey key_space) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ListEntry& a, const ListEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  SortedList list;
+  list.position_of_key_.assign(key_space, kMissing);
+  for (std::size_t pos = 0; pos < entries.size(); ++pos) {
+    assert(entries[pos].id < key_space);
+    assert(list.position_of_key_[entries[pos].id] == kMissing);
+    list.position_of_key_[entries[pos].id] = static_cast<std::uint32_t>(pos);
+  }
+  list.entries_ = std::move(entries);
+  return list;
+}
+
+}  // namespace greca

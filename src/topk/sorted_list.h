@@ -1,0 +1,68 @@
+// Score-sorted input lists for Fagin-style top-k processing (paper §3.1).
+//
+// A SortedList holds (key, score) entries in decreasing score order and
+// supports the two access modes of the threshold-algorithm family:
+// counted sequential access (SA) down the list and counted random access
+// (RA) by key. Keys form a dense space [0, key_space); preference lists use
+// candidate-item keys, affinity lists use local pair indices.
+#ifndef GRECA_TOPK_SORTED_LIST_H_
+#define GRECA_TOPK_SORTED_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "topk/access_counter.h"
+
+namespace greca {
+
+using ListKey = std::uint32_t;
+using ListEntry = ScoredEntry<ListKey>;
+
+class SortedList {
+ public:
+  SortedList() = default;
+
+  /// Sorts `entries` by descending score (ties by ascending key). Every key
+  /// must be < key_space and appear at most once.
+  static SortedList FromUnsorted(std::vector<ListEntry> entries,
+                                 ListKey key_space);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Uncounted positional peek (internal bookkeeping, tests, exact scoring).
+  const ListEntry& entry(std::size_t pos) const { return entries_[pos]; }
+
+  /// Counted sequential access at `pos` (callers advance their own cursor).
+  const ListEntry& ReadSequential(std::size_t pos,
+                                  AccessCounter& counter) const {
+    ++counter.sequential;
+    return entries_[pos];
+  }
+
+  /// Uncounted exact score of `key`; 0.0 when the key has no entry.
+  double ScoreOfKey(ListKey key) const {
+    const std::uint32_t pos = position_of_key_[key];
+    return pos == kMissing ? 0.0 : entries_[pos].score;
+  }
+
+  /// Counted random access by key.
+  double RandomAccess(ListKey key, AccessCounter& counter) const {
+    ++counter.random;
+    return ScoreOfKey(key);
+  }
+
+  /// Highest score in the list (0.0 for empty lists).
+  double MaxScore() const { return entries_.empty() ? 0.0 : entries_[0].score; }
+
+ private:
+  static constexpr std::uint32_t kMissing = 0xFFFFFFFFu;
+
+  std::vector<ListEntry> entries_;
+  std::vector<std::uint32_t> position_of_key_;  // key -> position or kMissing
+};
+
+}  // namespace greca
+
+#endif  // GRECA_TOPK_SORTED_LIST_H_

@@ -1,0 +1,119 @@
+#include "topk/ta.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace greca {
+
+TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
+  TopKResult result;
+  result.total_entries = problem.TotalEntries();
+
+  const std::size_t g = problem.group_size();
+  const std::size_t num_periods = problem.num_periods();
+  const auto& lists = problem.preference_lists();
+
+  std::vector<bool> scored(problem.num_items(), false);
+  std::vector<ListEntry> best;  // maintained sorted descending, size <= k
+
+  std::vector<double> cursor_score(g);
+  for (std::size_t u = 0; u < g; ++u) {
+    cursor_score[u] = lists[u].MaxScore();
+  }
+
+  std::vector<double> apref(g);
+  std::vector<double> prefs(g);
+  std::vector<double> pair_aff(problem.num_pairs());
+  std::vector<double> aff_p(num_periods);
+
+  // Exact affinity of one pair, charging one RA per list entry touched.
+  const auto fetch_pair_affinity = [&](std::size_t q) {
+    const auto key = static_cast<ListKey>(q);
+    const double aff_s =
+        problem.static_affinity().RandomAccess(key, result.accesses);
+    for (std::size_t t = 0; t < num_periods; ++t) {
+      aff_p[t] =
+          problem.period_affinity()[t].RandomAccess(key, result.accesses);
+    }
+    return problem.combiner().Combine(aff_s, aff_p);
+  };
+
+  std::vector<double> agreements(problem.agreement_lists().size());
+
+  const auto score_item = [&](ListKey key, std::size_t seen_in_list) {
+    // Random-access the other members' absolute preferences...
+    for (std::size_t u = 0; u < g; ++u) {
+      if (u == seen_in_list) {
+        apref[u] = lists[u].ScoreOfKey(key);
+      } else {
+        apref[u] = lists[u].RandomAccess(key, result.accesses);
+      }
+    }
+    // ... and, per the paper's TA accounting, every member's affinity
+    // entries: each member contributes (g-1)·(T+1) RAs.
+    for (std::size_t u = 0; u < g; ++u) {
+      for (std::size_t v = 0; v < g; ++v) {
+        if (v == u) continue;
+        const std::size_t q =
+            problem.PairIndex(std::min(u, v), std::max(u, v));
+        pair_aff[q] = fetch_pair_affinity(q);
+      }
+    }
+    problem.MemberPreferences(apref, pair_aff, prefs);
+    if (problem.uses_agreement_lists()) {
+      for (std::size_t q = 0; q < agreements.size(); ++q) {
+        agreements[q] =
+            problem.agreement_lists()[q].RandomAccess(key, result.accesses);
+      }
+      return ConsensusScoreWithAgreements(problem.consensus(), prefs,
+                                          agreements);
+    }
+    return ConsensusScore(problem.consensus(), prefs);
+  };
+
+  const auto threshold = [&] {
+    // Best score an unseen item could have: every member's absolute
+    // preference at its cursor, affinities exact (uncounted here — they were
+    // already charged while scoring items), agreement bounded by 1.
+    const std::vector<double> exact_aff = problem.ExactPairAffinities();
+    problem.MemberPreferences(cursor_score, exact_aff, prefs);
+    if (problem.uses_agreement_lists()) {
+      const std::vector<double> full(problem.agreement_lists().size(), 1.0);
+      return ConsensusScoreWithAgreements(problem.consensus(), prefs, full);
+    }
+    return ConsensusScore(problem.consensus(), prefs);
+  };
+
+  std::size_t depth = 0;
+  std::size_t max_len = 0;
+  for (const auto& list : lists) max_len = std::max(max_len, list.size());
+
+  for (; depth < max_len; ++depth) {
+    for (std::size_t u = 0; u < g; ++u) {
+      if (depth >= lists[u].size()) continue;
+      const ListEntry& e = lists[u].ReadSequential(depth, result.accesses);
+      cursor_score[u] = e.score;
+      if (scored[e.id]) continue;
+      scored[e.id] = true;
+      const double s = score_item(e.id, u);
+      const ListEntry entry{e.id, s};
+      const auto it = std::lower_bound(
+          best.begin(), best.end(), entry,
+          [](const ListEntry& a, const ListEntry& b) {
+            if (a.score != b.score) return a.score > b.score;
+            return a.id < b.id;
+          });
+      best.insert(it, entry);
+      if (best.size() > k) best.pop_back();
+    }
+    ++result.rounds;
+    if (best.size() >= k && best.back().score >= threshold()) {
+      result.early_terminated = true;
+      break;
+    }
+  }
+  result.items = std::move(best);
+  return result;
+}
+
+}  // namespace greca

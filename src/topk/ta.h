@@ -1,0 +1,21 @@
+// TA-style baseline with random accesses (paper §3.1's comparison point).
+//
+// Scans the preference lists round-robin; every newly seen item is scored
+// exactly by random-accessing its absolute preference in the other members'
+// lists and all of the group's affinity entries (the paper's running example
+// charges 21 RAs to score one item of a 3-member group over 2 periods).
+// Terminates when the k-th best exact score is at least the threshold
+// (the consensus score achievable at the current cursor positions).
+#ifndef GRECA_TOPK_TA_H_
+#define GRECA_TOPK_TA_H_
+
+#include "topk/problem.h"
+#include "topk/result.h"
+
+namespace greca {
+
+TopKResult TaTopK(const GroupProblem& problem, std::size_t k);
+
+}  // namespace greca
+
+#endif  // GRECA_TOPK_TA_H_

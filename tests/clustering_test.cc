@@ -1,0 +1,112 @@
+// Tests for k-means user clustering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dataset/synthetic.h"
+#include "groups/user_clustering.h"
+
+namespace greca {
+namespace {
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  // Two tight blobs in 2D.
+  std::vector<double> data;
+  for (int i = 0; i < 10; ++i) {
+    data.push_back(0.0 + 0.01 * i);
+    data.push_back(0.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    data.push_back(10.0 + 0.01 * i);
+    data.push_back(10.0);
+  }
+  KMeansConfig config;
+  config.num_clusters = 2;
+  const KMeansResult result = KMeans(data, 20, 2, config);
+  ASSERT_EQ(result.assignment.size(), 20u);
+  // All of the first blob together, all of the second together, different.
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_EQ(result.assignment[static_cast<std::size_t>(i)],
+              result.assignment[0]);
+    EXPECT_EQ(result.assignment[static_cast<std::size_t>(10 + i)],
+              result.assignment[10]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[10]);
+  EXPECT_LT(result.inertia, 1.0);
+  EXPECT_GE(result.iterations, 1u);
+}
+
+TEST(KMeansTest, DeterministicInSeed) {
+  std::vector<double> data;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) data.push_back(rng.NextGaussian());
+  KMeansConfig config;
+  config.num_clusters = 3;
+  const KMeansResult a = KMeans(data, 20, 3, config);
+  const KMeansResult b = KMeans(data, 20, 3, config);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, SingleClusterIsCentroidOfAll) {
+  const std::vector<double> data{1.0, 3.0, 5.0, 7.0};
+  KMeansConfig config;
+  config.num_clusters = 1;
+  const KMeansResult result = KMeans(data, 4, 1, config);
+  EXPECT_NEAR(result.centroids[0], 4.0, 1e-9);
+  for (const std::size_t a : result.assignment) EXPECT_EQ(a, 0u);
+}
+
+TEST(KMeansTest, HandlesIdenticalPoints) {
+  const std::vector<double> data(30, 2.5);  // 15 identical 2-d points
+  KMeansConfig config;
+  config.num_clusters = 3;
+  const KMeansResult result = KMeans(data, 15, 2, config);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(RatingFeatureMatrixTest, MeanCentersAndZeroFillsMissing) {
+  std::vector<RatingRecord> records{
+      {0, 0, 5.0, 1}, {0, 1, 3.0, 2},  // user 0 mean = 4
+      {1, 0, 2.0, 3},                  // user 1 mean = 2
+  };
+  const auto ds = RatingsDataset::FromRecords(2, 3, std::move(records));
+  const std::vector<UserId> users{0, 1};
+  const std::vector<ItemId> features{0, 1, 2};
+  const auto matrix = RatingFeatureMatrix(ds, users, features);
+  ASSERT_EQ(matrix.size(), 6u);
+  EXPECT_DOUBLE_EQ(matrix[0], 1.0);   // 5 - 4
+  EXPECT_DOUBLE_EQ(matrix[1], -1.0);  // 3 - 4
+  EXPECT_DOUBLE_EQ(matrix[2], 0.0);   // unrated
+  EXPECT_DOUBLE_EQ(matrix[3], 0.0);   // 2 - 2
+  EXPECT_DOUBLE_EQ(matrix[4], 0.0);
+  EXPECT_DOUBLE_EQ(matrix[5], 0.0);
+}
+
+TEST(ClusterUsersByRatingsTest, PartitionsAllUsers) {
+  SyntheticRatingsConfig config;
+  config.num_users = 120;
+  config.num_items = 80;
+  config.target_ratings = 4'000;
+  config.seed = 29;
+  const SyntheticRatings synthetic = GenerateSyntheticRatings(config);
+
+  std::vector<UserId> users(60);
+  for (UserId u = 0; u < 60; ++u) users[u] = u;
+  KMeansConfig km;
+  km.num_clusters = 4;
+  const auto clusters =
+      ClusterUsersByRatings(synthetic.dataset, users, 40, km);
+  ASSERT_EQ(clusters.size(), 4u);
+  std::set<UserId> seen;
+  for (const auto& cluster : clusters) {
+    for (const UserId u : cluster) {
+      EXPECT_TRUE(seen.insert(u).second) << "user in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), 60u);
+}
+
+}  // namespace
+}  // namespace greca

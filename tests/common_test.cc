@@ -1,0 +1,257 @@
+// Unit tests for src/common: RNG, distributions, statistics, strings, status.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/types.h"
+
+namespace greca {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.NextU64() == b.NextU64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1'000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) seen.insert(rng.NextInt(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, GaussianMomentsReasonable) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(42);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (child_a.NextU64() == child_b.NextU64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfTest, PmfSumsToOneAndDecreases) {
+  const ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < 100; ++r) {
+    total += zipf.Pmf(r);
+    if (r > 0) {
+      EXPECT_LE(zipf.Pmf(r), zipf.Pmf(r - 1) + 1e-12);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeadIsHeavy) {
+  const ZipfSampler zipf(1'000, 1.0);
+  Rng rng(5);
+  std::size_t head = 0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) head += (zipf.Sample(rng) < 10);
+  // With s=1 the top-10 of 1000 ranks carry ~39% of the mass.
+  EXPECT_GT(static_cast<double>(head) / kSamples, 0.3);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  const ZipfSampler zipf(50, 0.0);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR(zipf.Pmf(r), 1.0 / 50.0, 1e-9);
+  }
+}
+
+TEST(LogNormalTest, RespectsClamp) {
+  LogNormalSampler sampler(2.0, 1.5, 5.0, 50.0);
+  Rng rng(3);
+  for (int i = 0; i < 5'000; ++i) {
+    const double x = sampler.Sample(rng);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LE(x, 50.0);
+  }
+}
+
+TEST(SampleDistinctTest, ProducesSortedDistinct) {
+  Rng rng(17);
+  const auto picks = SampleDistinct(rng, 100, 30);
+  ASSERT_EQ(picks.size(), 30u);
+  for (std::size_t i = 1; i < picks.size(); ++i) {
+    EXPECT_LT(picks[i - 1], picks[i]);
+  }
+  EXPECT_LT(picks.back(), 100u);
+}
+
+TEST(SampleDistinctTest, FullRangeWhenKEqualsN) {
+  Rng rng(19);
+  const auto picks = SampleDistinct(rng, 10, 10);
+  ASSERT_EQ(picks.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(picks[i], i);
+}
+
+TEST(OnlineStatsTest, MatchesBatchFormulas) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  OnlineStats acc;
+  for (const double x : xs) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), Mean(xs));
+  EXPECT_NEAR(acc.variance(), Variance(xs), 1e-12);
+  EXPECT_EQ(acc.min(), 1.0);
+  EXPECT_EQ(acc.max(), 16.0);
+}
+
+TEST(OnlineStatsTest, MergeEqualsSequential) {
+  Rng rng(23);
+  OnlineStats all, left, right;
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.NextGaussian();
+    all.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25.0);
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  const auto parts = Split("a::::b", "::");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  const auto parts = Split("abc", ",");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  x \r\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64(" -7 "), -7);
+  EXPECT_FALSE(ParseInt64("42x").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("4.2").has_value());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("5").value(), 5.0);
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+}
+
+TEST(StatusTest, OkAndErrorsFormat) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status err = Status::ParseError("bad line");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kParseError);
+  EXPECT_EQ(err.ToString(), "ParseError: bad line");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  const Result<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  const Result<int> bad(Status::NotFound("missing"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(UserPairTest, CanonicalizesOrder) {
+  const UserPair p(5, 2);
+  EXPECT_EQ(p.first, 2u);
+  EXPECT_EQ(p.second, 5u);
+  EXPECT_EQ(p, UserPair(2, 5));
+  EXPECT_EQ(NumUserPairs(6), 15u);
+  EXPECT_EQ(NumUserPairs(1), 0u);
+}
+
+TEST(TablePrinterTest, RendersAlignedTableAndCsv) {
+  TablePrinter table("Demo");
+  table.SetColumns({"name", "value"});
+  table.AddRow({"alpha", TablePrinter::Cell(1.5, 2)});
+  table.AddRow({"b", TablePrinter::Cell(std::size_t{42})});
+  std::ostringstream box;
+  table.Print(box);
+  EXPECT_NE(box.str().find("== Demo =="), std::string::npos);
+  EXPECT_NE(box.str().find("| alpha | 1.50  |"), std::string::npos);
+  std::ostringstream csv;
+  table.PrintCsv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1.50\nb,42\n");
+}
+
+TEST(TablePrinterTest, CsvQuotesSpecialCells) {
+  TablePrinter table("Q");
+  table.SetColumns({"a"});
+  table.AddRow({"x,y"});
+  std::ostringstream csv;
+  table.PrintCsv(csv);
+  EXPECT_EQ(csv.str(), "a\n\"x,y\"\n");
+}
+
+}  // namespace
+}  // namespace greca

@@ -1,0 +1,99 @@
+// Tests for group formation invariants (§4.1.3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "groups/group_formation.h"
+
+namespace greca {
+namespace {
+
+/// Synthetic pair scores: users 0..9; similarity high within {0..4} and
+/// within {5..9}, low across; affinity high within {0,2,4,6,8} (evens).
+class GroupFormerTest : public ::testing::Test {
+ protected:
+  GroupFormerTest()
+      : former_(
+            {0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+            [](UserId a, UserId b) {
+              const bool same_block = (a < 5) == (b < 5);
+              return same_block ? 0.9 : 0.1;
+            },
+            [](UserId a, UserId b) {
+              const bool both_even = (a % 2 == 0) && (b % 2 == 0);
+              return both_even ? 0.8 : 0.15;
+            }) {}
+
+  GroupFormer former_;
+};
+
+TEST_F(GroupFormerTest, SimilarBeatsDissimilarOnObjective) {
+  const Group similar = former_.FormSimilar(4);
+  const Group dissimilar = former_.FormDissimilar(4);
+  EXPECT_GT(former_.SumRatingSimilarity(similar),
+            former_.SumRatingSimilarity(dissimilar));
+  // A similar group of 4 must come from one block entirely.
+  const bool all_low = std::all_of(similar.begin(), similar.end(),
+                                   [](UserId u) { return u < 5; });
+  const bool all_high = std::all_of(similar.begin(), similar.end(),
+                                    [](UserId u) { return u >= 5; });
+  EXPECT_TRUE(all_low || all_high);
+}
+
+TEST_F(GroupFormerTest, HighAffinityPicksEvens) {
+  const Group high = former_.FormHighAffinity(4);
+  for (const UserId u : high) {
+    EXPECT_EQ(u % 2, 0u) << "non-even member " << u;
+  }
+  EXPECT_GE(former_.MinPairAffinity(high), 0.4);
+}
+
+TEST_F(GroupFormerTest, LowAffinityAvoidsStrongPairs) {
+  const Group low = former_.FormLowAffinity(4);
+  EXPECT_LT(former_.MaxPairAffinity(low), 0.4);
+  EXPECT_LT(former_.MinPairAffinity(low),
+            former_.MinPairAffinity(former_.FormHighAffinity(4)));
+}
+
+TEST_F(GroupFormerTest, GroupsAreSortedDistinctAndSized) {
+  for (const std::size_t size : {2u, 3u, 6u, 9u}) {
+    const Group g = former_.FormSimilar(size);
+    ASSERT_EQ(g.size(), size);
+    std::set<UserId> distinct(g.begin(), g.end());
+    EXPECT_EQ(distinct.size(), size);
+    EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+  }
+}
+
+TEST_F(GroupFormerTest, RandomGroupsDeterministicPerRng) {
+  Rng rng1(5), rng2(5);
+  const Group a = former_.FormRandom(4, rng1);
+  const Group b = former_.FormRandom(4, rng2);
+  EXPECT_EQ(a, b);
+  Rng rng3(6);
+  int diffs = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (former_.FormRandom(4, rng3) != a) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST_F(GroupFormerTest, RandomGroupsWithinEligible) {
+  Rng rng(7);
+  const Group g = former_.FormRandom(5, rng);
+  for (const UserId u : g) EXPECT_LT(u, 10u);
+}
+
+TEST_F(GroupFormerTest, HelperAggregatesMatchDefinitions) {
+  const Group g{0, 2, 5};
+  // Pairs: (0,2) same block even-even: sim .9 aff .8;
+  //        (0,5) cross: sim .1 aff .15; (2,5): sim .1 aff .15.
+  EXPECT_NEAR(former_.SumRatingSimilarity(g), 1.1, 1e-12);
+  EXPECT_NEAR(former_.MinPairAffinity(g), 0.15, 1e-12);
+  EXPECT_NEAR(former_.MaxPairAffinity(g), 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace greca

@@ -1,0 +1,224 @@
+// End-to-end integration tests: the full pipeline from synthetic data through
+// the GroupRecommender facade, cross-checking all three algorithms.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/group_recommender.h"
+#include "eval/experiments.h"
+
+namespace greca {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticRatingsConfig uc;
+    uc.num_users = 350;
+    uc.num_items = 450;
+    uc.target_ratings = 30'000;
+    uc.seed = 33;
+    universe_ = new SyntheticRatings(GenerateSyntheticRatings(uc));
+    FacebookStudyConfig sc;
+    sc.diversity_pool = 200;
+    study_ = new FacebookStudy(GenerateFacebookStudy(sc, *universe_));
+    RecommenderOptions options;
+    options.max_candidate_items = 400;
+    recommender_ = new GroupRecommender(*universe_, *study_, options);
+  }
+  static void TearDownTestSuite() {
+    delete recommender_;
+    delete study_;
+    delete universe_;
+    recommender_ = nullptr;
+    study_ = nullptr;
+    universe_ = nullptr;
+  }
+
+  static SyntheticRatings* universe_;
+  static FacebookStudy* study_;
+  static GroupRecommender* recommender_;
+};
+
+SyntheticRatings* IntegrationTest::universe_ = nullptr;
+FacebookStudy* IntegrationTest::study_ = nullptr;
+GroupRecommender* IntegrationTest::recommender_ = nullptr;
+
+QuerySpec BaseSpec(std::size_t items = 400) {
+  QuerySpec spec;
+  spec.k = 8;
+  spec.num_candidate_items = items;
+  return spec;
+}
+
+TEST_F(IntegrationTest, GrecaMatchesNaiveThroughFacade) {
+  const Group group{2, 7, 19, 30, 44, 61};
+  for (const auto model :
+       {AffinityModelSpec::Default(), AffinityModelSpec::Continuous(),
+        AffinityModelSpec::TimeAgnostic(),
+        AffinityModelSpec::AffinityAgnostic()}) {
+    QuerySpec spec = BaseSpec();
+    spec.model = model;
+    spec.algorithm = Algorithm::kGreca;
+    const Recommendation greca = recommender_->Recommend(group, spec);
+    spec.algorithm = Algorithm::kNaive;
+    const Recommendation naive = recommender_->Recommend(group, spec);
+    ASSERT_EQ(greca.items.size(), naive.items.size()) << model.Name();
+    const std::set<ItemId> gs(greca.items.begin(), greca.items.end());
+    const std::set<ItemId> ns(naive.items.begin(), naive.items.end());
+    EXPECT_EQ(gs, ns) << model.Name();
+  }
+}
+
+TEST_F(IntegrationTest, TaMatchesNaiveThroughFacade) {
+  const Group group{1, 5, 23};
+  QuerySpec spec = BaseSpec();
+  spec.algorithm = Algorithm::kTa;
+  const Recommendation ta = recommender_->Recommend(group, spec);
+  spec.algorithm = Algorithm::kNaive;
+  const Recommendation naive = recommender_->Recommend(group, spec);
+  const std::set<ItemId> ts(ta.items.begin(), ta.items.end());
+  const std::set<ItemId> ns(naive.items.begin(), naive.items.end());
+  EXPECT_EQ(ts, ns);
+}
+
+TEST_F(IntegrationTest, ExcludesItemsRatedByMembers) {
+  const Group group{0, 1};
+  const Recommendation rec = recommender_->Recommend(group, BaseSpec());
+  for (const ItemId item : rec.items) {
+    EXPECT_FALSE(study_->study_ratings.HasRating(0, item));
+    EXPECT_FALSE(study_->study_ratings.HasRating(1, item));
+  }
+}
+
+TEST_F(IntegrationTest, GrecaSavesAccesses) {
+  PerformanceHarness perf(*recommender_, 7);
+  QuerySpec spec = BaseSpec();
+  const auto groups = perf.RandomGroups(5, 6);
+  const auto m = perf.Measure(groups, spec);
+  // The headline claim: substantial saveup vs the naive full scan.
+  EXPECT_GT(m.mean_saveup_percent, 40.0);
+}
+
+TEST_F(IntegrationTest, EvalPeriodControlsPeriodListCount) {
+  const Group group{3, 9, 15};
+  QuerySpec spec = BaseSpec();
+  spec.eval_period = 0;
+  const GroupProblem p0 = recommender_->BuildProblem(group, spec);
+  EXPECT_EQ(p0.num_periods(), 1u);
+  spec.eval_period = QuerySpec::kLastPeriod;
+  const GroupProblem pl = recommender_->BuildProblem(group, spec);
+  EXPECT_EQ(pl.num_periods(), recommender_->num_periods());
+  // Time-agnostic problems carry no period lists.
+  spec.model = AffinityModelSpec::TimeAgnostic();
+  const GroupProblem pt = recommender_->BuildProblem(group, spec);
+  EXPECT_EQ(pt.num_periods(), 0u);
+}
+
+TEST_F(IntegrationTest, CandidatePoolSizeControlsProblemSize) {
+  const Group group{3, 9, 15};
+  QuerySpec spec = BaseSpec(100);
+  std::vector<ItemId> candidates;
+  const GroupProblem p = recommender_->BuildProblem(group, spec, &candidates);
+  EXPECT_LE(p.num_items(), 100u);
+  EXPECT_EQ(p.num_items(), candidates.size());
+  // Candidate keys map back to universe items.
+  for (const ItemId item : candidates) {
+    EXPECT_LT(item, universe_->dataset.num_items());
+  }
+}
+
+TEST_F(IntegrationTest, RecommendationsDifferAcrossModels) {
+  // Affinity must actually change outcomes for at least some groups.
+  PerformanceHarness perf(*recommender_, 11);
+  const auto groups = perf.RandomGroups(6, 5);
+  std::size_t differing = 0;
+  for (const Group& group : groups) {
+    QuerySpec spec = BaseSpec();
+    spec.algorithm = Algorithm::kNaive;
+    const auto with_affinity = recommender_->Recommend(group, spec).items;
+    spec.model = AffinityModelSpec::AffinityAgnostic();
+    const auto without = recommender_->Recommend(group, spec).items;
+    if (std::set<ItemId>(with_affinity.begin(), with_affinity.end()) !=
+        std::set<ItemId>(without.begin(), without.end())) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST_F(IntegrationTest, ModelAffinityInUnitInterval) {
+  for (UserId a = 0; a < 10; ++a) {
+    for (UserId b = a + 1; b < 10; ++b) {
+      for (const auto model :
+           {AffinityModelSpec::Default(), AffinityModelSpec::Continuous()}) {
+        const double aff = recommender_->ModelAffinity(
+            a, b, QuerySpec::kLastPeriod, model);
+        EXPECT_GE(aff, 0.0);
+        EXPECT_LE(aff, 1.0);
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, PredictionsCoverEveryItem) {
+  const auto preds = recommender_->Predictions(0);
+  EXPECT_EQ(preds.size(), universe_->dataset.num_items());
+}
+
+TEST_F(IntegrationTest, GrecaMatchesNaiveForEveryConsensusThroughFacade) {
+  const Group group{6, 14, 33, 50};
+  for (const auto consensus :
+       {ConsensusSpec::AveragePreference(), ConsensusSpec::LeastMisery(),
+        ConsensusSpec::PairwiseDisagreement(0.8),
+        ConsensusSpec::PairwiseDisagreement(0.2),
+        ConsensusSpec::VarianceDisagreement(0.8)}) {
+    QuerySpec spec = BaseSpec();
+    spec.consensus = consensus;
+    spec.algorithm = Algorithm::kGreca;
+    const Recommendation greca = recommender_->Recommend(group, spec);
+    spec.algorithm = Algorithm::kNaive;
+    const Recommendation naive = recommender_->Recommend(group, spec);
+    const std::set<ItemId> gs(greca.items.begin(), greca.items.end());
+    const std::set<ItemId> ns(naive.items.begin(), naive.items.end());
+    EXPECT_EQ(gs, ns) << consensus.Name();
+  }
+}
+
+TEST_F(IntegrationTest, PairwiseConsensusCarriesAgreementList) {
+  const Group group{2, 8, 21};
+  QuerySpec spec = BaseSpec();
+  spec.consensus = ConsensusSpec::PairwiseDisagreement(0.5);
+  const GroupProblem problem = recommender_->BuildProblem(group, spec);
+  // The facade pre-aggregates the pair components into one list.
+  ASSERT_EQ(problem.agreement_lists().size(), 1u);
+  EXPECT_EQ(problem.agreement_lists()[0].size(), problem.num_items());
+  // Total entries include it (the %SA denominator is honest).
+  EXPECT_EQ(problem.TotalEntries(),
+            problem.num_items() * (group.size() + 1) +
+                problem.num_pairs() * (1 + problem.num_periods()));
+}
+
+TEST_F(IntegrationTest, EvalPeriodZeroAndOutOfRangeClamp) {
+  EXPECT_EQ(recommender_->ResolvePeriod(0), 0u);
+  EXPECT_EQ(recommender_->ResolvePeriod(QuerySpec::kLastPeriod),
+            recommender_->num_periods() - 1);
+  EXPECT_EQ(recommender_->ResolvePeriod(10'000),
+            recommender_->num_periods() - 1);
+}
+
+TEST_F(IntegrationTest, ThresholdOnlyFacadePathStillCorrect) {
+  const Group group{5, 12, 28};
+  QuerySpec spec = BaseSpec();
+  spec.termination = TerminationPolicy::kThresholdOnly;
+  const Recommendation slow = recommender_->Recommend(group, spec);
+  spec.termination = TerminationPolicy::kBufferCondition;
+  const Recommendation fast = recommender_->Recommend(group, spec);
+  const std::set<ItemId> ss(slow.items.begin(), slow.items.end());
+  const std::set<ItemId> fs(fast.items.begin(), fast.items.end());
+  EXPECT_EQ(ss, fs);
+  EXPECT_LE(fast.raw.accesses.sequential, slow.raw.accesses.sequential);
+}
+
+}  // namespace
+}  // namespace greca

@@ -1,0 +1,97 @@
+// Tests for item-based collaborative filtering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cf/item_knn.h"
+#include "dataset/synthetic.h"
+
+namespace greca {
+namespace {
+
+class ItemKnnTest : public ::testing::Test {
+ protected:
+  ItemKnnTest() {
+    SyntheticRatingsConfig config;
+    config.num_users = 200;
+    config.num_items = 120;
+    config.target_ratings = 8'000;
+    config.min_ratings_per_user = 15;
+    config.seed = 15;
+    synthetic_ = GenerateSyntheticRatings(config);
+  }
+  SyntheticRatings synthetic_;
+};
+
+TEST_F(ItemKnnTest, NeighborsSortedAndSymmetricallyStored) {
+  const ItemKnn model(synthetic_.dataset, {});
+  std::size_t total = 0;
+  for (ItemId i = 0; i < model.num_items(); ++i) {
+    const auto neighbors = model.Neighbors(i);
+    total += neighbors.size();
+    for (std::size_t n = 1; n < neighbors.size(); ++n) {
+      EXPECT_GE(neighbors[n - 1].score, neighbors[n].score);
+    }
+    for (const auto& nb : neighbors) {
+      EXPECT_NE(nb.id, i);  // no self-neighbors
+      EXPECT_GE(nb.score, 0.05);
+    }
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST_F(ItemKnnTest, PredictionsOnRatingScale) {
+  const ItemKnn model(synthetic_.dataset, {});
+  const auto profile = synthetic_.dataset.RatingsOfUser(0);
+  const auto preds = model.PredictAll(profile);
+  ASSERT_EQ(preds.size(), synthetic_.dataset.num_items());
+  for (const double p : preds) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 6.0);
+  }
+}
+
+TEST_F(ItemKnnTest, EmptyProfilePredictsItemMeans) {
+  const ItemKnn model(synthetic_.dataset, {});
+  const ItemId top = synthetic_.dataset.TopPopularItems(1)[0];
+  EXPECT_NEAR(model.Predict({}, top),
+              synthetic_.dataset.ItemMeanRating(top, 3.5), 1e-9);
+}
+
+TEST_F(ItemKnnTest, ReconstructsHeldRatingsBetterThanMeans) {
+  const ItemKnn model(synthetic_.dataset, {});
+  double model_err = 0.0, mean_err = 0.0;
+  std::size_t count = 0;
+  for (UserId u = 0; u < 40; ++u) {
+    const auto profile = synthetic_.dataset.RatingsOfUser(u);
+    for (const auto& e : profile) {
+      model_err += std::abs(model.Predict(profile, e.item) - e.rating);
+      mean_err += std::abs(
+          synthetic_.dataset.ItemMeanRating(e.item, 3.5) - e.rating);
+      ++count;
+    }
+  }
+  EXPECT_LT(model_err / static_cast<double>(count),
+            mean_err / static_cast<double>(count));
+}
+
+TEST_F(ItemKnnTest, MinOverlapFiltersSparsePairs) {
+  ItemKnnConfig strict;
+  strict.min_overlap = 1'000;  // impossible at this scale
+  const ItemKnn model(synthetic_.dataset, strict);
+  for (ItemId i = 0; i < model.num_items(); ++i) {
+    EXPECT_TRUE(model.Neighbors(i).empty());
+  }
+}
+
+TEST_F(ItemKnnTest, NeighborCountRespectsConfig) {
+  ItemKnnConfig narrow;
+  narrow.num_neighbors = 3;
+  const ItemKnn model(synthetic_.dataset, narrow);
+  for (ItemId i = 0; i < model.num_items(); ++i) {
+    EXPECT_LE(model.Neighbors(i).size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace greca

@@ -1,0 +1,132 @@
+// Unit tests for the MovieLens file parsers (ml-1m, ml-100k, csv formats).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dataset/movielens.h"
+
+namespace greca {
+namespace {
+
+TEST(MovieLensParserTest, ParsesMl1mFormat) {
+  std::istringstream in(
+      "1::1193::5::978300760\n"
+      "1::661::3::978302109\n"
+      "2::1193::4::978298413\n");
+  MovieLensParseOptions opts;
+  opts.format = MovieLensFormat::kMl1m;
+  const auto result = ParseRatings(in, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MovieLensData& data = result.value();
+  EXPECT_EQ(data.ratings.num_users(), 2u);
+  EXPECT_EQ(data.ratings.num_items(), 2u);
+  EXPECT_EQ(data.ratings.num_ratings(), 3u);
+  // External ids preserved through the mapping.
+  EXPECT_EQ(data.user_external_ids[0], 1);
+  EXPECT_EQ(data.item_external_ids[0], 1193);
+  const UserId u2 = data.user_id_map.at(2);
+  const ItemId m1193 = data.item_id_map.at(1193);
+  EXPECT_DOUBLE_EQ(data.ratings.GetRating(u2, m1193).value(), 4.0);
+}
+
+TEST(MovieLensParserTest, ParsesMl100kTabFormat) {
+  std::istringstream in("196\t242\t3\t881250949\n186\t302\t3\t891717742\n");
+  MovieLensParseOptions opts;
+  opts.format = MovieLensFormat::kMl100k;
+  const auto result = ParseRatings(in, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().ratings.num_ratings(), 2u);
+}
+
+TEST(MovieLensParserTest, ParsesCsvWithHeader) {
+  std::istringstream in(
+      "userId,movieId,rating,timestamp\n"
+      "1,296,5.0,1147880044\n"
+      "1,306,3.5,1147868817\n");
+  MovieLensParseOptions opts;
+  opts.format = MovieLensFormat::kCsv;
+  const auto result = ParseRatings(in, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().ratings.num_ratings(), 2u);
+  EXPECT_EQ(result.value().skipped_lines, 0u);
+}
+
+TEST(MovieLensParserTest, StrictModeFailsOnMalformedLine) {
+  std::istringstream in("1::2::5::100\nbroken line\n");
+  MovieLensParseOptions opts;
+  opts.strict = true;
+  const auto result = ParseRatings(in, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(MovieLensParserTest, LenientModeSkipsAndCounts) {
+  std::istringstream in(
+      "1::2::5::100\n"
+      "garbage\n"
+      "1::3::9::100\n"  // rating out of range
+      "2::2::4::100\n");
+  MovieLensParseOptions opts;
+  opts.strict = false;
+  const auto result = ParseRatings(in, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().ratings.num_ratings(), 2u);
+  EXPECT_EQ(result.value().skipped_lines, 2u);
+}
+
+TEST(MovieLensParserTest, RejectsOutOfRangeRatingStrict) {
+  std::istringstream in("1::2::6::100\n");
+  const auto result = ParseRatings(in, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(MovieLensParserTest, EmptyInputIsError) {
+  std::istringstream in("\n\n");
+  const auto result = ParseRatings(in, {});
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(MovieLensParserTest, MissingFileIsIoError) {
+  const auto result =
+      ParseRatingsFile("/nonexistent/path/ratings.dat", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(MovieLensParserTest, RoundTripThroughMl1mWriter) {
+  std::istringstream in("1::10::5::7\n1::11::3::8\n2::10::1::9\n");
+  const auto parsed = ParseRatings(in, {});
+  ASSERT_TRUE(parsed.ok());
+  std::ostringstream out;
+  WriteRatingsMl1m(parsed.value().ratings, out);
+  std::istringstream in2(out.str());
+  const auto reparsed = ParseRatings(in2, {});
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().ratings.num_ratings(), 3u);
+  EXPECT_EQ(reparsed.value().ratings.num_users(), 2u);
+}
+
+TEST(MovieLensParserTest, ParsesMoviesMetadata) {
+  std::istringstream in(
+      "1::Toy Story (1995)::Animation|Children's|Comedy\n"
+      "2::Jumanji (1995)::Adventure|Children's|Fantasy\n");
+  const auto result = ParseMovies(in, MovieLensFormat::kMl1m);
+  ASSERT_TRUE(result.ok());
+  const auto& movies = result.value();
+  ASSERT_EQ(movies.size(), 2u);
+  EXPECT_EQ(movies[0].external_id, 1);
+  EXPECT_EQ(movies[0].title, "Toy Story (1995)");
+  ASSERT_EQ(movies[0].genres.size(), 3u);
+  EXPECT_EQ(movies[0].genres[1], "Children's");
+}
+
+TEST(MovieLensParserTest, MoviesStrictFailsOnShortLine) {
+  std::istringstream in("1::Toy Story (1995)\n");
+  const auto result = ParseMovies(in, MovieLensFormat::kMl1m, true);
+  ASSERT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace greca

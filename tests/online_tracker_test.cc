@@ -1,0 +1,102 @@
+// Tests for streaming affinity maintenance: the online tracker must agree
+// exactly with batch construction, period by period.
+#include <gtest/gtest.h>
+
+#include "affinity/online_tracker.h"
+#include "dataset/page_likes.h"
+#include "timeline/period.h"
+
+namespace greca {
+namespace {
+
+class OnlineTrackerTest : public ::testing::Test {
+ protected:
+  OnlineTrackerTest() {
+    PageLikeGenConfig config;
+    config.num_users = 24;
+    config.seed = 77;
+    timeline_ = Timeline::FixedWindows(0, 6 * 61 * kSecondsPerDay,
+                                       61 * kSecondsPerDay);
+    likes_ = GeneratePageLikes(config, timeline_).log;
+  }
+  Timeline timeline_ = Timeline::FixedWindows(0, 1, 1);
+  PageLikeLog likes_;
+};
+
+TEST_F(OnlineTrackerTest, StreamingEqualsBatchPeriodByPeriod) {
+  const PeriodicAffinity batch = PeriodicAffinity::Compute(likes_, timeline_);
+  OnlineAffinityTracker tracker(likes_.num_users());
+  for (PeriodId p = 0; p < timeline_.num_periods(); ++p) {
+    tracker.ObservePeriod(likes_, timeline_.period(p));
+    ASSERT_EQ(tracker.num_periods(), p + 1u);
+    for (UserId u = 0; u < likes_.num_users(); ++u) {
+      for (UserId v = u + 1; v < likes_.num_users(); ++v) {
+        EXPECT_DOUBLE_EQ(tracker.periodic().Raw(u, v, p), batch.Raw(u, v, p));
+        EXPECT_DOUBLE_EQ(tracker.periodic().Normalized(u, v, p),
+                         batch.Normalized(u, v, p));
+      }
+    }
+    EXPECT_DOUBLE_EQ(tracker.periodic().PopulationAverageRaw(p),
+                     batch.PopulationAverageRaw(p));
+  }
+}
+
+TEST_F(OnlineTrackerTest, DriftIndexFollowsTheStream) {
+  const PeriodicAffinity batch = PeriodicAffinity::Compute(likes_, timeline_);
+  const DynamicAffinityIndex batch_drift = DynamicAffinityIndex::Build(batch);
+  OnlineAffinityTracker tracker(likes_.num_users());
+  for (PeriodId p = 0; p < timeline_.num_periods(); ++p) {
+    tracker.ObservePeriod(likes_, timeline_.period(p));
+  }
+  ASSERT_EQ(tracker.drift().num_periods(), timeline_.num_periods());
+  for (UserId u = 0; u < likes_.num_users(); ++u) {
+    for (UserId v = u + 1; v < likes_.num_users(); ++v) {
+      for (PeriodId p = 0; p < timeline_.num_periods(); ++p) {
+        EXPECT_NEAR(tracker.drift().CumulativeDrift(u, v, p),
+                    batch_drift.CumulativeDrift(u, v, p), 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(OnlineTrackerTest, EarlierPeriodsAreImmutable) {
+  OnlineAffinityTracker tracker(likes_.num_users());
+  tracker.ObservePeriod(likes_, timeline_.period(0));
+  const double before = tracker.periodic().Raw(0, 1, 0);
+  const double drift_before = tracker.drift().CumulativeDrift(0, 1, 0);
+  tracker.ObservePeriod(likes_, timeline_.period(1));
+  tracker.ObservePeriod(likes_, timeline_.period(2));
+  EXPECT_DOUBLE_EQ(tracker.periodic().Raw(0, 1, 0), before);
+  EXPECT_DOUBLE_EQ(tracker.drift().CumulativeDrift(0, 1, 0), drift_before);
+}
+
+TEST_F(OnlineTrackerTest, CurrentAffinityMatchesCombiner) {
+  OnlineAffinityTracker tracker(likes_.num_users());
+  for (PeriodId p = 0; p < timeline_.num_periods(); ++p) {
+    tracker.ObservePeriod(likes_, timeline_.period(p));
+  }
+  // Recompute by hand through the combiner.
+  std::vector<double> averages, aff_p;
+  for (PeriodId p = 0; p < tracker.num_periods(); ++p) {
+    averages.push_back(tracker.periodic().PopulationAverageNormalized(p));
+    aff_p.push_back(tracker.periodic().Normalized(2, 5, p));
+  }
+  const AffinityCombiner combiner(AffinityModelSpec::Default(), averages);
+  EXPECT_NEAR(tracker.CurrentAffinity(2, 5, AffinityModelSpec::Default(), 0.4),
+              combiner.Combine(0.4, aff_p), 1e-12);
+  // Affinity-agnostic spec always yields zero.
+  EXPECT_DOUBLE_EQ(
+      tracker.CurrentAffinity(2, 5, AffinityModelSpec::AffinityAgnostic(),
+                              0.4),
+      0.0);
+}
+
+TEST_F(OnlineTrackerTest, EmptyTrackerFallsBackToStatic) {
+  OnlineAffinityTracker tracker(4);
+  EXPECT_EQ(tracker.num_periods(), 0u);
+  EXPECT_DOUBLE_EQ(
+      tracker.CurrentAffinity(0, 1, AffinityModelSpec::Default(), 0.7), 0.7);
+}
+
+}  // namespace
+}  // namespace greca

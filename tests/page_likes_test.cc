@@ -1,0 +1,143 @@
+// Tests for the page-like log and its drifting-interest generator.
+#include <gtest/gtest.h>
+
+#include "dataset/page_likes.h"
+#include "timeline/period.h"
+
+namespace greca {
+namespace {
+
+PageLikeLog SmallLog() {
+  std::vector<PageLikeEvent> events{
+      {0, 5, 10}, {0, 7, 20}, {0, 5, 30},   // user 0
+      {1, 5, 15}, {1, 9, 120},              // user 1
+  };
+  return PageLikeLog::FromEvents(3, 10, std::move(events));
+}
+
+TEST(PageLikeLogTest, EventsGroupedAndTimeSorted) {
+  const PageLikeLog log = SmallLog();
+  EXPECT_EQ(log.num_users(), 3u);
+  EXPECT_EQ(log.num_categories(), 10u);
+  EXPECT_EQ(log.num_events(), 5u);
+  const auto u0 = log.LikesOfUser(0);
+  ASSERT_EQ(u0.size(), 3u);
+  EXPECT_LE(u0[0].timestamp, u0[1].timestamp);
+  EXPECT_LE(u0[1].timestamp, u0[2].timestamp);
+  EXPECT_TRUE(log.LikesOfUser(2).empty());
+}
+
+TEST(PageLikeLogTest, CategoriesInPeriodDedupes) {
+  const PageLikeLog log = SmallLog();
+  // Period [0, 100): user 0 liked categories {5, 7} (5 twice).
+  const auto cats = log.CategoriesInPeriod(0, Period{0, 100});
+  ASSERT_EQ(cats.size(), 2u);
+  EXPECT_EQ(cats[0], 5u);
+  EXPECT_EQ(cats[1], 7u);
+}
+
+TEST(PageLikeLogTest, PeriodBoundariesClosedOpen) {
+  const PageLikeLog log = SmallLog();
+  EXPECT_EQ(log.EventCountInPeriod(1, Period{15, 120}), 1u);   // ts=15 in, 120 out
+  EXPECT_EQ(log.EventCountInPeriod(1, Period{15, 121}), 2u);
+  EXPECT_EQ(log.EventCountInPeriod(0, Period{50, 100}), 0u);
+}
+
+TEST(PageLikeGroundTruthTest, AffinityIsCosineOfMixtures) {
+  PageLikeGroundTruth truth(2, 2, 1);
+  truth.Weight(0, 0, 0) = 1.0;
+  truth.Weight(0, 1, 0) = 0.0;
+  truth.Weight(1, 0, 0) = 1.0;
+  truth.Weight(1, 1, 0) = 0.0;
+  EXPECT_NEAR(truth.TrueAffinity(0, 1, 0), 1.0, 1e-12);
+  truth.Weight(1, 0, 0) = 0.0;
+  truth.Weight(1, 1, 0) = 1.0;
+  EXPECT_NEAR(truth.TrueAffinity(0, 1, 0), 0.0, 1e-12);
+}
+
+class PageLikeGeneratorTest : public ::testing::Test {
+ protected:
+  static constexpr Timestamp kYear = 365 * kSecondsPerDay;
+  Timeline timeline_ =
+      Timeline::WithGranularity(0, kYear, Granularity::kTwoMonth);
+};
+
+TEST_F(PageLikeGeneratorTest, DeterministicInSeed) {
+  PageLikeGenConfig config;
+  config.num_users = 20;
+  const GeneratedPageLikes a = GeneratePageLikes(config, timeline_);
+  const GeneratedPageLikes b = GeneratePageLikes(config, timeline_);
+  EXPECT_EQ(a.log.num_events(), b.log.num_events());
+}
+
+TEST_F(PageLikeGeneratorTest, EventsRespectTimelineAndCategoryBounds) {
+  PageLikeGenConfig config;
+  config.num_users = 30;
+  const GeneratedPageLikes out = GeneratePageLikes(config, timeline_);
+  for (UserId u = 0; u < 30; ++u) {
+    for (const auto& e : out.log.LikesOfUser(u)) {
+      EXPECT_GE(e.timestamp, timeline_.start());
+      EXPECT_LT(e.timestamp, timeline_.end());
+      EXPECT_LT(e.category, config.num_categories);
+    }
+  }
+  EXPECT_EQ(out.truth.num_periods(), timeline_.num_periods());
+}
+
+TEST_F(PageLikeGeneratorTest, MixturesNormalizedEveryPeriod) {
+  PageLikeGenConfig config;
+  config.num_users = 10;
+  const GeneratedPageLikes out = GeneratePageLikes(config, timeline_);
+  for (PeriodId p = 0; p < out.truth.num_periods(); ++p) {
+    for (UserId u = 0; u < 10; ++u) {
+      double total = 0.0;
+      for (std::size_t c = 0; c < out.truth.num_communities(); ++c) {
+        const double w = out.truth.Weight(u, c, p);
+        EXPECT_GE(w, 0.0);
+        total += w;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(PageLikeGeneratorTest, AffinitiesDriftOverTime) {
+  PageLikeGenConfig config;
+  config.num_users = 40;
+  config.drift_rate = 0.35;
+  const GeneratedPageLikes out = GeneratePageLikes(config, timeline_);
+  const auto last = static_cast<PeriodId>(out.truth.num_periods() - 1);
+  double moved = 0.0;
+  std::size_t pairs = 0;
+  for (UserId u = 0; u < 40; ++u) {
+    for (UserId v = u + 1; v < 40; ++v) {
+      moved += std::abs(out.truth.TrueAffinity(u, v, last) -
+                        out.truth.TrueAffinity(u, v, 0));
+      ++pairs;
+    }
+  }
+  // Interest drift must actually change pair affinities on average.
+  EXPECT_GT(moved / static_cast<double>(pairs), 0.01);
+}
+
+TEST_F(PageLikeGeneratorTest, LikingIsInfrequent) {
+  // Figure 4's premise: many periods hold no events for a user.
+  PageLikeGenConfig config;
+  config.num_users = 60;
+  const GeneratedPageLikes out = GeneratePageLikes(config, timeline_);
+  const Timeline weekly = Timeline::WithGranularity(
+      0, kYear, Granularity::kWeek);
+  std::size_t nonempty = 0, cells = 0;
+  for (UserId u = 0; u < 60; ++u) {
+    for (const Period& p : weekly.periods()) {
+      nonempty += out.log.EventCountInPeriod(u, p) > 0;
+      ++cells;
+    }
+  }
+  const double share = static_cast<double>(nonempty) / static_cast<double>(cells);
+  EXPECT_LT(share, 0.6);
+  EXPECT_GT(share, 0.02);
+}
+
+}  // namespace
+}  // namespace greca

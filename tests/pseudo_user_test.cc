@@ -1,0 +1,105 @@
+// Tests for the pseudo-user group recommendation baseline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pseudo_user.h"
+#include "groups/group_formation.h"
+#include "dataset/synthetic.h"
+
+namespace greca {
+namespace {
+
+RatingsDataset MemberRatings() {
+  // Two members: overlap on item 1 (ratings 2 and 4 -> pseudo 3).
+  std::vector<RatingRecord> records{
+      {0, 0, 5.0, 10},
+      {0, 1, 2.0, 20},
+      {1, 1, 4.0, 30},
+      {1, 2, 1.0, 40},
+  };
+  return RatingsDataset::FromRecords(2, 5, std::move(records));
+}
+
+TEST(MergeGroupProfileTest, AveragesOverlapsAndSortsByItem) {
+  const RatingsDataset ratings = MemberRatings();
+  const Group group{0, 1};
+  const auto profile = MergeGroupProfile(ratings, group);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0].item, 0u);
+  EXPECT_DOUBLE_EQ(profile[0].rating, 5.0);
+  EXPECT_EQ(profile[1].item, 1u);
+  EXPECT_DOUBLE_EQ(profile[1].rating, 3.0);  // (2+4)/2
+  EXPECT_EQ(profile[1].timestamp, 30);       // latest
+  EXPECT_EQ(profile[2].item, 2u);
+  EXPECT_DOUBLE_EQ(profile[2].rating, 1.0);
+}
+
+TEST(MergeGroupProfileTest, SingletonGroupIsIdentity) {
+  const RatingsDataset ratings = MemberRatings();
+  const Group solo{0};
+  const auto profile = MergeGroupProfile(ratings, solo);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile[0].rating, 5.0);
+  EXPECT_DOUBLE_EQ(profile[1].rating, 2.0);
+}
+
+class PseudoUserRecommendTest : public ::testing::Test {
+ protected:
+  PseudoUserRecommendTest() {
+    SyntheticRatingsConfig config;
+    config.num_users = 250;
+    config.num_items = 150;
+    config.target_ratings = 10'000;
+    config.seed = 23;
+    synthetic_ = GenerateSyntheticRatings(config);
+  }
+  SyntheticRatings synthetic_;
+};
+
+TEST_F(PseudoUserRecommendTest, ExcludesRatedItemsAndRanksDescending) {
+  const UserKnn knn(synthetic_.dataset, {});
+  // Use two dataset users' own histories as the "member ratings".
+  std::vector<RatingRecord> records;
+  for (const UserId u : {UserId{3}, UserId{9}}) {
+    const UserId dense = u == 3 ? 0u : 1u;
+    for (const auto& e : synthetic_.dataset.RatingsOfUser(u)) {
+      records.push_back({dense, e.item, e.rating, e.timestamp});
+    }
+  }
+  const auto members = RatingsDataset::FromRecords(
+      2, synthetic_.dataset.num_items(), std::move(records));
+
+  std::vector<ItemId> candidates(synthetic_.dataset.num_items());
+  for (ItemId i = 0; i < candidates.size(); ++i) candidates[i] = i;
+
+  const Group group{0, 1};
+  const auto recs = RecommendPseudoUser(knn, members, group, candidates, 10);
+  ASSERT_EQ(recs.size(), 10u);
+  std::set<ItemId> result_items;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    result_items.insert(recs[i].id);
+    EXPECT_FALSE(members.HasRating(0, recs[i].id));
+    EXPECT_FALSE(members.HasRating(1, recs[i].id));
+    if (i > 0) {
+      EXPECT_GE(recs[i - 1].score, recs[i].score);
+    }
+  }
+  EXPECT_EQ(result_items.size(), 10u);
+}
+
+TEST_F(PseudoUserRecommendTest, RespectsCandidatePool) {
+  const UserKnn knn(synthetic_.dataset, {});
+  const RatingsDataset members =
+      RatingsDataset::FromRecords(1, synthetic_.dataset.num_items(), {});
+  const std::vector<ItemId> candidates{5, 6, 7};
+  const Group group{0};
+  const auto recs = RecommendPseudoUser(knn, members, group, candidates, 10);
+  ASSERT_EQ(recs.size(), 3u);
+  for (const auto& r : recs) {
+    EXPECT_TRUE(r.id == 5 || r.id == 6 || r.id == 7);
+  }
+}
+
+}  // namespace
+}  // namespace greca

@@ -1,0 +1,116 @@
+// Unit tests for dataset/ratings: CSR construction, lookups, stats, item sets.
+#include <gtest/gtest.h>
+
+#include "dataset/ratings.h"
+
+namespace greca {
+namespace {
+
+RatingsDataset SmallDataset() {
+  // 3 users, 4 items.
+  std::vector<RatingRecord> records{
+      {0, 0, 5.0, 10}, {0, 1, 3.0, 11}, {0, 2, 1.0, 12},
+      {1, 0, 4.0, 20}, {1, 2, 2.0, 21},
+      {2, 0, 5.0, 30}, {2, 3, 4.0, 31},
+  };
+  return RatingsDataset::FromRecords(3, 4, std::move(records));
+}
+
+TEST(RatingsDatasetTest, BasicCounts) {
+  const RatingsDataset ds = SmallDataset();
+  EXPECT_EQ(ds.num_users(), 3u);
+  EXPECT_EQ(ds.num_items(), 4u);
+  EXPECT_EQ(ds.num_ratings(), 7u);
+}
+
+TEST(RatingsDatasetTest, UserViewSortedByItem) {
+  const RatingsDataset ds = SmallDataset();
+  const auto r0 = ds.RatingsOfUser(0);
+  ASSERT_EQ(r0.size(), 3u);
+  EXPECT_EQ(r0[0].item, 0u);
+  EXPECT_EQ(r0[1].item, 1u);
+  EXPECT_EQ(r0[2].item, 2u);
+  EXPECT_DOUBLE_EQ(r0[0].rating, 5.0);
+}
+
+TEST(RatingsDatasetTest, ItemViewSortedByUser) {
+  const RatingsDataset ds = SmallDataset();
+  const auto i0 = ds.RatingsOfItem(0);
+  ASSERT_EQ(i0.size(), 3u);
+  EXPECT_EQ(i0[0].user, 0u);
+  EXPECT_EQ(i0[1].user, 1u);
+  EXPECT_EQ(i0[2].user, 2u);
+  EXPECT_TRUE(ds.RatingsOfItem(3).size() == 1);
+}
+
+TEST(RatingsDatasetTest, GetRating) {
+  const RatingsDataset ds = SmallDataset();
+  EXPECT_DOUBLE_EQ(ds.GetRating(1, 2).value(), 2.0);
+  EXPECT_FALSE(ds.GetRating(1, 3).has_value());
+  EXPECT_TRUE(ds.HasRating(2, 3));
+}
+
+TEST(RatingsDatasetTest, DuplicateKeepsLatestTimestamp) {
+  std::vector<RatingRecord> records{
+      {0, 0, 2.0, 100},
+      {0, 0, 5.0, 50},  // earlier; must lose
+  };
+  const auto ds = RatingsDataset::FromRecords(1, 1, std::move(records));
+  EXPECT_EQ(ds.num_ratings(), 1u);
+  EXPECT_DOUBLE_EQ(ds.GetRating(0, 0).value(), 2.0);
+}
+
+TEST(RatingsDatasetTest, StatsTable5Shape) {
+  const RatingsDataset ds = SmallDataset();
+  const DatasetStats stats = ds.Stats();
+  EXPECT_EQ(stats.num_users, 3u);
+  EXPECT_EQ(stats.num_items, 4u);
+  EXPECT_EQ(stats.num_ratings, 7u);
+  EXPECT_NEAR(stats.mean_rating, 24.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min_rating, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_rating, 5.0);
+  EXPECT_NEAR(stats.density, 7.0 / 12.0, 1e-12);
+}
+
+TEST(RatingsDatasetTest, TopPopularOrdersByCount) {
+  const RatingsDataset ds = SmallDataset();
+  const auto top = ds.TopPopularItems(4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0], 0u);  // 3 ratings
+  EXPECT_EQ(top[1], 2u);  // 2 ratings
+  // items 1 and 3 have 1 rating each; ties by ascending id.
+  EXPECT_EQ(top[2], 1u);
+  EXPECT_EQ(top[3], 3u);
+  EXPECT_EQ(ds.TopPopularItems(2).size(), 2u);
+}
+
+TEST(RatingsDatasetTest, HighVarianceItems) {
+  // Item 0 ratings {5,4,5} low variance; item 2 ratings {1,2} higher.
+  const RatingsDataset ds = SmallDataset();
+  const auto diverse = ds.HighVarianceItems(1, 2);
+  ASSERT_EQ(diverse.size(), 1u);
+  EXPECT_EQ(diverse[0], 2u);
+}
+
+TEST(RatingsDatasetTest, MeanHelpers) {
+  const RatingsDataset ds = SmallDataset();
+  EXPECT_NEAR(ds.ItemMeanRating(0, 0.0), 14.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ds.UserMeanRating(1, 0.0), 3.0);
+  // Empty fallbacks.
+  std::vector<RatingRecord> none;
+  const auto empty = RatingsDataset::FromRecords(1, 1, std::move(none));
+  EXPECT_DOUBLE_EQ(empty.ItemMeanRating(0, 3.3), 3.3);
+  EXPECT_DOUBLE_EQ(empty.UserMeanRating(0, 2.2), 2.2);
+}
+
+TEST(RatingsDatasetTest, EmptyDataset) {
+  std::vector<RatingRecord> none;
+  const auto ds = RatingsDataset::FromRecords(2, 2, std::move(none));
+  EXPECT_EQ(ds.num_ratings(), 0u);
+  EXPECT_TRUE(ds.RatingsOfUser(0).empty());
+  EXPECT_TRUE(ds.RatingsOfItem(1).empty());
+  EXPECT_DOUBLE_EQ(ds.Stats().density, 0.0);
+}
+
+}  // namespace
+}  // namespace greca

@@ -1,0 +1,95 @@
+// Tests for the friendship graph and its generators.
+#include <gtest/gtest.h>
+
+#include "dataset/social_graph.h"
+
+namespace greca {
+namespace {
+
+TEST(SocialGraphTest, FromEdgesDedupesAndDropsSelfLoops) {
+  const SocialGraph g = SocialGraph::FromEdges(
+      4, {{0, 1}, {1, 0}, {2, 2}, {1, 2}, {0, 1}});
+  EXPECT_EQ(g.num_users(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.AreFriends(0, 1));
+  EXPECT_TRUE(g.AreFriends(2, 1));
+  EXPECT_FALSE(g.AreFriends(0, 2));
+  EXPECT_FALSE(g.AreFriends(2, 2));
+  EXPECT_TRUE(g.FriendsOf(3).empty());
+}
+
+TEST(SocialGraphTest, AdjacencySorted) {
+  const SocialGraph g =
+      SocialGraph::FromEdges(5, {{3, 0}, {3, 4}, {3, 1}, {3, 2}});
+  const auto friends = g.FriendsOf(3);
+  ASSERT_EQ(friends.size(), 4u);
+  for (std::size_t i = 1; i < friends.size(); ++i) {
+    EXPECT_LT(friends[i - 1], friends[i]);
+  }
+}
+
+TEST(SocialGraphTest, CommonFriendsCountsTriangles) {
+  // 0 and 1 share friends {2, 3}; 0 and 4 share none.
+  const SocialGraph g = SocialGraph::FromEdges(
+      5, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {0, 4}});
+  EXPECT_EQ(g.CommonFriends(0, 1), 2u);
+  EXPECT_EQ(g.CommonFriends(1, 0), 2u);  // symmetric
+  EXPECT_EQ(g.CommonFriends(0, 4), 0u);
+  EXPECT_EQ(g.CommonFriends(2, 3), 2u);  // both know 0 and 1
+}
+
+TEST(SocialGraphTest, AverageDegree) {
+  const SocialGraph g = SocialGraph::FromEdges(4, {{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.0);  // 2*2/4
+}
+
+TEST(SeedAndInviteTest, MatchesStudyShape) {
+  SeedAndInviteConfig config;  // 13 seeds, 72 users, 10..20 invites
+  const SocialGraph g = GenerateSeedAndInvite(config);
+  EXPECT_EQ(g.num_users(), 72u);
+  // Every seed invited at least min_invites friends.
+  for (UserId s = 0; s < config.num_seeds; ++s) {
+    EXPECT_GE(g.FriendsOf(s).size(), config.min_invites);
+  }
+  // Invitees exist and the graph is reasonably connected.
+  EXPECT_GT(g.num_edges(), 13u * 10u / 2u);
+}
+
+TEST(SeedAndInviteTest, DeterministicInSeed) {
+  SeedAndInviteConfig config;
+  const SocialGraph a = GenerateSeedAndInvite(config);
+  const SocialGraph b = GenerateSeedAndInvite(config);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  config.seed = 999;
+  const SocialGraph c = GenerateSeedAndInvite(config);
+  EXPECT_NE(a.num_edges(), c.num_edges());
+}
+
+TEST(SeedAndInviteTest, ProducesCommonFriendSignal) {
+  const SocialGraph g = GenerateSeedAndInvite({});
+  std::size_t pairs_with_common = 0;
+  for (UserId u = 0; u < 30; ++u) {
+    for (UserId v = u + 1; v < 30; ++v) {
+      pairs_with_common += g.CommonFriends(u, v) > 0;
+    }
+  }
+  // Static affinity must be non-degenerate for the study to work.
+  EXPECT_GT(pairs_with_common, 50u);
+}
+
+TEST(PreferentialAttachmentTest, DegreeSkewAndConnectivity) {
+  const SocialGraph g = GeneratePreferentialAttachment(500, 3, 101);
+  EXPECT_EQ(g.num_users(), 500u);
+  // m edges per new node -> roughly 3*(n-2) edges.
+  EXPECT_GT(g.num_edges(), 3u * 400u);
+  std::size_t max_degree = 0;
+  for (UserId u = 0; u < 500; ++u) {
+    max_degree = std::max(max_degree, g.FriendsOf(u).size());
+    EXPECT_GE(g.FriendsOf(u).size(), 1u);  // connected construction
+  }
+  // Hubs emerge under preferential attachment.
+  EXPECT_GT(max_degree, 20u);
+}
+
+}  // namespace
+}  // namespace greca

@@ -1,0 +1,112 @@
+// Tests for the synthetic MovieLens twin: determinism, calibration targets,
+// and ground-truth consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/synthetic.h"
+
+namespace greca {
+namespace {
+
+SyntheticRatingsConfig SmallConfig() {
+  SyntheticRatingsConfig config;
+  config.num_users = 200;
+  config.num_items = 300;
+  config.target_ratings = 12'000;
+  config.min_ratings_per_user = 10;
+  config.seed = 77;
+  return config;
+}
+
+TEST(SyntheticRatingsTest, DeterministicInSeed) {
+  const SyntheticRatings a = GenerateSyntheticRatings(SmallConfig());
+  const SyntheticRatings b = GenerateSyntheticRatings(SmallConfig());
+  ASSERT_EQ(a.dataset.num_ratings(), b.dataset.num_ratings());
+  for (UserId u = 0; u < a.dataset.num_users(); ++u) {
+    const auto ra = a.dataset.RatingsOfUser(u);
+    const auto rb = b.dataset.RatingsOfUser(u);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].item, rb[i].item);
+      EXPECT_EQ(ra[i].rating, rb[i].rating);
+    }
+  }
+}
+
+TEST(SyntheticRatingsTest, DifferentSeedsDiffer) {
+  SyntheticRatingsConfig config = SmallConfig();
+  const SyntheticRatings a = GenerateSyntheticRatings(config);
+  config.seed = 78;
+  const SyntheticRatings b = GenerateSyntheticRatings(config);
+  EXPECT_NE(a.dataset.num_ratings(), b.dataset.num_ratings());
+}
+
+TEST(SyntheticRatingsTest, HitsTargetVolumeApproximately) {
+  const SyntheticRatings s = GenerateSyntheticRatings(SmallConfig());
+  const double achieved = static_cast<double>(s.dataset.num_ratings());
+  EXPECT_GT(achieved, 0.7 * 12'000);
+  EXPECT_LT(achieved, 1.4 * 12'000);
+}
+
+TEST(SyntheticRatingsTest, EveryUserMeetsMinimumActivity) {
+  const SyntheticRatings s = GenerateSyntheticRatings(SmallConfig());
+  for (UserId u = 0; u < s.dataset.num_users(); ++u) {
+    EXPECT_GE(s.dataset.RatingsOfUser(u).size(), 10u) << "user " << u;
+  }
+}
+
+TEST(SyntheticRatingsTest, RatingsOnStarScale) {
+  const SyntheticRatings s = GenerateSyntheticRatings(SmallConfig());
+  const DatasetStats stats = s.dataset.Stats();
+  EXPECT_GE(stats.min_rating, 1.0);
+  EXPECT_LE(stats.max_rating, 5.0);
+  EXPECT_GT(stats.mean_rating, 2.5);
+  EXPECT_LT(stats.mean_rating, 4.2);
+  // Stars are integral.
+  for (const auto& e : s.dataset.RatingsOfUser(0)) {
+    EXPECT_DOUBLE_EQ(e.rating, std::round(e.rating));
+  }
+}
+
+TEST(SyntheticRatingsTest, PopularityIsSkewed) {
+  const SyntheticRatings s = GenerateSyntheticRatings(SmallConfig());
+  const auto top = s.dataset.TopPopularItems(s.dataset.num_items());
+  const double head = static_cast<double>(s.dataset.RatingsOfItem(top[0]).size());
+  const double tail =
+      static_cast<double>(s.dataset.RatingsOfItem(top[top.size() - 1]).size());
+  EXPECT_GT(head, 5.0 * std::max(tail, 1.0));
+}
+
+TEST(SyntheticRatingsTest, TruePreferenceWithinScaleAndCorrelatesWithStars) {
+  const SyntheticRatings s = GenerateSyntheticRatings(SmallConfig());
+  double agree = 0.0, count = 0.0;
+  for (UserId u = 0; u < 50; ++u) {
+    for (const auto& e : s.dataset.RatingsOfUser(u)) {
+      const double tp = s.truth.TruePreference(u, e.item);
+      EXPECT_GE(tp, 1.0);
+      EXPECT_LE(tp, 5.0);
+      agree += std::abs(tp - e.rating) <= 1.0 ? 1.0 : 0.0;
+      count += 1.0;
+    }
+  }
+  // Observed stars are the true preference plus bounded noise and rounding;
+  // the vast majority must land within one star.
+  EXPECT_GT(agree / count, 0.8);
+}
+
+TEST(SyntheticRatingsTest, TimestampsWithinSpan) {
+  SyntheticRatingsConfig config = SmallConfig();
+  config.epoch = 1'000;
+  config.span_seconds = 500'000;
+  const SyntheticRatings s = GenerateSyntheticRatings(config);
+  for (UserId u = 0; u < s.dataset.num_users(); ++u) {
+    for (const auto& e : s.dataset.RatingsOfUser(u)) {
+      EXPECT_GE(e.timestamp, 1'000);
+      EXPECT_LT(e.timestamp, 1'000 + 500'000);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace greca

@@ -1,0 +1,98 @@
+#include "test_util.h"
+
+#include <algorithm>
+
+#include "affinity/static_affinity.h"
+
+namespace greca::testing {
+
+namespace {
+
+SortedList RandomList(Rng& rng, std::size_t keys) {
+  std::vector<ListEntry> entries;
+  entries.reserve(keys);
+  for (ListKey k = 0; k < keys; ++k) {
+    entries.push_back({k, rng.NextDouble()});
+  }
+  return SortedList::FromUnsorted(std::move(entries),
+                                  static_cast<ListKey>(keys));
+}
+
+}  // namespace
+
+GroupProblem MakeRandomProblem(Rng& rng, std::size_t g, std::size_t m,
+                               std::size_t num_periods,
+                               const ConsensusSpec& consensus,
+                               const AffinityModelSpec& model) {
+  std::vector<SortedList> pref_lists;
+  for (std::size_t u = 0; u < g; ++u) pref_lists.push_back(RandomList(rng, m));
+  const std::size_t pairs = NumUserPairs(g);
+  SortedList static_list = RandomList(rng, pairs);
+  std::vector<SortedList> period_lists;
+  std::vector<double> averages;
+  const std::size_t periods =
+      (model.affinity_aware && model.time_aware) ? num_periods : 0;
+  for (std::size_t t = 0; t < periods; ++t) {
+    period_lists.push_back(RandomList(rng, pairs));
+    averages.push_back(rng.NextDouble(0.0, 0.5));
+  }
+  std::vector<SortedList> agreement_lists;
+  if (consensus.disagreement == DisagreementKind::kPairwise && g >= 2) {
+    agreement_lists =
+        BuildAgreementLists(pref_lists, m, consensus.disagreement_scale);
+  }
+  AffinityCombiner combiner(model, std::move(averages));
+  return GroupProblem(m, std::move(pref_lists), std::move(static_list),
+                      std::move(period_lists), std::move(combiner), consensus,
+                      std::move(agreement_lists));
+}
+
+GroupProblem MakeRunningExampleProblem(const ConsensusSpec& consensus,
+                                       const AffinityModelSpec& model) {
+  // Table 1 absolute preferences (stars / 5). Items i1, i2, i3 -> keys 0,1,2.
+  const auto list = [](std::initializer_list<double> stars) {
+    std::vector<ListEntry> entries;
+    ListKey key = 0;
+    for (const double s : stars) entries.push_back({key++, s / 5.0});
+    return SortedList::FromUnsorted(std::move(entries), 3);
+  };
+  std::vector<SortedList> pref_lists;
+  pref_lists.push_back(list({5.0, 1.0, 1.0}));  // u1
+  pref_lists.push_back(list({5.0, 1.0, 0.5}));  // u2
+  pref_lists.push_back(list({2.0, 1.0, 2.0}));  // u3
+
+  // Pairs: (u1,u2)=0, (u1,u3)=1, (u2,u3)=2 in local pair order.
+  const auto pair_list = [](double p12, double p13, double p23) {
+    std::vector<ListEntry> entries{{0, p12}, {1, p13}, {2, p23}};
+    return SortedList::FromUnsorted(std::move(entries), 3);
+  };
+  SortedList static_list = pair_list(1.0, 0.2, 0.3);  // Table 2
+
+  std::vector<SortedList> period_lists;
+  std::vector<double> averages;
+  if (model.affinity_aware && model.time_aware) {
+    period_lists.push_back(pair_list(0.8, 0.1, 0.2));  // Table 3 (p1)
+    period_lists.push_back(pair_list(0.7, 0.1, 0.1));  // Table 4 (p2)
+    averages = {0.2, 0.15};  // population averages (not given in the paper)
+  }
+  std::vector<SortedList> agreement_lists;
+  if (consensus.disagreement == DisagreementKind::kPairwise) {
+    agreement_lists =
+        BuildAgreementLists(pref_lists, 3, consensus.disagreement_scale);
+  }
+  AffinityCombiner combiner(model, std::move(averages));
+  return GroupProblem(3, std::move(pref_lists), std::move(static_list),
+                      std::move(period_lists), std::move(combiner), consensus,
+                      std::move(agreement_lists));
+}
+
+std::vector<double> ExactScoresSorted(const GroupProblem& problem,
+                                      const std::vector<ListEntry>& items) {
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (const ListEntry& e : items) scores.push_back(problem.ExactScore(e.id));
+  std::sort(scores.begin(), scores.end(), std::greater<>());
+  return scores;
+}
+
+}  // namespace greca::testing

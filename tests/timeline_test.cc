@@ -1,0 +1,99 @@
+// Unit tests for src/timeline: period semantics and timeline discretization.
+#include <gtest/gtest.h>
+
+#include "timeline/period.h"
+
+namespace greca {
+namespace {
+
+constexpr Timestamp kYear = 365 * kSecondsPerDay;
+
+TEST(PeriodTest, ContainsIsClosedOpen) {
+  const Period p{100, 200};
+  EXPECT_TRUE(p.Contains(100));
+  EXPECT_TRUE(p.Contains(199));
+  EXPECT_FALSE(p.Contains(200));
+  EXPECT_FALSE(p.Contains(99));
+  EXPECT_EQ(p.length(), 100);
+}
+
+TEST(PeriodTest, PrecedenceMatchesPaperDefinition) {
+  const Period p1{0, 10};
+  const Period p2{5, 20};
+  EXPECT_TRUE(p1.Precedes(p2));
+  EXPECT_FALSE(p2.Precedes(p1));
+  EXPECT_TRUE(p1.Precedes(p1));  // s <= s and f <= f
+}
+
+TEST(TimelineTest, OneYearPeriodCountsMatchFigure4) {
+  // The paper's Figure 4 reports 53 / 12 / 6 / 4 / 2 periods for one year.
+  const auto count = [](Granularity g) {
+    return Timeline::WithGranularity(0, kYear, g).num_periods();
+  };
+  EXPECT_EQ(count(Granularity::kWeek), 53u);
+  EXPECT_EQ(count(Granularity::kMonth), 12u);
+  EXPECT_EQ(count(Granularity::kTwoMonth), 6u);
+  EXPECT_EQ(count(Granularity::kSeason), 4u);
+  EXPECT_EQ(count(Granularity::kHalfYear), 2u);
+}
+
+TEST(TimelineTest, PeriodsAreConsecutiveAndCoverSpan) {
+  const Timeline t = Timeline::WithGranularity(0, kYear, Granularity::kTwoMonth);
+  EXPECT_EQ(t.start(), 0);
+  EXPECT_EQ(t.end(), kYear);
+  for (std::size_t p = 1; p < t.num_periods(); ++p) {
+    EXPECT_EQ(t.period(static_cast<PeriodId>(p - 1)).finish,
+              t.period(static_cast<PeriodId>(p)).start);
+  }
+}
+
+TEST(TimelineTest, LastPeriodTruncated) {
+  const Timeline t = Timeline::FixedWindows(0, 25, 10);
+  ASSERT_EQ(t.num_periods(), 3u);
+  EXPECT_EQ(t.period(2).start, 20);
+  EXPECT_EQ(t.period(2).finish, 25);
+}
+
+TEST(TimelineTest, PeriodOfFindsContainingPeriod) {
+  const Timeline t = Timeline::FixedWindows(0, 100, 10);
+  EXPECT_EQ(t.PeriodOf(0), 0u);
+  EXPECT_EQ(t.PeriodOf(9), 0u);
+  EXPECT_EQ(t.PeriodOf(10), 1u);
+  EXPECT_EQ(t.PeriodOf(95), 9u);
+  EXPECT_EQ(t.PeriodOf(100), t.num_periods());  // outside
+  EXPECT_EQ(t.PeriodOf(-1), t.num_periods());
+}
+
+TEST(TimelineTest, PeriodsCompletedBy) {
+  const Timeline t = Timeline::FixedWindows(0, 100, 10);
+  EXPECT_EQ(t.PeriodsCompletedBy(0), 0u);
+  EXPECT_EQ(t.PeriodsCompletedBy(10), 1u);
+  EXPECT_EQ(t.PeriodsCompletedBy(15), 1u);
+  EXPECT_EQ(t.PeriodsCompletedBy(100), 10u);
+  EXPECT_EQ(t.PeriodsCompletedBy(1'000), 10u);
+}
+
+TEST(TimelineTest, FromBoundariesVaryingLengths) {
+  const Timeline t = Timeline::FromBoundaries({0, 5, 50, 51});
+  ASSERT_EQ(t.num_periods(), 3u);
+  EXPECT_EQ(t.period(0).length(), 5);
+  EXPECT_EQ(t.period(1).length(), 45);
+  EXPECT_EQ(t.period(2).length(), 1);
+  EXPECT_EQ(t.PeriodOf(49), 1u);
+}
+
+TEST(GranularityTest, NamesAndOrder) {
+  EXPECT_EQ(GranularityName(Granularity::kTwoMonth), "Two-Month");
+  const auto all = AllGranularities();
+  ASSERT_EQ(all.size(), 5u);
+  // Figure 4 order: Week first, Half-Year last.
+  EXPECT_EQ(all.front(), Granularity::kWeek);
+  EXPECT_EQ(all.back(), Granularity::kHalfYear);
+  // Lengths strictly increase along the figure's x-axis.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(GranularitySeconds(all[i - 1]), GranularitySeconds(all[i]));
+  }
+}
+
+}  // namespace
+}  // namespace greca

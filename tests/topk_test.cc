@@ -1,0 +1,206 @@
+// Tests for the top-k framework: sorted lists, the problem encoding, the
+// naive baseline, and the TA baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "topk/naive.h"
+#include "topk/problem.h"
+#include "topk/sorted_list.h"
+#include "topk/ta.h"
+
+namespace greca {
+namespace {
+
+TEST(SortedListTest, SortsDescendingWithTiesById) {
+  SortedList list = SortedList::FromUnsorted(
+      {{2, 0.5}, {0, 0.9}, {3, 0.5}, {1, 0.1}}, 4);
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list.entry(0).id, 0u);
+  EXPECT_EQ(list.entry(1).id, 2u);  // tie 0.5 -> lower id first
+  EXPECT_EQ(list.entry(2).id, 3u);
+  EXPECT_EQ(list.entry(3).id, 1u);
+  EXPECT_DOUBLE_EQ(list.MaxScore(), 0.9);
+}
+
+TEST(SortedListTest, AccessCounting) {
+  SortedList list = SortedList::FromUnsorted({{0, 0.9}, {1, 0.5}}, 2);
+  AccessCounter counter;
+  EXPECT_DOUBLE_EQ(list.ReadSequential(0, counter).score, 0.9);
+  EXPECT_DOUBLE_EQ(list.RandomAccess(1, counter), 0.5);
+  EXPECT_EQ(counter.sequential, 1u);
+  EXPECT_EQ(counter.random, 1u);
+  EXPECT_EQ(counter.total(), 2u);
+}
+
+TEST(SortedListTest, ScoreOfMissingKeyIsZero) {
+  SortedList list = SortedList::FromUnsorted({{1, 0.5}}, 3);
+  EXPECT_DOUBLE_EQ(list.ScoreOfKey(1), 0.5);
+  EXPECT_DOUBLE_EQ(list.ScoreOfKey(0), 0.0);
+  EXPECT_DOUBLE_EQ(list.ScoreOfKey(2), 0.0);
+}
+
+TEST(GroupProblemTest, TotalEntriesSumsAllLists) {
+  Rng rng(81);
+  const GroupProblem problem = testing::MakeRandomProblem(
+      rng, 3, 20, 2, ConsensusSpec::AveragePreference(),
+      AffinityModelSpec::Default());
+  // 3 lists × 20 items + 3 pairs static + 2 × 3 pairs periodic = 69.
+  EXPECT_EQ(problem.TotalEntries(), 69u);
+  EXPECT_EQ(problem.num_pairs(), 3u);
+  EXPECT_EQ(problem.num_periods(), 2u);
+}
+
+TEST(GroupProblemTest, MemberPreferencesMatchFormula) {
+  // Hand-checkable 2-member group: pref_u = (apref_u + aff*apref_v)/2.
+  Rng rng(83);
+  const GroupProblem problem = testing::MakeRandomProblem(
+      rng, 2, 5, 0, ConsensusSpec::AveragePreference(),
+      AffinityModelSpec::TimeAgnostic());
+  const std::vector<double> apref{0.8, 0.4};
+  const std::vector<double> aff{0.5};
+  std::vector<double> prefs(2);
+  problem.MemberPreferences(apref, aff, prefs);
+  EXPECT_NEAR(prefs[0], (0.8 + 0.5 * 0.4) / 2.0, 1e-12);
+  EXPECT_NEAR(prefs[1], (0.4 + 0.5 * 0.8) / 2.0, 1e-12);
+}
+
+TEST(GroupProblemTest, ExactScoreIsConsensusOfMemberPreferences) {
+  Rng rng(87);
+  const GroupProblem problem = testing::MakeRandomProblem(
+      rng, 4, 10, 3, ConsensusSpec::PairwiseDisagreement(0.8),
+      AffinityModelSpec::Default());
+  ASSERT_TRUE(problem.uses_agreement_lists());
+  // Recompute by hand through public pieces.
+  const std::vector<double> pair_aff = problem.ExactPairAffinities();
+  std::vector<double> apref(4), prefs(4);
+  std::vector<double> agreements(problem.agreement_lists().size());
+  for (ListKey item = 0; item < 10; ++item) {
+    for (std::size_t u = 0; u < 4; ++u) {
+      apref[u] = problem.preference_lists()[u].ScoreOfKey(item);
+    }
+    problem.MemberPreferences(apref, pair_aff, prefs);
+    for (std::size_t q = 0; q < agreements.size(); ++q) {
+      agreements[q] = problem.agreement_lists()[q].ScoreOfKey(item);
+    }
+    EXPECT_NEAR(problem.ExactScore(item),
+                ConsensusScoreWithAgreements(problem.consensus(), prefs,
+                                             agreements),
+                1e-12);
+  }
+}
+
+TEST(GroupProblemTest, AgreementListsMatchPreferenceDifferences) {
+  Rng rng(89);
+  const GroupProblem problem = testing::MakeRandomProblem(
+      rng, 3, 12, 1, ConsensusSpec::PairwiseDisagreement(0.2),
+      AffinityModelSpec::Default());
+  ASSERT_EQ(problem.agreement_lists().size(), 3u);
+  for (ListKey item = 0; item < 12; ++item) {
+    std::size_t q = 0;
+    for (std::size_t a = 0; a < 3; ++a) {
+      for (std::size_t b = a + 1; b < 3; ++b, ++q) {
+        const double expected =
+            1.0 - problem.consensus().disagreement_scale *
+                      std::abs(problem.preference_lists()[a].ScoreOfKey(item) -
+                               problem.preference_lists()[b].ScoreOfKey(item));
+        EXPECT_NEAR(problem.agreement_lists()[q].ScoreOfKey(item), expected,
+                    1e-12);
+      }
+    }
+  }
+}
+
+TEST(GroupProblemTest, AggregatedAgreementListEqualsPairMean) {
+  Rng rng(90);
+  const GroupProblem problem = testing::MakeRandomProblem(
+      rng, 4, 10, 1, ConsensusSpec::PairwiseDisagreement(0.5),
+      AffinityModelSpec::Default());
+  const SortedList aggregated = BuildGroupAgreementList(
+      problem.preference_lists(), 10, problem.consensus().disagreement_scale);
+  for (ListKey item = 0; item < 10; ++item) {
+    double mean = 0.0;
+    for (const auto& list : problem.agreement_lists()) {
+      mean += list.ScoreOfKey(item);
+    }
+    mean /= static_cast<double>(problem.agreement_lists().size());
+    EXPECT_NEAR(aggregated.ScoreOfKey(item), mean, 1e-12);
+  }
+}
+
+TEST(NaiveTopKTest, ReadsEverythingAndRanksExactly) {
+  Rng rng(91);
+  const GroupProblem problem = testing::MakeRandomProblem(
+      rng, 3, 30, 2, ConsensusSpec::AveragePreference(),
+      AffinityModelSpec::Default());
+  const TopKResult result = NaiveTopK(problem, 5);
+  EXPECT_EQ(result.accesses.sequential, problem.TotalEntries());
+  EXPECT_DOUBLE_EQ(result.SequentialAccessPercent(), 100.0);
+  EXPECT_DOUBLE_EQ(result.SaveupPercent(), 0.0);
+  EXPECT_FALSE(result.early_terminated);
+  ASSERT_EQ(result.items.size(), 5u);
+  // Scores descending and equal to exact scores.
+  for (std::size_t i = 0; i < result.items.size(); ++i) {
+    EXPECT_NEAR(result.items[i].score, problem.ExactScore(result.items[i].id),
+                1e-12);
+    if (i > 0) {
+      EXPECT_GE(result.items[i - 1].score, result.items[i].score);
+    }
+  }
+  // Verify against brute force over all items.
+  std::vector<double> all;
+  for (ListKey item = 0; item < 30; ++item) {
+    all.push_back(problem.ExactScore(item));
+  }
+  std::sort(all.begin(), all.end(), std::greater<>());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(result.items[i].score, all[i], 1e-12);
+  }
+}
+
+TEST(TaTopKTest, FindsSameItemsetAsNaive) {
+  Rng rng(93);
+  for (int trial = 0; trial < 20; ++trial) {
+    const GroupProblem problem = testing::MakeRandomProblem(
+        rng, 3, 40, 2, ConsensusSpec::AveragePreference(),
+        AffinityModelSpec::Default());
+    const TopKResult naive = NaiveTopK(problem, 5);
+    const TopKResult ta = TaTopK(problem, 5);
+    ASSERT_EQ(ta.items.size(), 5u);
+    const auto naive_scores = testing::ExactScoresSorted(problem, naive.items);
+    const auto ta_scores = testing::ExactScoresSorted(problem, ta.items);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(ta_scores[i], naive_scores[i], 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(TaTopKTest, ChargesRandomAccesses) {
+  Rng rng(97);
+  const GroupProblem problem = testing::MakeRandomProblem(
+      rng, 3, 50, 2, ConsensusSpec::AveragePreference(),
+      AffinityModelSpec::Default());
+  const TopKResult ta = TaTopK(problem, 3);
+  // TA must have charged affinity + preference RAs for each scored item:
+  // per item 2 apref RAs + 3 users × 2 pairs × 3 lists = 18 affinity RAs.
+  EXPECT_GT(ta.accesses.random, ta.accesses.sequential);
+}
+
+TEST(TaTopKTest, RunningExampleChargesPaperRaCount) {
+  // Paper §3.1: scoring one item of the 3-user, 2-period example costs
+  // ~21 RAs (3 apref + 18 affinity; we charge 2 apref since the item was
+  // found via SA in one list, plus 18 affinity = 20 per item).
+  const GroupProblem problem = testing::MakeRunningExampleProblem(
+      ConsensusSpec::AveragePreference(), AffinityModelSpec::Default());
+  const TopKResult ta = TaTopK(problem, 1);
+  ASSERT_FALSE(ta.items.empty());
+  // First round scores up to 3 distinct items -> RA count is a multiple of 20.
+  EXPECT_EQ(ta.accesses.random % 20, 0u);
+  EXPECT_GE(ta.accesses.random, 20u);
+}
+
+}  // namespace
+}  // namespace greca
