@@ -114,7 +114,7 @@ int main() {
       for (const Group& group : groups) {
         QuerySpec spec = PerformanceHarness::DefaultSpec();
         spec.algorithm = algorithm;
-        const Recommendation r = ctx.recommender->Recommend(group, spec);
+        const Recommendation r = ctx.recommender->Recommend(group, spec).value();
         sas.Add(static_cast<double>(r.raw.accesses.sequential));
         ras.Add(static_cast<double>(r.raw.accesses.random));
         totals.Add(static_cast<double>(r.raw.accesses.total()));

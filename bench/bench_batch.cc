@@ -1,0 +1,99 @@
+// Batch-vs-sequential throughput of the Engine API: the acceptance bench for
+// the batch-first redesign. Runs a 64-query batch (the paper's scalability
+// setup: random groups of 6, k = 10, AP, discrete model) sequentially and
+// through Engine::RecommendBatch at several thread counts, verifying result
+// equivalence and reporting queries/second and speedup.
+//
+// Set GRECA_BENCH_SMALL=1 for a smoke-scale run, GRECA_BATCH_QUERIES to
+// change the batch size.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace greca;
+  const auto& ctx = bench::BenchContext::Get();
+  const GroupRecommender& recommender = *ctx.recommender;
+
+  std::size_t num_queries = 64;
+  if (const char* env = std::getenv("GRECA_BATCH_QUERIES")) {
+    const long long parsed = std::atoll(env);
+    if (parsed <= 0) {
+      std::cerr << "ignoring GRECA_BATCH_QUERIES='" << env
+                << "' (expected a positive integer)\n";
+    } else {
+      num_queries = static_cast<std::size_t>(parsed);
+    }
+  }
+
+  const PerformanceHarness perf(recommender, /*seed=*/2015);
+  const QuerySpec spec = PerformanceHarness::DefaultSpec();
+  std::vector<Query> batch;
+  for (const Group& group : perf.RandomGroups(num_queries, 6)) {
+    batch.push_back(Query{group, spec});
+  }
+
+  // Sequential baseline: one query at a time through the facade, with a
+  // single reused workspace (the fairest single-thread configuration).
+  Stopwatch seq_watch;
+  QueryWorkspace workspace;
+  std::vector<Recommendation> sequential;
+  sequential.reserve(batch.size());
+  for (const Query& q : batch) {
+    sequential.push_back(
+        recommender.Recommend(q.group, q.spec, &workspace).value());
+  }
+  const double seq_seconds = seq_watch.ElapsedSeconds();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  TablePrinter table("Engine::RecommendBatch vs sequential (" +
+                     std::to_string(batch.size()) + " queries, " +
+                     std::to_string(hw) + " hardware threads)");
+  table.SetColumns({"configuration", "seconds", "queries/s", "speedup"});
+  const double seq_qps = static_cast<double>(batch.size()) / seq_seconds;
+  table.AddRow({"sequential", TablePrinter::Cell(seq_seconds, 3),
+                TablePrinter::Cell(seq_qps, 1), "1.00"});
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    EngineOptions eopts;
+    eopts.num_threads = threads;
+    const Engine engine(recommender, eopts);
+    // Warm-up run so worker workspaces reach steady-state capacity.
+    const std::size_t warmup = std::min<std::size_t>(4, batch.size());
+    engine.RecommendBatch(
+        std::vector<Query>(batch.begin(), batch.begin() + warmup));
+    Stopwatch watch;
+    const auto results = engine.RecommendBatch(batch);
+    const double seconds = watch.ElapsedSeconds();
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!results[i].ok() ||
+          results[i].value().items != sequential[i].items) {
+        ++mismatches;
+      }
+    }
+    if (mismatches != 0) {
+      std::cerr << "ERROR: " << mismatches
+                << " batch results differ from sequential execution\n";
+      return 1;
+    }
+
+    const double qps = static_cast<double>(batch.size()) / seconds;
+    table.AddRow({std::to_string(threads) + " threads",
+                  TablePrinter::Cell(seconds, 3), TablePrinter::Cell(qps, 1),
+                  TablePrinter::Cell(seq_seconds / seconds, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "All batch results identical to sequential execution.\n"
+            << "Expected: speedup ~ min(threads, cores); >= 2x on >= 4 "
+               "cores.\n";
+  return 0;
+}

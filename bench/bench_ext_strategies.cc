@@ -34,7 +34,7 @@ int main() {
       spec.k = 10;
       spec.algorithm = Algorithm::kNaive;  // exact list for judging
       const std::vector<ItemId> consensus_list =
-          recommender.Recommend(group, spec).items;
+          recommender.Recommend(group, spec).value().items;
       const auto pseudo = RecommendPseudoUser(
           knn, ctx.study.study_ratings, group, candidates, 10);
       std::vector<ItemId> pseudo_list;
@@ -99,7 +99,7 @@ int main() {
         group.erase(std::unique(group.begin(), group.end()), group.end());
         if (group.size() < 3) continue;
         const Recommendation rec =
-            recommender.Recommend(group, PerformanceHarness::DefaultSpec());
+            recommender.Recommend(group, PerformanceHarness::DefaultSpec()).value();
         sa.Add(rec.raw.SequentialAccessPercent());
       }
       return sa;

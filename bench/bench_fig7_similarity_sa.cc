@@ -44,7 +44,7 @@ int main() {
     return rec.RatingSimilarity(a, b);
   };
   const auto affinity = [&rec](UserId a, UserId b) {
-    return rec.ModelAffinity(a, b, QuerySpec::kLastPeriod,
+    return rec.ModelAffinity(a, b, std::nullopt,
                              AffinityModelSpec::Default());
   };
 
@@ -79,7 +79,7 @@ int main() {
           break;
       }
       const Recommendation r =
-          rec.Recommend(group, PerformanceHarness::DefaultSpec());
+          rec.Recommend(group, PerformanceHarness::DefaultSpec()).value();
       sa.Add(r.raw.SequentialAccessPercent());
       saveup.Add(r.raw.SaveupPercent());
     }

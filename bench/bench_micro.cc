@@ -27,7 +27,7 @@ void BM_GrecaTopK(benchmark::State& state) {
   QuerySpec spec = PerformanceHarness::DefaultSpec();
   spec.k = static_cast<std::size_t>(state.range(0));
   const GroupProblem problem =
-      ctx.recommender->BuildProblem(SampleGroup(), spec);
+      ctx.recommender->BuildProblem(SampleGroup(), spec).value();
   GrecaConfig config;
   config.k = spec.k;
   double sa_percent = 0.0;
@@ -42,8 +42,10 @@ BENCHMARK(BM_GrecaTopK)->Arg(5)->Arg(10)->Arg(20);
 
 void BM_NaiveTopK(benchmark::State& state) {
   const auto& ctx = BenchContext::Get();
-  const GroupProblem problem = ctx.recommender->BuildProblem(
-      SampleGroup(), PerformanceHarness::DefaultSpec());
+  const GroupProblem problem =
+      ctx.recommender
+          ->BuildProblem(SampleGroup(), PerformanceHarness::DefaultSpec())
+          .value();
   for (auto _ : state) {
     const TopKResult result = NaiveTopK(problem, 10);
     benchmark::DoNotOptimize(result.items.data());
@@ -53,8 +55,10 @@ BENCHMARK(BM_NaiveTopK);
 
 void BM_TaTopK(benchmark::State& state) {
   const auto& ctx = BenchContext::Get();
-  const GroupProblem problem = ctx.recommender->BuildProblem(
-      SampleGroup(), PerformanceHarness::DefaultSpec());
+  const GroupProblem problem =
+      ctx.recommender
+          ->BuildProblem(SampleGroup(), PerformanceHarness::DefaultSpec())
+          .value();
   for (auto _ : state) {
     const TopKResult result = TaTopK(problem, 10);
     benchmark::DoNotOptimize(result.items.data());
@@ -67,7 +71,7 @@ void BM_BuildProblem(benchmark::State& state) {
   const QuerySpec spec = PerformanceHarness::DefaultSpec();
   for (auto _ : state) {
     const GroupProblem problem =
-        ctx.recommender->BuildProblem(SampleGroup(), spec);
+        ctx.recommender->BuildProblem(SampleGroup(), spec).value();
     benchmark::DoNotOptimize(&problem);
   }
 }

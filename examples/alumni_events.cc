@@ -96,7 +96,7 @@ int main() {
     spec.k = 5;
     spec.eval_period = period;
     spec.num_candidate_items = 900;
-    return recommender.Recommend(alumni, spec);
+    return recommender.Recommend(alumni, spec).value();
   };
   const Recommendation at_start = recommend_at(0);
   const Recommendation at_end = recommend_at(last);

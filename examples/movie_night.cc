@@ -33,7 +33,7 @@ int main() {
       everyone,
       [&](UserId a, UserId b) { return recommender.RatingSimilarity(a, b); },
       [&](UserId a, UserId b) {
-        return recommender.ModelAffinity(a, b, QuerySpec::kLastPeriod,
+        return recommender.ModelAffinity(a, b, std::nullopt,
                                          AffinityModelSpec::Default());
       });
   const Group group = former.FormHighAffinity(4);
@@ -69,7 +69,7 @@ int main() {
     spec.consensus = choice.consensus;
     spec.model = choice.model;
     spec.num_candidate_items = 1'200;
-    const Recommendation rec = recommender.Recommend(group, spec);
+    const Recommendation rec = recommender.Recommend(group, spec).value();
     std::vector<std::string> row{choice.label};
     for (std::size_t i = 0; i < 5; ++i) {
       row.push_back(i < rec.items.size()

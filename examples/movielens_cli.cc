@@ -105,7 +105,12 @@ int main(int argc, char** argv) {
   QuerySpec spec;
   spec.k = 10;
   spec.num_candidate_items = options.max_candidate_items;
-  const Recommendation rec = recommender.Recommend(group, spec);
+  const Result<Recommendation> result = recommender.Recommend(group, spec);
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status().ToString() << '\n';
+    return 1;
+  }
+  const Recommendation& rec = result.value();
 
   std::cout << "\nTop-" << spec.k << " for group {";
   for (std::size_t i = 0; i < group.size(); ++i) {

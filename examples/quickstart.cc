@@ -1,14 +1,17 @@
-// Quickstart: the smallest end-to-end use of the GRECA library.
+// Quickstart: the smallest end-to-end use of the GRECA library through the
+// batch-first Engine API.
 //
 // 1. Generate a MovieLens-like rating universe (or parse a real one).
 // 2. Generate the social substrate: a 72-user study with friendships and a
 //    year of page-like history.
-// 3. Build a GroupRecommender and ask for the top-5 movies for an ad-hoc
-//    group of three users under the default temporal-affinity model.
+// 3. Build an Engine, construct a validated query with QueryBuilder, and ask
+//    for the top-5 movies for an ad-hoc group of three users under the
+//    default temporal-affinity model.
+// 4. Run a small batch to show the parallel entry point.
 #include <iostream>
 
-#include "core/group_recommender.h"
-#include "groups/group_formation.h"
+#include "api/engine.h"
+#include "api/query_builder.h"
 
 int main() {
   using namespace greca;
@@ -26,20 +29,27 @@ int main() {
 
   RecommenderOptions options;
   options.max_candidate_items = 1'000;
-  const GroupRecommender recommender(universe, study, options);
+  const Engine engine(universe, study, options);
 
-  // An ad-hoc group of three study participants.
-  const Group group{4, 17, 29};
+  // An ad-hoc group of three study participants. Build() validates the query
+  // up front — bad k, empty groups, unknown users and out-of-range periods
+  // all surface as a greca::Status here, before any work happens.
+  const Result<Query> query = QueryBuilder(engine)
+                                  .Members({4, 17, 29})
+                                  .TopK(5)
+                                  .Model(AffinityModelSpec::Default())
+                                  .Consensus(ConsensusSpec::AveragePreference())
+                                  .AtLastPeriod()
+                                  .CandidatePool(1'000)
+                                  .Build();
+  if (!query.ok()) {
+    std::cerr << "invalid query: " << query.status().ToString() << '\n';
+    return 1;
+  }
 
-  QuerySpec spec;
-  spec.k = 5;
-  spec.model = AffinityModelSpec::Default();              // discrete temporal
-  spec.consensus = ConsensusSpec::AveragePreference();    // AP
-  spec.num_candidate_items = 1'000;
+  const Recommendation rec = engine.Recommend(query.value()).value();
 
-  const Recommendation rec = recommender.Recommend(group, spec);
-
-  std::cout << "Top-" << spec.k << " movies for group {4, 17, 29} "
+  std::cout << "Top-5 movies for group {4, 17, 29} "
             << "(discrete temporal affinity, AP consensus):\n";
   for (std::size_t i = 0; i < rec.items.size(); ++i) {
     std::cout << "  " << i + 1 << ". movie #" << rec.items[i]
@@ -49,5 +59,20 @@ int main() {
             << rec.raw.total_entries << " list entries ("
             << rec.raw.SequentialAccessPercent() << "% — a "
             << rec.raw.SaveupPercent() << "% saveup vs a full scan).\n";
+
+  // Batches execute in parallel over the engine's thread pool, one result
+  // per query in input order.
+  std::vector<Query> batch;
+  for (UserId u = 0; u + 2 < 12; u += 3) {
+    batch.push_back(Query{{u, u + 1, u + 2}, query.value().spec});
+  }
+  const auto results = engine.RecommendBatch(batch);
+  std::cout << "\nBatch of " << batch.size() << " group queries on "
+            << engine.num_threads() << " threads:\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::cout << "  group {" << batch[i].group[0] << ", " << batch[i].group[1]
+              << ", " << batch[i].group[2] << "} -> top movie #"
+              << results[i].value().items.front() << '\n';
+  }
   return 0;
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benches and records machine-readable results:
+#   BENCH_micro.json  — google-benchmark microbenchmarks (core building blocks)
+#   BENCH_fig5.txt    — GRECA %SA scalability sweep (paper Figure 5)
+#   BENCH_batch.txt   — Engine::RecommendBatch vs sequential throughput
+#
+# Usage: scripts/bench.sh [build-dir]
+# Env:   GRECA_BENCH_SMALL=1 for a smoke-scale run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability bench_batch
+# bench_micro exists only when google-benchmark is installed; always rebuild
+# it so the recorded numbers match the current sources.
+if cmake --build "$BUILD_DIR" -j --target bench_micro 2>/dev/null; then
+  "$BUILD_DIR"/bench/bench_micro \
+    --benchmark_out=BENCH_micro.json --benchmark_out_format=json \
+    --benchmark_repetitions=1
+else
+  echo "bench_micro unavailable (google-benchmark not installed); skipping" >&2
+fi
+
+"$BUILD_DIR"/bench/bench_fig5_scalability | tee BENCH_fig5.txt
+"$BUILD_DIR"/bench/bench_batch | tee BENCH_batch.txt
+
+echo "Wrote BENCH_micro.json, BENCH_fig5.txt, BENCH_batch.txt"

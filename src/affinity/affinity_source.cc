@@ -1,0 +1,89 @@
+#include "affinity/affinity_source.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace greca {
+
+double AffinitySource::CumulativeDrift(UserId u, UserId v, PeriodId p) const {
+  double sum = 0.0;
+  for (PeriodId q = 0; q <= p; ++q) {
+    sum += Periodic(u, v, q) - PeriodAverage(q);
+  }
+  return sum;
+}
+
+double AffinitySource::NormalizedStatic(UserId u, UserId v) const {
+  const double max = MaxStatic();
+  return max > 0.0 ? Static(u, v) / max : 0.0;
+}
+
+SortedList AffinitySource::MaterializeStaticList(
+    std::span<const UserId> group) const {
+  const std::size_t g = group.size();
+  const auto num_pairs = static_cast<ListKey>(NumUserPairs(g));
+  std::vector<ListEntry> entries;
+  entries.reserve(num_pairs);
+  double group_max = 0.0;
+  for (std::size_t a = 0; a < g; ++a) {
+    for (std::size_t b = a + 1; b < g; ++b) {
+      const auto q = static_cast<ListKey>(LocalPairIndex(a, b, g));
+      const double raw = Static(group[a], group[b]);
+      group_max = std::max(group_max, raw);
+      entries.push_back({q, raw});
+    }
+  }
+  if (group_max > 0.0) {
+    for (ListEntry& e : entries) e.score /= group_max;
+  }
+  return SortedList::FromUnsorted(std::move(entries), num_pairs);
+}
+
+SortedList AffinitySource::MaterializePeriodList(std::span<const UserId> group,
+                                                 PeriodId p) const {
+  const std::size_t g = group.size();
+  const auto num_pairs = static_cast<ListKey>(NumUserPairs(g));
+  std::vector<ListEntry> entries;
+  entries.reserve(num_pairs);
+  for (std::size_t a = 0; a < g; ++a) {
+    for (std::size_t b = a + 1; b < g; ++b) {
+      const auto q = static_cast<ListKey>(LocalPairIndex(a, b, g));
+      entries.push_back({q, Periodic(group[a], group[b], p)});
+    }
+  }
+  return SortedList::FromUnsorted(std::move(entries), num_pairs);
+}
+
+std::vector<double> AffinitySource::PeriodAverages(PeriodId horizon) const {
+  std::vector<double> averages;
+  averages.reserve(horizon + 1);
+  for (PeriodId p = 0; p <= horizon; ++p) {
+    averages.push_back(PeriodAverage(p));
+  }
+  return averages;
+}
+
+double StudyAffinitySource::CumulativeDrift(UserId u, UserId v,
+                                            PeriodId p) const {
+  if (dynamic_ != nullptr && p < dynamic_->num_periods()) {
+    return dynamic_->CumulativeDrift(u, v, p);
+  }
+  return AffinitySource::CumulativeDrift(u, v, p);
+}
+
+DecayWeightedAffinitySource::DecayWeightedAffinitySource(
+    std::shared_ptr<const AffinitySource> base, double decay)
+    : base_(std::move(base)), decay_(decay) {
+  assert(base_ != nullptr);
+  assert(decay_ > 0.0 && decay_ <= 1.0);
+}
+
+double DecayWeightedAffinitySource::Weight(PeriodId p) const {
+  const std::size_t periods = num_periods();
+  if (periods == 0) return 1.0;
+  const auto age = static_cast<double>(periods - 1 - std::min<std::size_t>(p, periods - 1));
+  return std::pow(decay_, age);
+}
+
+}  // namespace greca

@@ -1,0 +1,138 @@
+// Pluggable affinity backend — the one contract through which the core
+// (GroupRecommender::BuildProblem, ModelAffinity) consumes affinities.
+//
+// The paper's deployment computes static affinity from common Facebook
+// friends and periodic affinity from common page-like categories (§2.1,
+// §4.1.2); StudyAffinitySource wraps exactly those precomputed tables plus
+// the incremental drift index of Equation 1. Alternative affinity models
+// (decay-weighted, similarity-derived, learned) implement the same interface
+// and plug into the engine without touching core/.
+//
+// Contract invariants every implementation must keep:
+//  * Periodic() and PeriodAverage() are on the normalized [0, 1] scale;
+//  * Static() is raw (>= 0) and MaxStatic() bounds it over the population —
+//    group- and population-level normalizations both derive from these;
+//  * all values are monotone inputs to the temporal combiner, which is what
+//    keeps the consensus bounds sound (Lemma 1).
+#ifndef GRECA_AFFINITY_AFFINITY_SOURCE_H_
+#define GRECA_AFFINITY_AFFINITY_SOURCE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "affinity/dynamic_affinity.h"
+#include "affinity/periodic_affinity.h"
+#include "affinity/static_affinity.h"
+#include "common/types.h"
+#include "topk/sorted_list.h"
+
+namespace greca {
+
+class AffinitySource {
+ public:
+  virtual ~AffinitySource() = default;
+
+  virtual std::size_t num_users() const = 0;
+  /// Number of closed periods with periodic affinities available.
+  virtual std::size_t num_periods() const = 0;
+
+  /// Raw static affinity affS(u, v) on the population scale.
+  virtual double Static(UserId u, UserId v) const = 0;
+  /// Largest static pair value over the population (0 for empty tables).
+  virtual double MaxStatic() const = 0;
+  /// Periodic affinity affP(u, v, p), normalized to [0, 1] within period p.
+  virtual double Periodic(UserId u, UserId v, PeriodId p) const = 0;
+  /// Population average of the normalized periodic affinity in period p.
+  virtual double PeriodAverage(PeriodId p) const = 0;
+
+  /// Cumulative drift Σ_{p' ≤ p} (affP(u, v, p') − AvgAffP(p')) — the
+  /// numerator of Equation 1. The default recomputes from Periodic() and
+  /// PeriodAverage() in O(p); index-backed sources override with O(1).
+  virtual double CumulativeDrift(UserId u, UserId v, PeriodId p) const;
+
+  /// Static affinity normalized by the population max, in [0, 1].
+  double NormalizedStatic(UserId u, UserId v) const;
+
+  // --- List materialization (what BuildProblem consumes, paper §3.1) ---
+
+  /// Static affinity list over the group's pairs, keyed by local pair index
+  /// (LocalPairIndex order) and normalized within the group by the maximum
+  /// pair value (§4.1.2; all zeros when the max is 0).
+  virtual SortedList MaterializeStaticList(std::span<const UserId> group) const;
+
+  /// Periodic affinity list for period p over the group's pairs, local pair
+  /// key order, normalized scale.
+  virtual SortedList MaterializePeriodList(std::span<const UserId> group,
+                                           PeriodId p) const;
+
+  /// Normalized population averages for periods 0..horizon inclusive.
+  virtual std::vector<double> PeriodAverages(PeriodId horizon) const;
+};
+
+/// The study-backed source: common-friend counts (static), common page-like
+/// category counts (periodic) and, when given, the incremental drift index
+/// (dynamic, O(1) CumulativeDrift). All referenced tables must outlive the
+/// source; the source itself is cheap to copy.
+class StudyAffinitySource final : public AffinitySource {
+ public:
+  StudyAffinitySource(const PairTable& static_counts,
+                      const PeriodicAffinity& periodic,
+                      const DynamicAffinityIndex* dynamic = nullptr)
+      : static_(&static_counts), periodic_(&periodic), dynamic_(dynamic) {}
+
+  std::size_t num_users() const override { return periodic_->num_users(); }
+  std::size_t num_periods() const override { return periodic_->num_periods(); }
+  double Static(UserId u, UserId v) const override {
+    return static_->Get(u, v);
+  }
+  double MaxStatic() const override { return static_->Max(); }
+  double Periodic(UserId u, UserId v, PeriodId p) const override {
+    return periodic_->Normalized(u, v, p);
+  }
+  double PeriodAverage(PeriodId p) const override {
+    return periodic_->PopulationAverageNormalized(p);
+  }
+  double CumulativeDrift(UserId u, UserId v, PeriodId p) const override;
+
+ private:
+  const PairTable* static_;
+  const PeriodicAffinity* periodic_;
+  const DynamicAffinityIndex* dynamic_;  // optional O(1) drift backend
+};
+
+/// Pluggability demonstrator: wraps another source and exponentially
+/// down-weights periodic affinities by age, weight(p) = decay^(P−1−p) for P
+/// available periods — recent togetherness counts more than old
+/// togetherness. Averages scale identically, so drifts stay consistent, and
+/// scaling by a positive constant preserves the monotonicity the consensus
+/// bounds rely on.
+class DecayWeightedAffinitySource final : public AffinitySource {
+ public:
+  /// `decay` must lie in (0, 1]; 1 reproduces `base` exactly.
+  DecayWeightedAffinitySource(std::shared_ptr<const AffinitySource> base,
+                              double decay);
+
+  std::size_t num_users() const override { return base_->num_users(); }
+  std::size_t num_periods() const override { return base_->num_periods(); }
+  double Static(UserId u, UserId v) const override {
+    return base_->Static(u, v);
+  }
+  double MaxStatic() const override { return base_->MaxStatic(); }
+  double Periodic(UserId u, UserId v, PeriodId p) const override {
+    return Weight(p) * base_->Periodic(u, v, p);
+  }
+  double PeriodAverage(PeriodId p) const override {
+    return Weight(p) * base_->PeriodAverage(p);
+  }
+
+ private:
+  double Weight(PeriodId p) const;
+
+  std::shared_ptr<const AffinitySource> base_;
+  double decay_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_AFFINITY_AFFINITY_SOURCE_H_

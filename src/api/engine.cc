@@ -1,0 +1,71 @@
+#include "api/engine.h"
+
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace greca {
+
+namespace {
+
+std::size_t ResolveNumThreads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw > 2 ? hw : 2;
+}
+
+}  // namespace
+
+Engine::Engine(const RatingsDataset& universe, const FacebookStudy& study,
+               RecommenderOptions options, EngineOptions engine_options)
+    : owned_(std::make_unique<GroupRecommender>(universe, study, options)),
+      recommender_(owned_.get()),
+      pool_(std::make_unique<ThreadPool>(
+          ResolveNumThreads(engine_options.num_threads))),
+      workspaces_(pool_->size()) {}
+
+Engine::Engine(const GroupRecommender& recommender,
+               EngineOptions engine_options)
+    : recommender_(&recommender),
+      pool_(std::make_unique<ThreadPool>(
+          ResolveNumThreads(engine_options.num_threads))),
+      workspaces_(pool_->size()) {}
+
+Status Engine::set_affinity_source(
+    std::shared_ptr<const AffinitySource> source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("affinity source must not be null");
+  }
+  if (owned_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine wraps an external recommender; swap its affinity source "
+        "directly");
+  }
+  owned_->set_affinity_source(std::move(source));
+  return Status::Ok();
+}
+
+Result<Recommendation> Engine::Recommend(const Query& query) const {
+  return recommender_->Recommend(query.group, query.spec);
+}
+
+std::vector<Result<Recommendation>> Engine::RecommendBatch(
+    std::span<const Query> queries) const {
+  // Serialize batches: each worker's QueryWorkspace must belong to exactly
+  // one in-flight batch.
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  std::vector<std::optional<Result<Recommendation>>> scratch(queries.size());
+  pool_->ParallelFor(
+      queries.size(), [&](std::size_t worker, std::size_t i) {
+        scratch[i].emplace(recommender_->Recommend(
+            queries[i].group, queries[i].spec, &workspaces_[worker]));
+      });
+  std::vector<Result<Recommendation>> results;
+  results.reserve(queries.size());
+  for (auto& r : scratch) {
+    results.push_back(std::move(*r));
+  }
+  return results;
+}
+
+}  // namespace greca

@@ -1,0 +1,92 @@
+// The public, batch-first entry point of the GRECA library.
+//
+// The paper's GRECA answers one ad-hoc group query at a time; production
+// workloads (and the related group-formation literature) issue thousands of
+// group queries per experiment. The Engine serves such workloads: a batch of
+// queries executes in parallel over an internal thread pool, with one
+// reusable QueryWorkspace per worker so the hot-path allocations (candidate
+// buffers, GRECA bound buffers) are amortized across the batch.
+//
+// Failures are per-query: RecommendBatch returns one Result<Recommendation>
+// per input query in input order, so one malformed query never poisons the
+// rest of the batch. Build queries with QueryBuilder (query_builder.h) to
+// surface validation errors before dispatch.
+//
+//   Engine engine(universe, study, options);
+//   std::vector<Query> queries = ...;
+//   for (auto& result : engine.RecommendBatch(queries)) {
+//     if (result.ok()) Use(result.value());
+//   }
+#ifndef GRECA_API_ENGINE_H_
+#define GRECA_API_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/group_recommender.h"
+
+namespace greca {
+
+/// One group recommendation request: an ad-hoc group of study participants
+/// plus the full query configuration.
+struct Query {
+  std::vector<UserId> group;
+  QuerySpec spec;
+};
+
+struct EngineOptions {
+  /// Worker threads for RecommendBatch. 0 picks
+  /// max(2, std::thread::hardware_concurrency()).
+  std::size_t num_threads = 0;
+};
+
+class Engine {
+ public:
+  /// Builds and owns the underlying recommender. Construction precomputes CF
+  /// predictions and affinity tables (the expensive, query-independent part);
+  /// both dataset references must outlive the engine.
+  Engine(const RatingsDataset& universe, const FacebookStudy& study,
+         RecommenderOptions options = {}, EngineOptions engine_options = {});
+  Engine(const SyntheticRatings& universe, const FacebookStudy& study,
+         RecommenderOptions options = {}, EngineOptions engine_options = {})
+      : Engine(universe.dataset, study, options, engine_options) {}
+
+  /// Wraps an existing recommender (non-owning; must outlive the engine).
+  explicit Engine(const GroupRecommender& recommender,
+                  EngineOptions engine_options = {});
+
+  /// Runs one query. Invalid queries yield a non-OK status.
+  Result<Recommendation> Recommend(const Query& query) const;
+
+  /// Runs a batch of queries in parallel over the internal thread pool and
+  /// returns one result per query, in input order. Results are identical to
+  /// issuing the queries sequentially (the algorithms are deterministic and
+  /// workspaces only amortize allocations). Thread-safe; concurrent batches
+  /// are serialized internally.
+  std::vector<Result<Recommendation>> RecommendBatch(
+      std::span<const Query> queries) const;
+
+  /// Swaps the pluggable affinity backend (see AffinitySource). Returns
+  /// kFailedPrecondition on engines that wrap an external recommender (the
+  /// wrapped instance is const; swap its source directly instead). Not
+  /// thread-safe with respect to in-flight queries.
+  Status set_affinity_source(std::shared_ptr<const AffinitySource> source);
+
+  const GroupRecommender& recommender() const { return *recommender_; }
+  std::size_t num_threads() const { return pool_->size(); }
+
+ private:
+  std::unique_ptr<GroupRecommender> owned_;  // null when wrapping
+  const GroupRecommender* recommender_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::vector<QueryWorkspace> workspaces_;  // one per worker
+  mutable std::mutex batch_mutex_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_API_ENGINE_H_

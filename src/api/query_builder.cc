@@ -1,0 +1,65 @@
+#include "api/query_builder.h"
+
+#include <utility>
+
+namespace greca {
+
+QueryBuilder& QueryBuilder::Members(std::vector<UserId> members) {
+  query_.group = std::move(members);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AddMember(UserId user) {
+  query_.group.push_back(user);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::TopK(std::size_t k) {
+  query_.spec.k = k;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Model(const AffinityModelSpec& model) {
+  query_.spec.model = model;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Consensus(const ConsensusSpec& consensus) {
+  query_.spec.consensus = consensus;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AtPeriod(PeriodId period) {
+  query_.spec.eval_period = period;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AtLastPeriod() {
+  query_.spec.eval_period = std::nullopt;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Using(Algorithm algorithm) {
+  query_.spec.algorithm = algorithm;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Termination(TerminationPolicy policy) {
+  query_.spec.termination = policy;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::CandidatePool(std::size_t num_items) {
+  query_.spec.num_candidate_items = num_items;
+  return *this;
+}
+
+Result<Query> QueryBuilder::Build() const {
+  if (Status s = recommender_->ValidateQuery(query_.group, query_.spec);
+      !s.ok()) {
+    return s;
+  }
+  return query_;
+}
+
+}  // namespace greca

@@ -1,0 +1,58 @@
+// Fluent construction of validated queries.
+//
+// QueryBuilder front-loads validation: Build() checks the group, k, the
+// candidate pool and the evaluation period against the engine's datasets and
+// returns either a ready-to-run Query or the first greca::Status error —
+// before any per-query work happens. A query that Build() returned OK cannot
+// fail validation inside Recommend/RecommendBatch.
+//
+//   const Result<Query> query = QueryBuilder(engine)
+//                                   .Members({4, 17, 29})
+//                                   .TopK(5)
+//                                   .Consensus(ConsensusSpec::AveragePreference())
+//                                   .AtLastPeriod()
+//                                   .Build();
+//   if (!query.ok()) { /* bad k / empty group / unknown user / bad period */ }
+#ifndef GRECA_API_QUERY_BUILDER_H_
+#define GRECA_API_QUERY_BUILDER_H_
+
+#include <vector>
+
+#include "api/engine.h"
+
+namespace greca {
+
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(const Engine& engine)
+      : QueryBuilder(engine.recommender()) {}
+  explicit QueryBuilder(const GroupRecommender& recommender)
+      : recommender_(&recommender) {}
+
+  /// Replaces the group (study participant ids).
+  QueryBuilder& Members(std::vector<UserId> members);
+  /// Appends one member.
+  QueryBuilder& AddMember(UserId user);
+  QueryBuilder& TopK(std::size_t k);
+  QueryBuilder& Model(const AffinityModelSpec& model);
+  QueryBuilder& Consensus(const ConsensusSpec& consensus);
+  /// Evaluates at an explicit period (must be in range at Build() time).
+  QueryBuilder& AtPeriod(PeriodId period);
+  /// Evaluates at the last study period (the default).
+  QueryBuilder& AtLastPeriod();
+  QueryBuilder& Using(Algorithm algorithm);
+  QueryBuilder& Termination(TerminationPolicy policy);
+  QueryBuilder& CandidatePool(std::size_t num_items);
+
+  /// Validates against the engine's datasets and returns the query or the
+  /// first validation error.
+  Result<Query> Build() const;
+
+ private:
+  const GroupRecommender* recommender_;
+  Query query_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_API_QUERY_BUILDER_H_

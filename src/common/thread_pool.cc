@@ -1,0 +1,67 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace greca {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* job;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      n = job_size_;
+    }
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*job)(worker, i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  job_size_ = n;
+  next_.store(0, std::memory_order_relaxed);
+  active_workers_ = workers_.size();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  job_ = nullptr;
+  job_size_ = 0;
+}
+
+}  // namespace greca

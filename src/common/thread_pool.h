@@ -1,0 +1,59 @@
+// Minimal fixed-size worker pool for data-parallel batches.
+//
+// One ParallelFor call fans indices [0, n) out to the workers through an
+// atomic cursor (dynamic load balancing — queries of very different cost mix
+// freely in one batch) and blocks until every index completed. The pool is
+// deliberately not a general task queue: the engine's batch execution is its
+// only job, and a single shared cursor keeps the dispatch overhead at one
+// fetch_add per query.
+#ifndef GRECA_COMMON_THREAD_POOL_H_
+#define GRECA_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace greca {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(worker, index) for every index in [0, n), spread across the
+  /// workers, and returns when all indices completed. `worker` is a stable
+  /// id in [0, size()) — callers key per-thread state off it. `fn` must be
+  /// callable concurrently from different workers. Calls do not nest;
+  /// concurrent ParallelFor calls must be serialized by the caller.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t worker,
+                                            std::size_t index)>& fn);
+
+ private:
+  void WorkerLoop(std::size_t worker);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::uint64_t generation_ = 0;  // bumped per ParallelFor
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_workers_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_COMMON_THREAD_POOL_H_

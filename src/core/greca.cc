@@ -12,10 +12,34 @@ namespace {
 class GrecaRun {
  public:
   GrecaRun(const GroupProblem& problem, const GrecaConfig& config,
-           GrecaStats* stats)
+           GrecaStats* stats, GrecaWorkspace& ws)
       : problem_(problem),
         config_(config),
         stats_(stats),
+        pref_pos_(ws.pref_pos),
+        pref_bound_(ws.pref_bound),
+        period_pos_(ws.period_pos),
+        period_bound_(ws.period_bound),
+        static_val_(ws.static_val),
+        static_seen_(ws.static_seen),
+        period_val_(ws.period_val),
+        period_seen_(ws.period_seen),
+        apref_val_(ws.apref_val),
+        apref_seen_(ws.apref_seen),
+        item_state_(ws.item_state),
+        active_items_(ws.active_items),
+        ag_pos_(ws.ag_pos),
+        ag_bound_(ws.ag_bound),
+        ag_val_(ws.ag_val),
+        ag_seen_(ws.ag_seen),
+        ag_iv_(ws.ag_iv),
+        pair_iv_(ws.pair_iv),
+        aff_p_iv_(ws.aff_p_iv),
+        apref_iv_(ws.apref_iv),
+        pref_iv_(ws.pref_iv),
+        item_lb_(ws.item_lb),
+        item_ub_(ws.item_ub),
+        scratch_lbs_(ws.scratch_lbs),
         g_(problem.group_size()),
         num_pairs_(problem.num_pairs()),
         num_periods_(problem.num_periods()),
@@ -38,6 +62,7 @@ class GrecaRun {
     apref_val_.assign(m_ * g_, 0.0);
     apref_seen_.assign(m_, 0u);
     item_state_.assign(m_, kUnseen);
+    active_items_.clear();
 
     if (uses_agreements_) {
       ag_pos_.assign(num_ag_, 0);
@@ -287,6 +312,44 @@ class GrecaRun {
   const GroupProblem& problem_;
   const GrecaConfig& config_;
   GrecaStats* stats_;
+
+  // All bulk state lives in the (possibly caller-provided) workspace so its
+  // capacity survives across runs; scalars stay run-local.
+
+  // Cursors and last-read bounds per list.
+  std::vector<std::size_t>& pref_pos_;
+  std::vector<double>& pref_bound_;
+  std::vector<std::size_t>& period_pos_;
+  std::vector<double>& period_bound_;
+
+  // Seen affinity components.
+  std::vector<double>& static_val_;
+  std::vector<std::uint8_t>& static_seen_;
+  std::vector<double>& period_val_;
+  std::vector<std::uint8_t>& period_seen_;
+
+  // Seen absolute preferences per (item, member).
+  std::vector<double>& apref_val_;
+  std::vector<std::uint32_t>& apref_seen_;
+  std::vector<std::uint8_t>& item_state_;
+  std::vector<ListKey>& active_items_;
+
+  // Agreement-list state (pairwise-disagreement consensus only).
+  std::vector<std::size_t>& ag_pos_;
+  std::vector<double>& ag_bound_;
+  std::vector<double>& ag_val_;         // m × num_pairs
+  std::vector<std::uint8_t>& ag_seen_;  // m × num_pairs
+  std::vector<Interval>& ag_iv_;
+
+  // Scratch.
+  std::vector<Interval>& pair_iv_;
+  std::vector<Interval>& aff_p_iv_;
+  std::vector<Interval>& apref_iv_;
+  std::vector<Interval>& pref_iv_;
+  std::vector<double>& item_lb_;
+  std::vector<double>& item_ub_;
+  std::vector<double>& scratch_lbs_;
+
   const std::size_t g_;
   const std::size_t num_pairs_;
   const std::size_t num_periods_;
@@ -295,51 +358,20 @@ class GrecaRun {
   const double ag_floor_;
   const bool uses_agreements_;
 
-  // Cursors and last-read bounds per list.
-  std::vector<std::size_t> pref_pos_;
-  std::vector<double> pref_bound_;
+  // Run-local cursor/flag scalars.
   std::size_t static_pos_ = 0;
   double static_bound_ = 1.0;
-  std::vector<std::size_t> period_pos_;
-  std::vector<double> period_bound_;
-
-  // Seen affinity components.
-  std::vector<double> static_val_;
-  std::vector<std::uint8_t> static_seen_;
-  std::vector<double> period_val_;
-  std::vector<std::uint8_t> period_seen_;
-
-  // Seen absolute preferences per (item, member).
-  std::vector<double> apref_val_;
-  std::vector<std::uint32_t> apref_seen_;
-  std::vector<std::uint8_t> item_state_;
-  std::vector<ListKey> active_items_;
   bool pruned_any_ = false;
-
-  // Agreement-list state (pairwise-disagreement consensus only).
-  std::vector<std::size_t> ag_pos_;
-  std::vector<double> ag_bound_;
-  std::vector<double> ag_val_;         // m × num_pairs
-  std::vector<std::uint8_t> ag_seen_;  // m × num_pairs
-  std::vector<Interval> ag_iv_;
-
-  // Scratch.
-  std::vector<Interval> pair_iv_;
-  std::vector<Interval> aff_p_iv_;
-  std::vector<Interval> apref_iv_;
-  std::vector<Interval> pref_iv_;
-  std::vector<double> item_lb_;
-  std::vector<double> item_ub_;
-  std::vector<double> scratch_lbs_;
 };
 
 }  // namespace
 
 TopKResult Greca(const GroupProblem& problem, const GrecaConfig& config,
-                 GrecaStats* stats) {
+                 GrecaStats* stats, GrecaWorkspace* workspace) {
   assert(config.k >= 1);
   assert(config.check_interval >= 1);
-  GrecaRun run(problem, config, stats);
+  GrecaWorkspace local;
+  GrecaRun run(problem, config, stats, workspace != nullptr ? *workspace : local);
   return run.Run();
 }
 

@@ -55,10 +55,55 @@ struct GrecaStats {
   double final_threshold = 0.0;
 };
 
+/// Reusable buffers of one GRECA run: cursors, seen values, candidate-bound
+/// buffers and interval scratch. Passing the same workspace to consecutive
+/// Greca() calls amortizes the hot-path allocations across a batch of
+/// queries (each run re-initializes the contents, never the capacity). A
+/// workspace may be reused across problems of any shape but must not be
+/// shared by concurrent runs.
+struct GrecaWorkspace {
+  // Cursors and last-read bounds per list.
+  std::vector<std::size_t> pref_pos;
+  std::vector<double> pref_bound;
+  std::vector<std::size_t> period_pos;
+  std::vector<double> period_bound;
+
+  // Seen affinity components.
+  std::vector<double> static_val;
+  std::vector<std::uint8_t> static_seen;
+  std::vector<double> period_val;
+  std::vector<std::uint8_t> period_seen;
+
+  // Seen absolute preferences per (item, member) and the candidate buffer.
+  std::vector<double> apref_val;
+  std::vector<std::uint32_t> apref_seen;
+  std::vector<std::uint8_t> item_state;
+  std::vector<ListKey> active_items;
+
+  // Agreement-list state (pairwise-disagreement consensus only).
+  std::vector<std::size_t> ag_pos;
+  std::vector<double> ag_bound;
+  std::vector<double> ag_val;
+  std::vector<std::uint8_t> ag_seen;
+  std::vector<Interval> ag_iv;
+
+  // Interval and bound scratch.
+  std::vector<Interval> pair_iv;
+  std::vector<Interval> aff_p_iv;
+  std::vector<Interval> apref_iv;
+  std::vector<Interval> pref_iv;
+  std::vector<double> item_lb;
+  std::vector<double> item_ub;
+  std::vector<double> scratch_lbs;
+};
+
 /// Runs GRECA. Every preference list must cover the full candidate key space
 /// and every affinity list all group pairs (zero-score entries included).
+/// `workspace`, when non-null, provides reusable buffers (see
+/// GrecaWorkspace); when null a run-local workspace is used.
 TopKResult Greca(const GroupProblem& problem, const GrecaConfig& config,
-                 GrecaStats* stats = nullptr);
+                 GrecaStats* stats = nullptr,
+                 GrecaWorkspace* workspace = nullptr);
 
 }  // namespace greca
 

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
+#include <string>
+#include <utility>
 
 #include "cf/preference_list.h"
 #include "cf/similarity.h"
@@ -27,14 +28,70 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
         knn_.PredictAll(study.study_ratings.RatingsOfUser(su)));
   }
   static_ = ComputeCommonFriendCounts(study.graph);
+  source_ = std::make_shared<StudyAffinitySource>(static_, periodic_, &dynamic_);
   popular_items_ = universe.TopPopularItems(options.max_candidate_items);
 }
 
-PeriodId GroupRecommender::ResolvePeriod(PeriodId requested) const {
+void GroupRecommender::set_affinity_source(
+    std::shared_ptr<const AffinitySource> source) {
+  assert(source != nullptr);
+  source_ = std::move(source);
+}
+
+Result<PeriodId> GroupRecommender::ResolvePeriod(
+    std::optional<PeriodId> requested) const {
   const auto last =
       static_cast<PeriodId>(study_->periods.num_periods() - 1);
-  return requested == QuerySpec::kLastPeriod ? last
-                                             : std::min(requested, last);
+  if (!requested.has_value()) return last;
+  if (*requested > last) {
+    return Status::OutOfRange("eval_period " + std::to_string(*requested) +
+                              " out of range [0, " + std::to_string(last) +
+                              "]");
+  }
+  return *requested;
+}
+
+Status GroupRecommender::ValidateQuery(std::span<const UserId> group,
+                                       const QuerySpec& spec) const {
+  if (group.empty()) {
+    return Status::InvalidArgument("group must not be empty");
+  }
+  // The seen-bitmask in GRECA's runtime state caps its groups at 32
+  // members; the naive scan and TA have no such limit.
+  if (spec.algorithm == Algorithm::kGreca && group.size() > 32) {
+    return Status::InvalidArgument(
+        "GRECA is limited to 32-member groups (got " +
+        std::to_string(group.size()) + "); use kNaive or kTa");
+  }
+  if (spec.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (spec.num_candidate_items == 0) {
+    return Status::InvalidArgument("candidate pool must not be empty");
+  }
+  const std::size_t n = study_->num_participants();
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i] >= n) {
+      return Status::NotFound("unknown study participant " +
+                              std::to_string(group[i]) + " (study has " +
+                              std::to_string(n) + ")");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (group[j] == group[i]) {
+        return Status::InvalidArgument("duplicate group member " +
+                                       std::to_string(group[i]));
+      }
+    }
+  }
+  const Result<PeriodId> period = ResolvePeriod(spec.eval_period);
+  if (!period.ok()) return period.status();
+  if (spec.model.affinity_aware && spec.model.time_aware &&
+      period.value() >= source_->num_periods()) {
+    return Status::FailedPrecondition(
+        "affinity source covers only " +
+        std::to_string(source_->num_periods()) + " periods");
+  }
+  return Status::Ok();
 }
 
 std::span<const Score> GroupRecommender::Predictions(UserId study_user) const {
@@ -49,90 +106,76 @@ double GroupRecommender::RatingSimilarity(UserId a, UserId b) const {
                            study_->study_ratings.RatingsOfUser(b));
 }
 
-double GroupRecommender::ModelAffinity(UserId a, UserId b, PeriodId period,
+double GroupRecommender::ModelAffinity(UserId a, UserId b,
+                                       std::optional<PeriodId> period,
                                        const AffinityModelSpec& spec) const {
-  const PeriodId p = ResolvePeriod(period);
-  std::vector<double> averages;
+  const Result<PeriodId> resolved = ResolvePeriod(period);
+  assert(resolved.ok() && "ModelAffinity requires an in-range period");
+  if (!resolved.ok()) return 0.0;
+  const PeriodId p = resolved.value();
+  std::vector<double> averages = source_->PeriodAverages(p);
   std::vector<double> aff_p;
+  aff_p.reserve(p + 1);
   for (PeriodId q = 0; q <= p; ++q) {
-    averages.push_back(periodic_.PopulationAverageNormalized(q));
-    aff_p.push_back(periodic_.Normalized(a, b, q));
+    aff_p.push_back(source_->Periodic(a, b, q));
   }
   const AffinityCombiner combiner(spec, std::move(averages));
   // Static affinity normalized by the population max (group context is not
   // available for a bare pair).
-  const double max_static = static_.Max();
-  const double aff_s = max_static > 0.0 ? static_.Get(a, b) / max_static : 0.0;
-  return combiner.Combine(aff_s, aff_p);
+  return combiner.Combine(source_->NormalizedStatic(a, b), aff_p);
 }
 
-GroupProblem GroupRecommender::BuildProblem(
+Result<GroupProblem> GroupRecommender::BuildProblem(
     std::span<const UserId> group, const QuerySpec& spec,
-    std::vector<ItemId>* candidates_out) const {
-  assert(!group.empty());
-  const PeriodId eval_period = ResolvePeriod(spec.eval_period);
+    std::vector<ItemId>* candidates_out, QueryWorkspace* workspace) const {
+  if (Status s = ValidateQuery(group, spec); !s.ok()) return s;
+  const PeriodId eval_period = ResolvePeriod(spec.eval_period).value();
   const std::size_t g = group.size();
 
+  QueryWorkspace local;
+  QueryWorkspace& ws = workspace != nullptr ? *workspace : local;
+
   // Candidate pool: top-N popular items minus the group's rated items.
-  std::unordered_set<ItemId> rated;
+  ws.rated.clear();
   if (options_.exclude_group_rated) {
     for (const UserId su : group) {
       for (const auto& e : study_->study_ratings.RatingsOfUser(su)) {
-        rated.insert(e.item);
+        ws.rated.insert(e.item);
       }
     }
   }
-  std::vector<ItemId> candidates;
+  ws.candidates.clear();
   const std::size_t pool =
       std::min(spec.num_candidate_items, popular_items_.size());
-  candidates.reserve(pool);
+  ws.candidates.reserve(pool);
   for (std::size_t i = 0; i < pool; ++i) {
-    if (!rated.contains(popular_items_[i])) {
-      candidates.push_back(popular_items_[i]);
+    if (!ws.rated.contains(popular_items_[i])) {
+      ws.candidates.push_back(popular_items_[i]);
     }
   }
-  const auto m = static_cast<ListKey>(candidates.size());
+  const auto m = static_cast<ListKey>(ws.candidates.size());
 
   // Preference lists (apref normalized to [0, 1] by the 5-star scale).
   std::vector<SortedList> pref_lists;
   pref_lists.reserve(g);
   for (const UserId su : group) {
     pref_lists.push_back(SortedList::FromUnsorted(
-        BuildPreferenceEntries(predictions_[su], 5.0, candidates), m));
+        BuildPreferenceEntries(predictions_[su], 5.0, ws.candidates), m));
   }
 
-  // Static affinity list, normalized within the group (paper §4.1.2).
-  const std::vector<double> static_vals = NormalizeWithinGroup(static_, group);
-  const auto num_pairs = static_cast<ListKey>(static_vals.size());
-  std::vector<ListEntry> static_entries;
-  static_entries.reserve(static_vals.size());
-  for (ListKey q = 0; q < num_pairs; ++q) {
-    static_entries.push_back({q, static_vals[q]});
-  }
-  SortedList static_list =
-      SortedList::FromUnsorted(std::move(static_entries), num_pairs);
-
-  // One periodic affinity list per period 0..eval_period.
+  // Affinity lists come only from the pluggable source: the static list is
+  // group-normalized (paper §4.1.2), plus one periodic list per period
+  // 0..eval_period. Time- or affinity-agnostic variants read no periodic
+  // lists at all.
+  SortedList static_list = source_->MaterializeStaticList(group);
   std::vector<SortedList> period_lists;
   std::vector<double> averages;
-  for (PeriodId p = 0; p <= eval_period; ++p) {
-    std::vector<ListEntry> entries;
-    entries.reserve(static_vals.size());
-    for (std::size_t a = 0; a < g; ++a) {
-      for (std::size_t b = a + 1; b < g; ++b) {
-        const auto q =
-            static_cast<ListKey>(LocalPairIndex(a, b, g));
-        entries.push_back({q, periodic_.Normalized(group[a], group[b], p)});
-      }
+  if (spec.model.time_aware && spec.model.affinity_aware) {
+    period_lists.reserve(eval_period + 1);
+    for (PeriodId p = 0; p <= eval_period; ++p) {
+      period_lists.push_back(source_->MaterializePeriodList(group, p));
     }
-    period_lists.push_back(
-        SortedList::FromUnsorted(std::move(entries), num_pairs));
-    averages.push_back(periodic_.PopulationAverageNormalized(p));
-  }
-  if (!spec.model.time_aware || !spec.model.affinity_aware) {
-    // Time-agnostic variants read no periodic lists at all.
-    period_lists.clear();
-    averages.clear();
+    averages = source_->PeriodAverages(eval_period);
   }
 
   // Pair-wise disagreement consensus reads its own agreement list (Lemma 1's
@@ -146,16 +189,19 @@ GroupProblem GroupRecommender::BuildProblem(
   }
 
   AffinityCombiner combiner(spec.model, std::move(averages));
-  if (candidates_out != nullptr) *candidates_out = candidates;
+  if (candidates_out != nullptr) *candidates_out = ws.candidates;
   return GroupProblem(m, std::move(pref_lists), std::move(static_list),
                       std::move(period_lists), std::move(combiner),
                       spec.consensus, std::move(agreement_lists));
 }
 
-Recommendation GroupRecommender::Recommend(std::span<const UserId> group,
-                                           const QuerySpec& spec) const {
-  std::vector<ItemId> candidates;
-  const GroupProblem problem = BuildProblem(group, spec, &candidates);
+Result<Recommendation> GroupRecommender::Recommend(
+    std::span<const UserId> group, const QuerySpec& spec,
+    QueryWorkspace* workspace) const {
+  QueryWorkspace local;
+  QueryWorkspace& ws = workspace != nullptr ? *workspace : local;
+  Result<GroupProblem> problem = BuildProblem(group, spec, nullptr, &ws);
+  if (!problem.ok()) return problem.status();
 
   Recommendation rec;
   switch (spec.algorithm) {
@@ -163,20 +209,20 @@ Recommendation GroupRecommender::Recommend(std::span<const UserId> group,
       GrecaConfig config;
       config.k = spec.k;
       config.termination = spec.termination;
-      rec.raw = Greca(problem, config, &rec.greca_stats);
+      rec.raw = Greca(problem.value(), config, &rec.greca_stats, &ws.greca);
       break;
     }
     case Algorithm::kNaive:
-      rec.raw = NaiveTopK(problem, spec.k);
+      rec.raw = NaiveTopK(problem.value(), spec.k);
       break;
     case Algorithm::kTa:
-      rec.raw = TaTopK(problem, spec.k);
+      rec.raw = TaTopK(problem.value(), spec.k);
       break;
   }
   rec.items.reserve(rec.raw.items.size());
   rec.scores.reserve(rec.raw.items.size());
   for (const ListEntry& e : rec.raw.items) {
-    rec.items.push_back(candidates[e.id]);
+    rec.items.push_back(ws.candidates[e.id]);
     rec.scores.push_back(e.score);
   }
   return rec;

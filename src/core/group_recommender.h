@@ -1,6 +1,7 @@
 // High-level facade: builds group top-k problems from the datasets and runs
-// the recommendation algorithms. This is the public entry point a downstream
-// application uses (see examples/quickstart.cc).
+// the recommendation algorithms. Downstream applications normally reach it
+// through the batch-first `Engine` in src/api/ (see examples/quickstart.cc);
+// this layer stays usable directly for tests and benches.
 //
 // Pipeline per query (ad-hoc group G, evaluation period p):
 //  1. candidate items = most popular universe items minus items any member
@@ -12,17 +13,32 @@
 //  4. periodic affinities from common page-like categories per period;
 //  5. the chosen temporal model + consensus function form a GroupProblem
 //     solved by GRECA / TA / the naive scan.
+//
+// Affinities (steps 3–4) are consumed exclusively through the pluggable
+// AffinitySource interface; by default queries run against the study-backed
+// source, and set_affinity_source() swaps in alternative models without
+// touching this layer.
+//
+// Error handling: invalid queries (empty group, k = 0, unknown member,
+// out-of-range period, oversized group) are reported through
+// `greca::Status` — Recommend/BuildProblem return Result<> and never assert
+// on bad query input.
 #ifndef GRECA_CORE_GROUP_RECOMMENDER_H_
 #define GRECA_CORE_GROUP_RECOMMENDER_H_
 
+#include <memory>
+#include <optional>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
+#include "affinity/affinity_source.h"
 #include "affinity/dynamic_affinity.h"
 #include "affinity/periodic_affinity.h"
 #include "affinity/static_affinity.h"
 #include "affinity/temporal_model.h"
 #include "cf/user_knn.h"
+#include "common/status.h"
 #include "consensus/consensus.h"
 #include "core/greca.h"
 #include "dataset/facebook_study.h"
@@ -52,14 +68,14 @@ struct QuerySpec {
   AffinityModelSpec model;
   ConsensusSpec consensus;
   /// Evaluation period index into the study timeline; recommendations use
-  /// periods 0..eval_period inclusive. Defaults to the last study period.
-  PeriodId eval_period = kLastPeriod;
+  /// periods 0..eval_period inclusive. `std::nullopt` means "the last study
+  /// period"; explicit indices must be in range — ResolvePeriod rejects
+  /// out-of-range values with kOutOfRange instead of clamping.
+  std::optional<PeriodId> eval_period;
   Algorithm algorithm = Algorithm::kGreca;
   TerminationPolicy termination = TerminationPolicy::kBufferCondition;
   /// Candidate pool size for this query (<= RecommenderOptions limit).
   std::size_t num_candidate_items = 3'900;
-
-  static constexpr PeriodId kLastPeriod = 0xFFFFFFFFu;
 };
 
 struct Recommendation {
@@ -71,6 +87,16 @@ struct Recommendation {
   TopKResult raw;
   /// GRECA-only execution statistics (zeros for other algorithms).
   GrecaStats greca_stats;
+};
+
+/// Reusable per-query buffers: the candidate-pool scratch plus GRECA's bound
+/// buffers. One workspace per worker thread amortizes hot-path allocations
+/// across a batch of queries; a workspace must never be shared by concurrent
+/// queries.
+struct QueryWorkspace {
+  std::unordered_set<ItemId> rated;
+  std::vector<ItemId> candidates;
+  GrecaWorkspace greca;
 };
 
 class GroupRecommender {
@@ -87,16 +113,38 @@ class GroupRecommender {
                    const FacebookStudy& study, RecommenderOptions options)
       : GroupRecommender(universe.dataset, study, options) {}
 
-  /// Recommends spec.k items to `group` (study participant ids).
-  Recommendation Recommend(std::span<const UserId> group,
-                           const QuerySpec& spec) const;
+  // The default affinity source points at member tables.
+  GroupRecommender(const GroupRecommender&) = delete;
+  GroupRecommender& operator=(const GroupRecommender&) = delete;
+
+  /// Recommends spec.k items to `group` (study participant ids). Returns a
+  /// non-OK status for invalid queries (see ValidateQuery). `workspace`, when
+  /// non-null, provides reusable buffers for batch execution.
+  Result<Recommendation> Recommend(std::span<const UserId> group,
+                                   const QuerySpec& spec,
+                                   QueryWorkspace* workspace = nullptr) const;
 
   /// Builds the underlying top-k problem (exposed for tests and benches).
   /// `candidates_out`, when non-null, receives the candidate universe items
-  /// in key order.
-  GroupProblem BuildProblem(std::span<const UserId> group,
-                            const QuerySpec& spec,
-                            std::vector<ItemId>* candidates_out = nullptr) const;
+  /// in key order. Affinity lists are materialized through the configured
+  /// AffinitySource only.
+  Result<GroupProblem> BuildProblem(
+      std::span<const UserId> group, const QuerySpec& spec,
+      std::vector<ItemId>* candidates_out = nullptr,
+      QueryWorkspace* workspace = nullptr) const;
+
+  /// Validates a query without running it: non-empty group of known,
+  /// distinct participants (≤ 32 for GRECA, its seen-bitmask limit), k ≥ 1,
+  /// a non-empty candidate pool and an in-range evaluation period.
+  Status ValidateQuery(std::span<const UserId> group,
+                       const QuerySpec& spec) const;
+
+  /// Swaps the affinity backend every subsequent query consumes. The default
+  /// is the study-backed source (common friends + page-like categories +
+  /// drift index). The source must cover the study's participants and
+  /// periods.
+  void set_affinity_source(std::shared_ptr<const AffinitySource> source);
+  const AffinitySource& affinity_source() const { return *source_; }
 
   /// CF-predicted ratings (universe scale) for a study participant.
   std::span<const Score> Predictions(UserId study_user) const;
@@ -106,8 +154,11 @@ class GroupRecommender {
   double RatingSimilarity(UserId a, UserId b) const;
 
   /// Model affinity of a pair at a period (used to form high/low affinity
-  /// groups; the 0.4 cut of §4.1.3 applies to this value).
-  double ModelAffinity(UserId a, UserId b, PeriodId period,
+  /// groups; the 0.4 cut of §4.1.3 applies to this value). `period` follows
+  /// the QuerySpec convention (nullopt = last period) and must resolve — this
+  /// is an evaluation helper, not a query path, so an out-of-range period is
+  /// a programming error (returns 0 in release builds).
+  double ModelAffinity(UserId a, UserId b, std::optional<PeriodId> period,
                        const AffinityModelSpec& spec) const;
 
   const PeriodicAffinity& periodic_affinity() const { return periodic_; }
@@ -116,7 +167,10 @@ class GroupRecommender {
   const FacebookStudy& study() const { return *study_; }
   std::size_t num_periods() const { return study_->periods.num_periods(); }
 
-  PeriodId ResolvePeriod(PeriodId requested) const;
+  /// The single resolution point for the last-period convention: nullopt
+  /// resolves to the last study period, explicit in-range indices to
+  /// themselves, and anything else to kOutOfRange.
+  Result<PeriodId> ResolvePeriod(std::optional<PeriodId> requested) const;
 
  private:
   const RatingsDataset* universe_;
@@ -127,6 +181,7 @@ class GroupRecommender {
   PairTable static_;                             // raw common-friend counts
   PeriodicAffinity periodic_;
   DynamicAffinityIndex dynamic_;
+  std::shared_ptr<const AffinitySource> source_;  // never null
   std::vector<ItemId> popular_items_;  // top max_candidate_items by popularity
 };
 

@@ -50,7 +50,7 @@ std::vector<ItemId> QualityHarness::RecommendList(
   // The naive algorithm gives the exact, totally-ordered list; quality
   // results must not depend on GRECA's partial order.
   spec.algorithm = Algorithm::kNaive;
-  return recommender_->Recommend(group.members, spec).items;
+  return recommender_->Recommend(group.members, spec).value().items;
 }
 
 std::vector<double> QualityHarness::IndependentEval(
@@ -177,7 +177,7 @@ PerformanceHarness::SaMeasurement PerformanceHarness::Measure(
   OnlineStats saveup;
   OnlineStats rounds;
   for (const Group& g : groups) {
-    const Recommendation rec = recommender_->Recommend(g, spec);
+    const Recommendation rec = recommender_->Recommend(g, spec).value();
     sa.Add(rec.raw.SequentialAccessPercent());
     saveup.Add(rec.raw.SaveupPercent());
     rounds.Add(static_cast<double>(rec.raw.rounds));

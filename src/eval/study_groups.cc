@@ -120,7 +120,7 @@ std::vector<StudyGroup> FormStudyGroups(const GroupRecommender& recommender) {
     for (UserId b = static_cast<UserId>(a + 1); b < n; ++b) {
       const double s = recommender.RatingSimilarity(a, b);
       const double f =
-          recommender.ModelAffinity(a, b, QuerySpec::kLastPeriod, model);
+          recommender.ModelAffinity(a, b, std::nullopt, model);
       sim_cache[a * n + b] = sim_cache[b * n + a] = s;
       aff_cache[a * n + b] = aff_cache[b * n + a] = f;
     }

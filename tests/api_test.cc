@@ -1,0 +1,309 @@
+// Tests for the batch-first public API: Engine::RecommendBatch equivalence
+// with sequential execution, QueryBuilder validation, determinism across
+// thread counts, workspace reuse, the thread pool itself, and pluggable
+// affinity sources.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/query_builder.h"
+#include "common/thread_pool.h"
+
+namespace greca {
+namespace {
+
+class ApiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticRatingsConfig uc;
+    uc.num_users = 350;
+    uc.num_items = 450;
+    uc.target_ratings = 30'000;
+    uc.seed = 33;
+    universe_ = new SyntheticRatings(GenerateSyntheticRatings(uc));
+    FacebookStudyConfig sc;
+    sc.diversity_pool = 200;
+    study_ = new FacebookStudy(GenerateFacebookStudy(sc, *universe_));
+    RecommenderOptions options;
+    options.max_candidate_items = 400;
+    EngineOptions eopts;
+    eopts.num_threads = 4;
+    engine_ = new Engine(*universe_, *study_, options, eopts);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete study_;
+    delete universe_;
+    engine_ = nullptr;
+    study_ = nullptr;
+    universe_ = nullptr;
+  }
+
+  /// A mixed 64-query batch: group sizes 2..7, all algorithms, several
+  /// models/consensus functions and k values, all periods.
+  static std::vector<Query> MixedBatch() {
+    const auto participants =
+        static_cast<UserId>(study_->num_participants());
+    const auto num_periods =
+        static_cast<PeriodId>(engine_->recommender().num_periods());
+    const AffinityModelSpec models[] = {
+        AffinityModelSpec::Default(), AffinityModelSpec::Continuous(),
+        AffinityModelSpec::TimeAgnostic(),
+        AffinityModelSpec::AffinityAgnostic()};
+    const ConsensusSpec consensus[] = {
+        ConsensusSpec::AveragePreference(), ConsensusSpec::LeastMisery(),
+        ConsensusSpec::PairwiseDisagreement(0.8)};
+    const Algorithm algorithms[] = {Algorithm::kGreca, Algorithm::kNaive,
+                                    Algorithm::kTa};
+    std::vector<Query> batch;
+    for (std::size_t i = 0; i < 64; ++i) {
+      Query q;
+      const std::size_t size = 2 + i % 6;
+      for (std::size_t j = 0; j < size; ++j) {
+        q.group.push_back(
+            static_cast<UserId>((i * 13 + j * 7) % participants));
+      }
+      std::sort(q.group.begin(), q.group.end());
+      q.group.erase(std::unique(q.group.begin(), q.group.end()),
+                    q.group.end());
+      q.spec.k = 3 + i % 8;
+      q.spec.model = models[i % 4];
+      q.spec.consensus = consensus[i % 3];
+      q.spec.algorithm = algorithms[i % 3];
+      q.spec.num_candidate_items = 400;
+      q.spec.eval_period = static_cast<PeriodId>(i % num_periods);
+      batch.push_back(std::move(q));
+    }
+    return batch;
+  }
+
+  static SyntheticRatings* universe_;
+  static FacebookStudy* study_;
+  static Engine* engine_;
+};
+
+SyntheticRatings* ApiTest::universe_ = nullptr;
+FacebookStudy* ApiTest::study_ = nullptr;
+Engine* ApiTest::engine_ = nullptr;
+
+TEST_F(ApiTest, BatchMatchesSequentialOn64Queries) {
+  const std::vector<Query> batch = MixedBatch();
+  ASSERT_EQ(batch.size(), 64u);
+  const auto parallel = engine_->RecommendBatch(batch);
+  ASSERT_EQ(parallel.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto sequential = engine_->Recommend(batch[i]);
+    ASSERT_TRUE(sequential.ok()) << "query " << i;
+    ASSERT_TRUE(parallel[i].ok()) << "query " << i;
+    EXPECT_EQ(parallel[i].value().items, sequential.value().items)
+        << "query " << i;
+    EXPECT_EQ(parallel[i].value().scores, sequential.value().scores)
+        << "query " << i;
+  }
+}
+
+TEST_F(ApiTest, BatchIsDeterministicAcrossThreadCounts) {
+  const std::vector<Query> batch = MixedBatch();
+  EngineOptions two;
+  two.num_threads = 2;
+  EngineOptions five;
+  five.num_threads = 5;
+  const Engine engine2(engine_->recommender(), two);
+  const Engine engine5(engine_->recommender(), five);
+  EXPECT_EQ(engine2.num_threads(), 2u);
+  EXPECT_EQ(engine5.num_threads(), 5u);
+  const auto r2 = engine2.RecommendBatch(batch);
+  const auto r5 = engine5.RecommendBatch(batch);
+  const auto r5b = engine5.RecommendBatch(batch);
+  ASSERT_EQ(r2.size(), r5.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(r2[i].value().items, r5[i].value().items) << "query " << i;
+    EXPECT_EQ(r5[i].value().items, r5b[i].value().items) << "query " << i;
+    EXPECT_EQ(r2[i].value().scores, r5[i].value().scores) << "query " << i;
+  }
+}
+
+TEST_F(ApiTest, DefaultEngineUsesAtLeastTwoThreads) {
+  const Engine engine(engine_->recommender());
+  EXPECT_GE(engine.num_threads(), 2u);
+}
+
+TEST_F(ApiTest, ValidationErrorsSurfaceAsStatus) {
+  // Empty group.
+  auto r = QueryBuilder(*engine_).TopK(5).Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // k = 0.
+  r = QueryBuilder(*engine_).Members({1, 2, 3}).TopK(0).Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown user.
+  r = QueryBuilder(*engine_).Members({1, 10'000}).Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+
+  // Duplicate member.
+  r = QueryBuilder(*engine_).Members({4, 4, 7}).Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Out-of-range period.
+  r = QueryBuilder(*engine_).Members({1, 2}).AtPeriod(10'000).Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+
+  // Empty candidate pool.
+  r = QueryBuilder(*engine_).Members({1, 2}).CandidatePool(0).Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Oversized groups are a GRECA-only limit (32-bit seen bitmask); the
+  // naive scan accepts them.
+  std::vector<UserId> big_group;
+  for (UserId u = 0; u < 33; ++u) big_group.push_back(u);
+  r = QueryBuilder(*engine_).Members(big_group).TopK(3).Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  r = QueryBuilder(*engine_)
+          .Members(big_group)
+          .TopK(3)
+          .Using(Algorithm::kNaive)
+          .Build();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // A valid build passes and runs.
+  r = QueryBuilder(*engine_).Members({4, 17, 29}).TopK(5).Build();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto rec = engine_->Recommend(r.value());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().items.size(), 5u);
+}
+
+TEST_F(ApiTest, BadQueryInBatchDoesNotPoisonOthers) {
+  std::vector<Query> batch = MixedBatch();
+  batch.resize(8);
+  batch[3].group.clear();                  // invalid: empty group
+  batch[5].spec.eval_period = 10'000;      // invalid: out-of-range period
+  const auto results = engine_->RecommendBatch(batch);
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == 3) {
+      ASSERT_FALSE(results[i].ok());
+      EXPECT_EQ(results[i].status().code(), StatusCode::kInvalidArgument);
+    } else if (i == 5) {
+      ASSERT_FALSE(results[i].ok());
+      EXPECT_EQ(results[i].status().code(), StatusCode::kOutOfRange);
+    } else {
+      EXPECT_TRUE(results[i].ok()) << "query " << i;
+    }
+  }
+}
+
+TEST_F(ApiTest, WorkspaceReuseMatchesFreshExecution) {
+  const std::vector<Query> batch = MixedBatch();
+  QueryWorkspace workspace;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const auto reused = engine_->recommender().Recommend(
+        batch[i].group, batch[i].spec, &workspace);
+    const auto fresh =
+        engine_->recommender().Recommend(batch[i].group, batch[i].spec);
+    ASSERT_TRUE(reused.ok());
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(reused.value().items, fresh.value().items) << "query " << i;
+    EXPECT_EQ(reused.value().scores, fresh.value().scores) << "query " << i;
+  }
+}
+
+TEST_F(ApiTest, PluggableAffinitySourceSwapsCleanly) {
+  RecommenderOptions options;
+  options.max_candidate_items = 400;
+  EngineOptions eopts;
+  eopts.num_threads = 2;
+  Engine engine(*universe_, *study_, options, eopts);
+
+  Query query;
+  query.group = {4, 17, 29};
+  query.spec.k = 5;
+  query.spec.num_candidate_items = 400;
+  const auto baseline = engine.Recommend(query);
+  ASSERT_TRUE(baseline.ok());
+
+  // Null sources and swapping on a wrapping (non-owning) engine are
+  // rejected, not UB.
+  EXPECT_EQ(engine.set_affinity_source(nullptr).code(),
+            StatusCode::kInvalidArgument);
+  Engine wrapping(engine.recommender());
+  auto base = std::make_shared<StudyAffinitySource>(
+      engine.recommender().static_affinity(),
+      engine.recommender().periodic_affinity());
+  EXPECT_EQ(wrapping.set_affinity_source(base).code(),
+            StatusCode::kFailedPrecondition);
+
+  // A decay-1 decorator over the study tables is the identity.
+  ASSERT_TRUE(engine
+                  .set_affinity_source(
+                      std::make_shared<DecayWeightedAffinitySource>(base, 1.0))
+                  .ok());
+  const auto identity = engine.Recommend(query);
+  ASSERT_TRUE(identity.ok());
+  EXPECT_EQ(identity.value().items, baseline.value().items);
+  EXPECT_EQ(identity.value().scores, baseline.value().scores);
+
+  // A strongly decayed source still yields a full, valid top-k.
+  ASSERT_TRUE(engine
+                  .set_affinity_source(
+                      std::make_shared<DecayWeightedAffinitySource>(base, 0.2))
+                  .ok());
+  const auto decayed = engine.Recommend(query);
+  ASSERT_TRUE(decayed.ok());
+  EXPECT_EQ(decayed.value().items.size(), 5u);
+  for (const double score : decayed.value().scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(ThreadPoolTest, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::vector<std::atomic<int>> hits(1'000);
+  pool.ParallelFor(hits.size(), [&](std::size_t worker, std::size_t i) {
+    EXPECT_LT(worker, 3u);
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunsOnMultipleWorkerThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.ParallelFor(200, [&](std::size_t, std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 2u);
+  EXPECT_FALSE(ids.contains(std::this_thread::get_id()));
+}
+
+TEST(ThreadPoolTest, BackToBackBatchesReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(10, [&](std::size_t, std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 500u);
+}
+
+}  // namespace
+}  // namespace greca

@@ -60,9 +60,9 @@ TEST_F(IntegrationTest, GrecaMatchesNaiveThroughFacade) {
     QuerySpec spec = BaseSpec();
     spec.model = model;
     spec.algorithm = Algorithm::kGreca;
-    const Recommendation greca = recommender_->Recommend(group, spec);
+    const Recommendation greca = recommender_->Recommend(group, spec).value();
     spec.algorithm = Algorithm::kNaive;
-    const Recommendation naive = recommender_->Recommend(group, spec);
+    const Recommendation naive = recommender_->Recommend(group, spec).value();
     ASSERT_EQ(greca.items.size(), naive.items.size()) << model.Name();
     const std::set<ItemId> gs(greca.items.begin(), greca.items.end());
     const std::set<ItemId> ns(naive.items.begin(), naive.items.end());
@@ -74,9 +74,9 @@ TEST_F(IntegrationTest, TaMatchesNaiveThroughFacade) {
   const Group group{1, 5, 23};
   QuerySpec spec = BaseSpec();
   spec.algorithm = Algorithm::kTa;
-  const Recommendation ta = recommender_->Recommend(group, spec);
+  const Recommendation ta = recommender_->Recommend(group, spec).value();
   spec.algorithm = Algorithm::kNaive;
-  const Recommendation naive = recommender_->Recommend(group, spec);
+  const Recommendation naive = recommender_->Recommend(group, spec).value();
   const std::set<ItemId> ts(ta.items.begin(), ta.items.end());
   const std::set<ItemId> ns(naive.items.begin(), naive.items.end());
   EXPECT_EQ(ts, ns);
@@ -84,7 +84,7 @@ TEST_F(IntegrationTest, TaMatchesNaiveThroughFacade) {
 
 TEST_F(IntegrationTest, ExcludesItemsRatedByMembers) {
   const Group group{0, 1};
-  const Recommendation rec = recommender_->Recommend(group, BaseSpec());
+  const Recommendation rec = recommender_->Recommend(group, BaseSpec()).value();
   for (const ItemId item : rec.items) {
     EXPECT_FALSE(study_->study_ratings.HasRating(0, item));
     EXPECT_FALSE(study_->study_ratings.HasRating(1, item));
@@ -104,14 +104,14 @@ TEST_F(IntegrationTest, EvalPeriodControlsPeriodListCount) {
   const Group group{3, 9, 15};
   QuerySpec spec = BaseSpec();
   spec.eval_period = 0;
-  const GroupProblem p0 = recommender_->BuildProblem(group, spec);
+  const GroupProblem p0 = recommender_->BuildProblem(group, spec).value();
   EXPECT_EQ(p0.num_periods(), 1u);
-  spec.eval_period = QuerySpec::kLastPeriod;
-  const GroupProblem pl = recommender_->BuildProblem(group, spec);
+  spec.eval_period = std::nullopt;
+  const GroupProblem pl = recommender_->BuildProblem(group, spec).value();
   EXPECT_EQ(pl.num_periods(), recommender_->num_periods());
   // Time-agnostic problems carry no period lists.
   spec.model = AffinityModelSpec::TimeAgnostic();
-  const GroupProblem pt = recommender_->BuildProblem(group, spec);
+  const GroupProblem pt = recommender_->BuildProblem(group, spec).value();
   EXPECT_EQ(pt.num_periods(), 0u);
 }
 
@@ -119,7 +119,7 @@ TEST_F(IntegrationTest, CandidatePoolSizeControlsProblemSize) {
   const Group group{3, 9, 15};
   QuerySpec spec = BaseSpec(100);
   std::vector<ItemId> candidates;
-  const GroupProblem p = recommender_->BuildProblem(group, spec, &candidates);
+  const GroupProblem p = recommender_->BuildProblem(group, spec, &candidates).value();
   EXPECT_LE(p.num_items(), 100u);
   EXPECT_EQ(p.num_items(), candidates.size());
   // Candidate keys map back to universe items.
@@ -136,9 +136,9 @@ TEST_F(IntegrationTest, RecommendationsDifferAcrossModels) {
   for (const Group& group : groups) {
     QuerySpec spec = BaseSpec();
     spec.algorithm = Algorithm::kNaive;
-    const auto with_affinity = recommender_->Recommend(group, spec).items;
+    const auto with_affinity = recommender_->Recommend(group, spec).value().items;
     spec.model = AffinityModelSpec::AffinityAgnostic();
-    const auto without = recommender_->Recommend(group, spec).items;
+    const auto without = recommender_->Recommend(group, spec).value().items;
     if (std::set<ItemId>(with_affinity.begin(), with_affinity.end()) !=
         std::set<ItemId>(without.begin(), without.end())) {
       ++differing;
@@ -152,8 +152,8 @@ TEST_F(IntegrationTest, ModelAffinityInUnitInterval) {
     for (UserId b = a + 1; b < 10; ++b) {
       for (const auto model :
            {AffinityModelSpec::Default(), AffinityModelSpec::Continuous()}) {
-        const double aff = recommender_->ModelAffinity(
-            a, b, QuerySpec::kLastPeriod, model);
+        const double aff =
+            recommender_->ModelAffinity(a, b, std::nullopt, model);
         EXPECT_GE(aff, 0.0);
         EXPECT_LE(aff, 1.0);
       }
@@ -176,9 +176,9 @@ TEST_F(IntegrationTest, GrecaMatchesNaiveForEveryConsensusThroughFacade) {
     QuerySpec spec = BaseSpec();
     spec.consensus = consensus;
     spec.algorithm = Algorithm::kGreca;
-    const Recommendation greca = recommender_->Recommend(group, spec);
+    const Recommendation greca = recommender_->Recommend(group, spec).value();
     spec.algorithm = Algorithm::kNaive;
-    const Recommendation naive = recommender_->Recommend(group, spec);
+    const Recommendation naive = recommender_->Recommend(group, spec).value();
     const std::set<ItemId> gs(greca.items.begin(), greca.items.end());
     const std::set<ItemId> ns(naive.items.begin(), naive.items.end());
     EXPECT_EQ(gs, ns) << consensus.Name();
@@ -189,7 +189,7 @@ TEST_F(IntegrationTest, PairwiseConsensusCarriesAgreementList) {
   const Group group{2, 8, 21};
   QuerySpec spec = BaseSpec();
   spec.consensus = ConsensusSpec::PairwiseDisagreement(0.5);
-  const GroupProblem problem = recommender_->BuildProblem(group, spec);
+  const GroupProblem problem = recommender_->BuildProblem(group, spec).value();
   // The facade pre-aggregates the pair components into one list.
   ASSERT_EQ(problem.agreement_lists().size(), 1u);
   EXPECT_EQ(problem.agreement_lists()[0].size(), problem.num_items());
@@ -199,21 +199,23 @@ TEST_F(IntegrationTest, PairwiseConsensusCarriesAgreementList) {
                 problem.num_pairs() * (1 + problem.num_periods()));
 }
 
-TEST_F(IntegrationTest, EvalPeriodZeroAndOutOfRangeClamp) {
-  EXPECT_EQ(recommender_->ResolvePeriod(0), 0u);
-  EXPECT_EQ(recommender_->ResolvePeriod(QuerySpec::kLastPeriod),
+TEST_F(IntegrationTest, ResolvePeriodValidatesRange) {
+  EXPECT_EQ(recommender_->ResolvePeriod(0).value(), 0u);
+  EXPECT_EQ(recommender_->ResolvePeriod(std::nullopt).value(),
             recommender_->num_periods() - 1);
-  EXPECT_EQ(recommender_->ResolvePeriod(10'000),
-            recommender_->num_periods() - 1);
+  // Out-of-range periods are rejected, not clamped.
+  const auto bad = recommender_->ResolvePeriod(10'000);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
 }
 
 TEST_F(IntegrationTest, ThresholdOnlyFacadePathStillCorrect) {
   const Group group{5, 12, 28};
   QuerySpec spec = BaseSpec();
   spec.termination = TerminationPolicy::kThresholdOnly;
-  const Recommendation slow = recommender_->Recommend(group, spec);
+  const Recommendation slow = recommender_->Recommend(group, spec).value();
   spec.termination = TerminationPolicy::kBufferCondition;
-  const Recommendation fast = recommender_->Recommend(group, spec);
+  const Recommendation fast = recommender_->Recommend(group, spec).value();
   const std::set<ItemId> ss(slow.items.begin(), slow.items.end());
   const std::set<ItemId> fs(fast.items.begin(), fast.items.end());
   EXPECT_EQ(ss, fs);
