@@ -2,7 +2,10 @@
 // the batch-first redesign. Runs a 64-query batch (the paper's scalability
 // setup: random groups of 6, k = 10, AP, discrete model) sequentially and
 // through Engine::RecommendBatch at several thread counts, verifying result
-// equivalence and reporting queries/second and speedup.
+// equivalence and reporting queries/second and speedup. Also splits the
+// sequential per-query cost into problem assembly (BuildProblem over the
+// shared PreferenceIndex, zero-copy) and solve time, so the perf trajectory
+// tracks the assembly cost the zero-copy refactor removed.
 //
 // Set GRECA_BENCH_SMALL=1 for a smoke-scale run, GRECA_BATCH_QUERIES to
 // change the batch size.
@@ -52,6 +55,22 @@ int main() {
   }
   const double seq_seconds = seq_watch.ElapsedSeconds();
 
+  // Assembly-only pass over the same batch and workspace (steady state):
+  // what BuildProblem costs without solving.
+  Stopwatch asm_watch;
+  std::size_t assembled = 0;
+  for (const Query& q : batch) {
+    const auto problem =
+        recommender.BuildProblem(q.group, q.spec, nullptr, &workspace);
+    if (problem.ok()) ++assembled;
+  }
+  const double asm_seconds = asm_watch.ElapsedSeconds();
+  if (assembled != batch.size()) {
+    std::cerr << "ERROR: only " << assembled << "/" << batch.size()
+              << " problems assembled\n";
+    return 1;
+  }
+
   const unsigned hw = std::thread::hardware_concurrency();
   TablePrinter table("Engine::RecommendBatch vs sequential (" +
                      std::to_string(batch.size()) + " queries, " +
@@ -92,6 +111,16 @@ int main() {
                   TablePrinter::Cell(seq_seconds / seconds, 2)});
   }
   table.Print(std::cout);
+
+  const double per_query_us =
+      1e6 * asm_seconds / static_cast<double>(batch.size());
+  const double asm_share = 100.0 * asm_seconds / seq_seconds;
+  std::cout << "problem_assembly_seconds: " << asm_seconds << " ("
+            << per_query_us << " us/query, " << asm_share
+            << "% of sequential query time)\n"
+            << "solve_seconds: " << (seq_seconds - asm_seconds)
+            << " (sequential total minus assembly)\n";
+
   std::cout << "All batch results identical to sequential execution.\n"
             << "Expected: speedup ~ min(threads, cores); >= 2x on >= 4 "
                "cores.\n";

@@ -67,6 +67,8 @@ void BM_TaTopK(benchmark::State& state) {
 BENCHMARK(BM_TaTopK);
 
 void BM_BuildProblem(benchmark::State& state) {
+  // Workspace-less assembly: zero-copy preference views plus one
+  // problem-owned arena allocation per call.
   const auto& ctx = BenchContext::Get();
   const QuerySpec spec = PerformanceHarness::DefaultSpec();
   for (auto _ : state) {
@@ -76,6 +78,22 @@ void BM_BuildProblem(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildProblem);
+
+void BM_ProblemAssembly(benchmark::State& state) {
+  // Steady-state batch-worker assembly: the reused workspace arena makes
+  // BuildProblem sort- and allocation-free (the perf target of the
+  // PreferenceIndex + ListView refactor).
+  const auto& ctx = BenchContext::Get();
+  const QuerySpec spec = PerformanceHarness::DefaultSpec();
+  QueryWorkspace workspace;
+  for (auto _ : state) {
+    const GroupProblem problem =
+        ctx.recommender->BuildProblem(SampleGroup(), spec, nullptr, &workspace)
+            .value();
+    benchmark::DoNotOptimize(&problem);
+  }
+}
+BENCHMARK(BM_ProblemAssembly);
 
 void BM_CfPredictAll(benchmark::State& state) {
   const auto& ctx = BenchContext::Get();

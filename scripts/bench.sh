@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benches and records machine-readable results:
-#   BENCH_micro.json  — google-benchmark microbenchmarks (core building blocks)
+#   BENCH_micro.json  — google-benchmark microbenchmarks (core building
+#                       blocks; BM_BuildProblem / BM_ProblemAssembly track
+#                       the zero-copy problem-assembly cost)
 #   BENCH_fig5.txt    — GRECA %SA scalability sweep (paper Figure 5)
-#   BENCH_batch.txt   — Engine::RecommendBatch vs sequential throughput
+#   BENCH_batch.txt   — Engine::RecommendBatch vs sequential throughput plus
+#                       the problem_assembly_seconds / solve_seconds split
 #
 # Usage: scripts/bench.sh [build-dir]
 # Env:   GRECA_BENCH_SMALL=1 for a smoke-scale run.

@@ -19,40 +19,59 @@ double AffinitySource::NormalizedStatic(UserId u, UserId v) const {
   return max > 0.0 ? Static(u, v) / max : 0.0;
 }
 
-SortedList AffinitySource::MaterializeStaticList(
-    std::span<const UserId> group) const {
+void AffinitySource::MaterializeStaticListInto(std::span<const UserId> group,
+                                               std::vector<ListEntry>& scratch,
+                                               SortedList& out) const {
   const std::size_t g = group.size();
   const auto num_pairs = static_cast<ListKey>(NumUserPairs(g));
-  std::vector<ListEntry> entries;
-  entries.reserve(num_pairs);
+  scratch.clear();
+  scratch.reserve(num_pairs);
   double group_max = 0.0;
   for (std::size_t a = 0; a < g; ++a) {
     for (std::size_t b = a + 1; b < g; ++b) {
       const auto q = static_cast<ListKey>(LocalPairIndex(a, b, g));
       const double raw = Static(group[a], group[b]);
       group_max = std::max(group_max, raw);
-      entries.push_back({q, raw});
+      scratch.push_back({q, raw});
     }
   }
   if (group_max > 0.0) {
-    for (ListEntry& e : entries) e.score /= group_max;
+    for (ListEntry& e : scratch) e.score /= group_max;
   }
-  return SortedList::FromUnsorted(std::move(entries), num_pairs);
+  out.AssignUnsorted(scratch, num_pairs);
+}
+
+void AffinitySource::MaterializePeriodListInto(std::span<const UserId> group,
+                                               PeriodId p,
+                                               std::vector<ListEntry>& scratch,
+                                               SortedList& out) const {
+  const std::size_t g = group.size();
+  const auto num_pairs = static_cast<ListKey>(NumUserPairs(g));
+  scratch.clear();
+  scratch.reserve(num_pairs);
+  for (std::size_t a = 0; a < g; ++a) {
+    for (std::size_t b = a + 1; b < g; ++b) {
+      const auto q = static_cast<ListKey>(LocalPairIndex(a, b, g));
+      scratch.push_back({q, Periodic(group[a], group[b], p)});
+    }
+  }
+  out.AssignUnsorted(scratch, num_pairs);
+}
+
+SortedList AffinitySource::MaterializeStaticList(
+    std::span<const UserId> group) const {
+  SortedList out;
+  std::vector<ListEntry> scratch;
+  MaterializeStaticListInto(group, scratch, out);
+  return out;
 }
 
 SortedList AffinitySource::MaterializePeriodList(std::span<const UserId> group,
                                                  PeriodId p) const {
-  const std::size_t g = group.size();
-  const auto num_pairs = static_cast<ListKey>(NumUserPairs(g));
-  std::vector<ListEntry> entries;
-  entries.reserve(num_pairs);
-  for (std::size_t a = 0; a < g; ++a) {
-    for (std::size_t b = a + 1; b < g; ++b) {
-      const auto q = static_cast<ListKey>(LocalPairIndex(a, b, g));
-      entries.push_back({q, Periodic(group[a], group[b], p)});
-    }
-  }
-  return SortedList::FromUnsorted(std::move(entries), num_pairs);
+  SortedList out;
+  std::vector<ListEntry> scratch;
+  MaterializePeriodListInto(group, p, scratch, out);
+  return out;
 }
 
 std::vector<double> AffinitySource::PeriodAverages(PeriodId horizon) const {

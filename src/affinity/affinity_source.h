@@ -55,16 +55,29 @@ class AffinitySource {
   double NormalizedStatic(UserId u, UserId v) const;
 
   // --- List materialization (what BuildProblem consumes, paper §3.1) ---
+  //
+  // The *Into variants are the hot path: they rebuild `out` in place through
+  // SortedList::AssignUnsorted, using `scratch` for the unsorted pair
+  // entries, so a reused ProblemArena makes steady-state materialization
+  // allocation-free. The by-value overloads are conveniences wrapping them.
 
   /// Static affinity list over the group's pairs, keyed by local pair index
   /// (LocalPairIndex order) and normalized within the group by the maximum
   /// pair value (§4.1.2; all zeros when the max is 0).
-  virtual SortedList MaterializeStaticList(std::span<const UserId> group) const;
+  virtual void MaterializeStaticListInto(std::span<const UserId> group,
+                                         std::vector<ListEntry>& scratch,
+                                         SortedList& out) const;
 
   /// Periodic affinity list for period p over the group's pairs, local pair
   /// key order, normalized scale.
-  virtual SortedList MaterializePeriodList(std::span<const UserId> group,
-                                           PeriodId p) const;
+  virtual void MaterializePeriodListInto(std::span<const UserId> group,
+                                         PeriodId p,
+                                         std::vector<ListEntry>& scratch,
+                                         SortedList& out) const;
+
+  SortedList MaterializeStaticList(std::span<const UserId> group) const;
+  SortedList MaterializePeriodList(std::span<const UserId> group,
+                                   PeriodId p) const;
 
   /// Normalized population averages for periods 0..horizon inclusive.
   virtual std::vector<double> PeriodAverages(PeriodId horizon) const;

@@ -10,6 +10,8 @@
 #ifndef GRECA_AFFINITY_ONLINE_TRACKER_H_
 #define GRECA_AFFINITY_ONLINE_TRACKER_H_
 
+#include <cstddef>
+
 #include "affinity/dynamic_affinity.h"
 #include "affinity/periodic_affinity.h"
 #include "affinity/temporal_model.h"

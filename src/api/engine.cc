@@ -20,6 +20,7 @@ Engine::Engine(const RatingsDataset& universe, const FacebookStudy& study,
                RecommenderOptions options, EngineOptions engine_options)
     : owned_(std::make_unique<GroupRecommender>(universe, study, options)),
       recommender_(owned_.get()),
+      index_(recommender_->preference_index_snapshot()),
       pool_(std::make_unique<ThreadPool>(
           ResolveNumThreads(engine_options.num_threads))),
       workspaces_(pool_->size()) {}
@@ -27,6 +28,7 @@ Engine::Engine(const RatingsDataset& universe, const FacebookStudy& study,
 Engine::Engine(const GroupRecommender& recommender,
                EngineOptions engine_options)
     : recommender_(&recommender),
+      index_(recommender.preference_index_snapshot()),
       pool_(std::make_unique<ThreadPool>(
           ResolveNumThreads(engine_options.num_threads))),
       workspaces_(pool_->size()) {}

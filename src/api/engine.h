@@ -3,9 +3,12 @@
 // The paper's GRECA answers one ad-hoc group query at a time; production
 // workloads (and the related group-formation literature) issue thousands of
 // group queries per experiment. The Engine serves such workloads: a batch of
-// queries executes in parallel over an internal thread pool, with one
-// reusable QueryWorkspace per worker so the hot-path allocations (candidate
-// buffers, GRECA bound buffers) are amortized across the batch.
+// queries executes in parallel over an internal thread pool. All workers
+// read one shared, immutable PreferenceIndex snapshot (the pre-sorted
+// per-user preference lists every query slices zero-copy), while each worker
+// owns a reusable QueryWorkspace holding only mutable scratch — the
+// problem-assembly arena and GRECA bound buffers — so steady-state queries
+// sort nothing and allocate nothing on the hot path.
 //
 // Failures are per-query: RecommendBatch returns one Result<Recommendation>
 // per input query in input order, so one malformed query never poisons the
@@ -79,9 +82,17 @@ class Engine {
   const GroupRecommender& recommender() const { return *recommender_; }
   std::size_t num_threads() const { return pool_->size(); }
 
+  /// The read-only preference snapshot shared by every batch worker.
+  const PreferenceIndex& preference_index() const { return *index_; }
+
  private:
   std::unique_ptr<GroupRecommender> owned_;  // null when wrapping
   const GroupRecommender* recommender_;
+  // The one preference snapshot every worker reads. Shared ownership makes
+  // the one-copy-for-all-workers contract explicit; lifetime of the
+  // recommender itself is still the caller's responsibility on the wrapping
+  // path.
+  std::shared_ptr<const PreferenceIndex> index_;
   std::unique_ptr<ThreadPool> pool_;
   mutable std::vector<QueryWorkspace> workspaces_;  // one per worker
   mutable std::mutex batch_mutex_;

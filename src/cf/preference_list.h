@@ -6,6 +6,7 @@
 #ifndef GRECA_CF_PREFERENCE_LIST_H_
 #define GRECA_CF_PREFERENCE_LIST_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 

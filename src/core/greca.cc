@@ -103,16 +103,23 @@ class GrecaRun {
   static constexpr std::uint8_t kActive = 1;
   static constexpr std::uint8_t kPruned = 2;
 
-  bool AllExhausted() const {
+  // List cursors hold raw view positions; SkipToLive advances them past
+  // tombstoned entries (uncounted), so exhaustion and reads see only live
+  // entries — identical accounting to the owning-list path.
+  bool AllExhausted() {
     for (std::size_t u = 0; u < g_; ++u) {
-      if (pref_pos_[u] < problem_.preference_lists()[u].size()) return false;
+      if (problem_.preference_lists()[u].SkipToLive(pref_pos_[u])) {
+        return false;
+      }
     }
-    if (static_pos_ < problem_.static_affinity().size()) return false;
+    if (problem_.static_affinity().SkipToLive(static_pos_)) return false;
     for (std::size_t t = 0; t < num_periods_; ++t) {
-      if (period_pos_[t] < problem_.period_affinity()[t].size()) return false;
+      if (problem_.period_affinity()[t].SkipToLive(period_pos_[t])) {
+        return false;
+      }
     }
     for (std::size_t q = 0; q < num_ag_; ++q) {
-      if (ag_pos_[q] < problem_.agreement_lists()[q].size()) return false;
+      if (problem_.agreement_lists()[q].SkipToLive(ag_pos_[q])) return false;
     }
     return true;
   }
@@ -121,9 +128,9 @@ class GrecaRun {
   /// list (Algorithm 1's getNext()).
   void DoRound(AccessCounter& counter) {
     for (std::size_t u = 0; u < g_; ++u) {
-      const SortedList& list = problem_.preference_lists()[u];
-      if (pref_pos_[u] >= list.size()) continue;
-      const ListEntry& e = list.ReadSequential(pref_pos_[u]++, counter);
+      const ListView& list = problem_.preference_lists()[u];
+      if (!list.SkipToLive(pref_pos_[u])) continue;
+      const ListEntry& e = list.ReadSequential(pref_pos_[u], counter);
       pref_bound_[u] = e.score;
       apref_val_[e.id * g_ + u] = e.score;
       apref_seen_[e.id] |= (1u << u);
@@ -133,26 +140,26 @@ class GrecaRun {
       }
     }
     {
-      const SortedList& list = problem_.static_affinity();
-      if (static_pos_ < list.size()) {
-        const ListEntry& e = list.ReadSequential(static_pos_++, counter);
+      const ListView& list = problem_.static_affinity();
+      if (list.SkipToLive(static_pos_)) {
+        const ListEntry& e = list.ReadSequential(static_pos_, counter);
         static_bound_ = e.score;
         static_val_[e.id] = e.score;
         static_seen_[e.id] = 1;
       }
     }
     for (std::size_t t = 0; t < num_periods_; ++t) {
-      const SortedList& list = problem_.period_affinity()[t];
-      if (period_pos_[t] >= list.size()) continue;
-      const ListEntry& e = list.ReadSequential(period_pos_[t]++, counter);
+      const ListView& list = problem_.period_affinity()[t];
+      if (!list.SkipToLive(period_pos_[t])) continue;
+      const ListEntry& e = list.ReadSequential(period_pos_[t], counter);
       period_bound_[t] = e.score;
       period_val_[t * num_pairs_ + e.id] = e.score;
       period_seen_[t * num_pairs_ + e.id] = 1;
     }
     for (std::size_t q = 0; q < num_ag_; ++q) {
-      const SortedList& list = problem_.agreement_lists()[q];
-      if (ag_pos_[q] >= list.size()) continue;
-      const ListEntry& e = list.ReadSequential(ag_pos_[q]++, counter);
+      const ListView& list = problem_.agreement_lists()[q];
+      if (!list.SkipToLive(ag_pos_[q])) continue;
+      const ListEntry& e = list.ReadSequential(ag_pos_[q], counter);
       ag_bound_[q] = e.score;
       ag_val_[e.id * num_ag_ + q] = e.score;
       ag_seen_[e.id * num_ag_ + q] = 1;

@@ -17,9 +17,13 @@
 #define GRECA_CORE_GRECA_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
+#include "topk/interval.h"
 #include "topk/problem.h"
 #include "topk/result.h"
+#include "topk/sorted_list.h"
 
 namespace greca {
 

@@ -1,11 +1,11 @@
 #include "core/group_recommender.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <string>
 #include <utility>
 
-#include "cf/preference_list.h"
 #include "cf/similarity.h"
 #include "topk/naive.h"
 #include "topk/ta.h"
@@ -29,7 +29,12 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
   }
   static_ = ComputeCommonFriendCounts(study.graph);
   source_ = std::make_shared<StudyAffinitySource>(static_, periodic_, &dynamic_);
-  popular_items_ = universe.TopPopularItems(options.max_candidate_items);
+  // One shared, immutable sorted-preference index over the popular-item
+  // pool; every query (and every batch worker) slices it by prefix.
+  index_ = std::make_shared<const PreferenceIndex>(PreferenceIndex::Build(
+      predictions_, /*scale_max=*/5.0,
+      universe.TopPopularItems(options.max_candidate_items),
+      universe.num_items()));
 }
 
 void GroupRecommender::set_affinity_source(
@@ -132,48 +137,58 @@ Result<GroupProblem> GroupRecommender::BuildProblem(
   const PeriodId eval_period = ResolvePeriod(spec.eval_period).value();
   const std::size_t g = group.size();
 
-  QueryWorkspace local;
-  QueryWorkspace& ws = workspace != nullptr ? *workspace : local;
+  // The problem's views point into an arena: the caller's workspace when
+  // given (reused across a batch), otherwise one the problem itself owns.
+  std::unique_ptr<ProblemArena> owned_arena;
+  if (workspace == nullptr) owned_arena = std::make_unique<ProblemArena>();
+  ProblemArena& arena =
+      workspace != nullptr ? workspace->arena : *owned_arena;
 
-  // Candidate pool: top-N popular items minus the group's rated items.
-  ws.rated.clear();
+  // Candidate pool = keys [0, pool) of the shared index (the popularity
+  // prefix); the group's already-rated items are tombstoned, not re-keyed
+  // (§2.4 exclusion), so no preference list is sorted or copied per query.
+  const std::size_t pool =
+      std::min(spec.num_candidate_items, index_->pool_size());
+  arena.tombstones.assign((pool + 63) / 64, 0);
   if (options_.exclude_group_rated) {
     for (const UserId su : group) {
       for (const auto& e : study_->study_ratings.RatingsOfUser(su)) {
-        ws.rated.insert(e.item);
+        const std::uint32_t key = index_->PoolPositionOf(e.item);
+        if (key < pool) arena.tombstones[key >> 6] |= 1ull << (key & 63u);
       }
     }
   }
-  ws.candidates.clear();
-  const std::size_t pool =
-      std::min(spec.num_candidate_items, popular_items_.size());
-  ws.candidates.reserve(pool);
-  for (std::size_t i = 0; i < pool; ++i) {
-    if (!ws.rated.contains(popular_items_[i])) {
-      ws.candidates.push_back(popular_items_[i]);
-    }
+  std::size_t tombstoned = 0;
+  for (const std::uint64_t word : arena.tombstones) {
+    tombstoned += static_cast<std::size_t>(std::popcount(word));
   }
-  const auto m = static_cast<ListKey>(ws.candidates.size());
+  const std::size_t live = pool - tombstoned;
 
-  // Preference lists (apref normalized to [0, 1] by the 5-star scale).
-  std::vector<SortedList> pref_lists;
-  pref_lists.reserve(g);
+  arena.preference_views.clear();
+  arena.preference_views.reserve(g);
   for (const UserId su : group) {
-    pref_lists.push_back(SortedList::FromUnsorted(
-        BuildPreferenceEntries(predictions_[su], 5.0, ws.candidates), m));
+    arena.preference_views.push_back(
+        index_->UserView(su, pool, arena.tombstones, live));
   }
 
   // Affinity lists come only from the pluggable source: the static list is
   // group-normalized (paper §4.1.2), plus one periodic list per period
   // 0..eval_period. Time- or affinity-agnostic variants read no periodic
-  // lists at all.
-  SortedList static_list = source_->MaterializeStaticList(group);
-  std::vector<SortedList> period_lists;
+  // lists at all. All land in the arena's reusable buffers.
+  source_->MaterializeStaticListInto(group, arena.entry_scratch,
+                                     arena.static_list);
+  arena.period_views.clear();
   std::vector<double> averages;
   if (spec.model.time_aware && spec.model.affinity_aware) {
-    period_lists.reserve(eval_period + 1);
+    const std::size_t periods = static_cast<std::size_t>(eval_period) + 1;
+    if (arena.period_lists.size() < periods) {
+      arena.period_lists.resize(periods);  // grow-only, capacity is kept
+    }
+    arena.period_views.reserve(periods);
     for (PeriodId p = 0; p <= eval_period; ++p) {
-      period_lists.push_back(source_->MaterializePeriodList(group, p));
+      source_->MaterializePeriodListInto(group, p, arena.entry_scratch,
+                                         arena.period_lists[p]);
+      arena.period_views.emplace_back(arena.period_lists[p]);
     }
     averages = source_->PeriodAverages(eval_period);
   }
@@ -182,17 +197,23 @@ Result<GroupProblem> GroupRecommender::BuildProblem(
   // "pair-wise disagreement lists"); since the lists are built per ad-hoc
   // group anyway, the per-pair components are pre-aggregated into one
   // group-agreement list — identical scores, tighter bounds, fewer lists.
-  std::vector<SortedList> agreement_lists;
+  arena.agreement_views.clear();
   if (spec.consensus.disagreement == DisagreementKind::kPairwise && g >= 2) {
-    agreement_lists.push_back(BuildGroupAgreementList(
-        pref_lists, m, spec.consensus.disagreement_scale));
+    BuildGroupAgreementListInto(arena.preference_views, pool,
+                                spec.consensus.disagreement_scale,
+                                arena.entry_scratch, arena.agreement_list);
+    arena.agreement_views.emplace_back(arena.agreement_list);
   }
 
   AffinityCombiner combiner(spec.model, std::move(averages));
-  if (candidates_out != nullptr) *candidates_out = ws.candidates;
-  return GroupProblem(m, std::move(pref_lists), std::move(static_list),
-                      std::move(period_lists), std::move(combiner),
-                      spec.consensus, std::move(agreement_lists));
+  if (candidates_out != nullptr) {
+    const std::span<const ItemId> items = index_->pool();
+    candidates_out->assign(items.begin(), items.begin() + pool);
+  }
+  return GroupProblem(pool, live, arena.preference_views,
+                      ListView(arena.static_list), arena.period_views,
+                      std::move(combiner), spec.consensus,
+                      arena.agreement_views, std::move(owned_arena));
 }
 
 Result<Recommendation> GroupRecommender::Recommend(
@@ -221,8 +242,9 @@ Result<Recommendation> GroupRecommender::Recommend(
   }
   rec.items.reserve(rec.raw.items.size());
   rec.scores.reserve(rec.raw.items.size());
+  const std::span<const ItemId> pool = index_->pool();
   for (const ListEntry& e : rec.raw.items) {
-    rec.items.push_back(ws.candidates[e.id]);
+    rec.items.push_back(pool[e.id]);  // problem keys are pool positions
     rec.scores.push_back(e.score);
   }
   return rec;

@@ -4,11 +4,13 @@
 // this layer stays usable directly for tests and benches.
 //
 // Pipeline per query (ad-hoc group G, evaluation period p):
-//  1. candidate items = most popular universe items minus items any member
-//     already rated (the problem definition excludes individually known
-//     items, §2.4);
-//  2. absolute preferences apref(u, ·) from user-based CF over the rating
-//     universe (precomputed per study participant);
+//  1. candidate items = the top-C prefix of the popular-item pool, with
+//     items any member already rated tombstoned (the problem definition
+//     excludes individually known items, §2.4);
+//  2. absolute preferences apref(u, ·) from user-based CF, precomputed per
+//     study participant and held pre-sorted over the pool in one shared
+//     PreferenceIndex — per query each member's list is a ListView slice of
+//     the index (no sort, no copy);
 //  3. static affinities from common friends, normalized within the group;
 //  4. periodic affinities from common page-like categories per period;
 //  5. the chosen temporal model + consensus function form a GroupProblem
@@ -29,7 +31,6 @@
 #include <memory>
 #include <optional>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "affinity/affinity_source.h"
@@ -43,6 +44,7 @@
 #include "core/greca.h"
 #include "dataset/facebook_study.h"
 #include "dataset/synthetic.h"
+#include "index/preference_index.h"
 #include "topk/problem.h"
 #include "topk/result.h"
 
@@ -89,13 +91,14 @@ struct Recommendation {
   GrecaStats greca_stats;
 };
 
-/// Reusable per-query buffers: the candidate-pool scratch plus GRECA's bound
-/// buffers. One workspace per worker thread amortizes hot-path allocations
-/// across a batch of queries; a workspace must never be shared by concurrent
-/// queries.
+/// Reusable per-query buffers: the problem-assembly arena (tombstones,
+/// preference views, materialized affinity/agreement lists) plus GRECA's
+/// bound buffers. One workspace per worker thread amortizes hot-path
+/// allocations across a batch of queries; a workspace must never be shared
+/// by concurrent queries, and a problem built into a workspace is
+/// invalidated by the workspace's next BuildProblem.
 struct QueryWorkspace {
-  std::unordered_set<ItemId> rated;
-  std::vector<ItemId> candidates;
+  ProblemArena arena;
   GrecaWorkspace greca;
 };
 
@@ -125,9 +128,18 @@ class GroupRecommender {
                                    QueryWorkspace* workspace = nullptr) const;
 
   /// Builds the underlying top-k problem (exposed for tests and benches).
-  /// `candidates_out`, when non-null, receives the candidate universe items
-  /// in key order. Affinity lists are materialized through the configured
-  /// AffinitySource only.
+  /// Zero-copy hot path: member preference lists are ListView slices of the
+  /// shared PreferenceIndex (pool-prefix keys, group-rated items
+  /// tombstoned) — no per-query sort or copy; only the small per-group
+  /// affinity/agreement lists are materialized, into the workspace's arena
+  /// through the configured AffinitySource.
+  ///
+  /// `candidates_out`, when non-null, receives the candidate-pool items in
+  /// key order (problem key k ↔ candidates_out[k]; tombstoned keys never
+  /// appear in results). When `workspace` is non-null the problem's views
+  /// point into its arena — the workspace must outlive the problem and not
+  /// be reused before the problem is dropped; when null the problem owns its
+  /// arena.
   Result<GroupProblem> BuildProblem(
       std::span<const UserId> group, const QuerySpec& spec,
       std::vector<ItemId>* candidates_out = nullptr,
@@ -148,6 +160,15 @@ class GroupRecommender {
 
   /// CF-predicted ratings (universe scale) for a study participant.
   std::span<const Score> Predictions(UserId study_user) const;
+
+  /// The shared sorted-preference index every query slices (built once at
+  /// construction over the popular-item pool).
+  const PreferenceIndex& preference_index() const { return *index_; }
+  /// Ownership-sharing handle to the same snapshot (what the Engine hands to
+  /// its batch workers).
+  std::shared_ptr<const PreferenceIndex> preference_index_snapshot() const {
+    return index_;
+  }
 
   /// Group cohesiveness signal: overlap-cosine of two participants' own
   /// study ratings (§4.1.3).
@@ -181,8 +202,8 @@ class GroupRecommender {
   PairTable static_;                             // raw common-friend counts
   PeriodicAffinity periodic_;
   DynamicAffinityIndex dynamic_;
-  std::shared_ptr<const AffinitySource> source_;  // never null
-  std::vector<ItemId> popular_items_;  // top max_candidate_items by popularity
+  std::shared_ptr<const AffinitySource> source_;      // never null
+  std::shared_ptr<const PreferenceIndex> index_;      // never null; immutable
 };
 
 }  // namespace greca

@@ -3,6 +3,9 @@
 #ifndef GRECA_EVAL_EXPERIMENTS_H_
 #define GRECA_EVAL_EXPERIMENTS_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 

@@ -1,0 +1,42 @@
+#include "index/preference_index.h"
+
+#include <cassert>
+#include <utility>
+
+#include "cf/preference_list.h"
+
+namespace greca {
+
+PreferenceIndex PreferenceIndex::Build(
+    std::span<const std::vector<Score>> predictions, double scale_max,
+    std::vector<ItemId> pool, std::size_t num_universe_items) {
+  PreferenceIndex index;
+  index.num_users_ = predictions.size();
+  index.pool_ = std::move(pool);
+  const std::size_t pool_size = index.pool_.size();
+
+  index.pool_position_of_item_.assign(num_universe_items, kNotPooled);
+  for (std::size_t key = 0; key < pool_size; ++key) {
+    assert(index.pool_[key] < num_universe_items);
+    index.pool_position_of_item_[index.pool_[key]] =
+        static_cast<std::uint32_t>(key);
+  }
+
+  index.entries_.resize(index.num_users_ * pool_size);
+  index.positions_.resize(index.num_users_ * pool_size);
+  for (UserId u = 0; u < index.num_users_; ++u) {
+    // Same normalization and ordering as the per-query seed path, computed
+    // once: keys are pool positions, scores predictions/scale_max in [0, 1].
+    const std::vector<ListEntry> row =
+        BuildPreferenceEntries(predictions[u], scale_max, index.pool_);
+    ListEntry* const out = index.entries_.data() + u * pool_size;
+    std::uint32_t* const pos = index.positions_.data() + u * pool_size;
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      out[p] = row[p];
+      pos[row[p].id] = static_cast<std::uint32_t>(p);
+    }
+  }
+  return index;
+}
+
+}  // namespace greca

@@ -1,0 +1,91 @@
+// The shared, immutable preference index behind zero-copy problem assembly.
+//
+// The paper precomputes one CF-predicted preference list per user (§3.1); the
+// seed nevertheless re-sorted and re-copied |G| lists of up to 3 900 entries
+// inside every BuildProblem call — the dominant per-query cost at scale
+// (§4.2's candidate-pool sweep exists precisely because list preparation
+// dominates). This index moves that work to construction time: for every
+// study participant it stores one entry array over the popular-item pool,
+// sorted once by descending predicted preference, plus a key→position array
+// for random access.
+//
+// Keys are pool positions (popularity ranks), so a query's candidate pool of
+// size C is simply the key prefix [0, C): UserView() restricts a stored row
+// to that prefix and tombstones the group's already-rated items via a bitmap
+// — no per-query sort, copy, or re-keying. One index snapshot is shared
+// read-only by every batch worker (src/api/engine.h).
+#ifndef GRECA_INDEX_PREFERENCE_INDEX_H_
+#define GRECA_INDEX_PREFERENCE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "topk/list_view.h"
+
+namespace greca {
+
+class PreferenceIndex {
+ public:
+  /// PoolPositionOf() marker for items outside the popular-item pool.
+  static constexpr std::uint32_t kNotPooled = 0xFFFFFFFFu;
+
+  /// Builds the index: one sorted row per user in `predictions` (each a
+  /// per-ItemId prediction array covering every universe item) over `pool`
+  /// (universe items in popularity order). Scores are predictions / scale_max
+  /// clamped to [0, 1]; `num_universe_items` sizes the reverse item→pool map.
+  static PreferenceIndex Build(std::span<const std::vector<Score>> predictions,
+                               double scale_max, std::vector<ItemId> pool,
+                               std::size_t num_universe_items);
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t pool_size() const { return pool_.size(); }
+
+  /// The popular-item pool in key order: pool()[key] is the universe item of
+  /// candidate key `key` for every prefix slice.
+  std::span<const ItemId> pool() const { return pool_; }
+
+  /// Pool position (== candidate key) of a universe item, or kNotPooled.
+  std::uint32_t PoolPositionOf(ItemId item) const {
+    return item < pool_position_of_item_.size() ? pool_position_of_item_[item]
+                                                : kNotPooled;
+  }
+
+  /// User `u`'s full sorted row (descending score, ties by ascending key).
+  std::span<const ListEntry> UserEntries(UserId u) const {
+    return {entries_.data() + u * pool_.size(), pool_.size()};
+  }
+
+  /// Non-owning preference list of user `u` restricted to the candidate-pool
+  /// prefix [0, prefix) minus the keys tombstoned in `tombstones` (which,
+  /// with `live_entries`, the caller derives from the group's rated items —
+  /// all members share both). The view is valid as long as this index and the
+  /// tombstone buffer live.
+  ListView UserView(UserId u, std::size_t prefix,
+                    std::span<const std::uint64_t> tombstones,
+                    std::size_t live_entries) const {
+    return ListView(UserEntries(u),
+                    {positions_.data() + u * pool_.size(), pool_.size()},
+                    prefix, live_entries, tombstones);
+  }
+
+  /// Approximate resident size, for capacity planning.
+  std::size_t MemoryBytes() const {
+    return entries_.size() * sizeof(ListEntry) +
+           positions_.size() * sizeof(std::uint32_t) +
+           pool_.size() * sizeof(ItemId) +
+           pool_position_of_item_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t num_users_ = 0;
+  std::vector<ItemId> pool_;                          // key -> universe item
+  std::vector<std::uint32_t> pool_position_of_item_;  // item -> key
+  std::vector<ListEntry> entries_;    // num_users × pool_size, row-major
+  std::vector<std::uint32_t> positions_;  // key -> row position, same shape
+};
+
+}  // namespace greca
+
+#endif  // GRECA_INDEX_PREFERENCE_INDEX_H_

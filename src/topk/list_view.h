@@ -1,0 +1,127 @@
+// Non-owning view over a score-sorted list — the access layer every top-k
+// algorithm (Naive, TA, GRECA) consumes.
+//
+// A ListView is a span over sorted (key, score) entries plus a key→position
+// span, optionally restricted to a key-space prefix and filtered by a
+// tombstone bitmap. The restriction mechanism is what makes zero-copy problem
+// assembly possible: the shared PreferenceIndex (src/index/) stores one
+// immutable sorted entry array per user over the full popular-item pool, and
+// a query slices it by prefix (its candidate-pool size) while tombstoning the
+// group's already-rated items — no re-sort, no re-key, no copy.
+//
+// Tombstoned entries are transparent: sequential access skips them without
+// counting, random access reads them as absent (0.0), and size() reports only
+// live entries — so access accounting is identical to an owning SortedList
+// that materialized exactly the live entries.
+//
+// A ListView never owns storage. The wrapped SortedList / PreferenceIndex /
+// tombstone buffer must outlive the view; the buffers live either in a
+// ProblemArena (reused per worker) or inside the GroupProblem itself.
+#ifndef GRECA_TOPK_LIST_VIEW_H_
+#define GRECA_TOPK_LIST_VIEW_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "topk/access_counter.h"
+#include "topk/sorted_list.h"
+
+namespace greca {
+
+class ListView {
+ public:
+  ListView() = default;
+
+  /// Adapter over an owning SortedList: full key space, nothing tombstoned.
+  explicit ListView(const SortedList& list)
+      : entries_(list.entries()),
+        position_of_key_(list.key_positions()),
+        key_space_(list.key_space()),
+        live_entries_(list.size()) {}
+
+  /// General form. `entries` are sorted by descending score (ties ascending
+  /// key) and may contain keys >= `key_space` (a prefix restriction of a
+  /// larger index row); those and the keys whose bit is set in `tombstones`
+  /// are dead. `live_entries` must equal the number of live entries and
+  /// `tombstones` (when non-empty) must cover keys [0, key_space).
+  ListView(std::span<const ListEntry> entries,
+           std::span<const std::uint32_t> position_of_key,
+           std::size_t key_space, std::size_t live_entries,
+           std::span<const std::uint64_t> tombstones = {})
+      : entries_(entries),
+        position_of_key_(position_of_key),
+        tombstones_(tombstones),
+        key_space_(key_space),
+        live_entries_(live_entries) {
+    assert(position_of_key_.size() >= key_space_);
+    assert(tombstones_.empty() || tombstones_.size() >= (key_space_ + 63) / 64);
+  }
+
+  /// Number of live (non-tombstoned, in-prefix) entries.
+  std::size_t size() const { return live_entries_; }
+  bool empty() const { return live_entries_ == 0; }
+  /// Keys run in [0, key_space()).
+  std::size_t key_space() const { return key_space_; }
+
+  /// True when `key` lies outside the prefix or is tombstoned.
+  bool IsTombstoned(ListKey key) const {
+    if (key >= key_space_) return true;
+    if (tombstones_.empty()) return false;
+    return (tombstones_[key >> 6] >> (key & 63u)) & 1u;
+  }
+
+  /// Advances `cursor` past dead entries to the next live one; returns false
+  /// when the list is exhausted. Skipping is uncounted — the dead entries do
+  /// not exist as far as access accounting is concerned. Note the cost
+  /// model: exhausting a prefix-restricted view walks the *full* underlying
+  /// row (skipped entries are O(1) each), so a small prefix over a large
+  /// index row trades sort-free assembly for a longer skip tail on
+  /// exhaustive scans (see ROADMAP "prefix-bucketed rows").
+  bool SkipToLive(std::size_t& cursor) const {
+    while (cursor < entries_.size() && IsTombstoned(entries_[cursor].id)) {
+      ++cursor;
+    }
+    return cursor < entries_.size();
+  }
+
+  /// Counted sequential access: reads the live entry at `cursor` and advances
+  /// it. The caller must have established liveness via SkipToLive.
+  const ListEntry& ReadSequential(std::size_t& cursor,
+                                  AccessCounter& counter) const {
+    assert(cursor < entries_.size() && !IsTombstoned(entries_[cursor].id));
+    ++counter.sequential;
+    return entries_[cursor++];
+  }
+
+  /// Uncounted exact score of `key`; 0.0 for tombstoned, missing or
+  /// out-of-range keys (same absent-key contract as SortedList::ScoreOfKey).
+  double ScoreOfKey(ListKey key) const {
+    if (IsTombstoned(key)) return 0.0;
+    const std::uint32_t pos = position_of_key_[key];
+    return pos == kMissingPosition ? 0.0 : entries_[pos].score;
+  }
+
+  /// Counted random access by key.
+  double RandomAccess(ListKey key, AccessCounter& counter) const {
+    ++counter.random;
+    return ScoreOfKey(key);
+  }
+
+  /// Highest live score (0.0 when no live entries).
+  double MaxScore() const {
+    std::size_t cursor = 0;
+    return SkipToLive(cursor) ? entries_[cursor].score : 0.0;
+  }
+
+ private:
+  std::span<const ListEntry> entries_;
+  std::span<const std::uint32_t> position_of_key_;
+  std::span<const std::uint64_t> tombstones_;  // empty = nothing tombstoned
+  std::size_t key_space_ = 0;
+  std::size_t live_entries_ = 0;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_TOPK_LIST_VIEW_H_

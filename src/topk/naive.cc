@@ -1,6 +1,7 @@
 #include "topk/naive.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace greca {
 
@@ -8,27 +9,18 @@ TopKResult NaiveTopK(const GroupProblem& problem, std::size_t k) {
   TopKResult result;
   result.total_entries = problem.TotalEntries();
 
-  // The naive algorithm scans every list end to end.
+  // The naive algorithm scans every live entry of every list end to end.
+  const auto scan = [&result](const ListView& list) {
+    std::size_t cursor = 0;
+    while (list.SkipToLive(cursor)) {
+      list.ReadSequential(cursor, result.accesses);
+    }
+  };
   const std::size_t g = problem.group_size();
-  for (std::size_t u = 0; u < g; ++u) {
-    for (std::size_t pos = 0; pos < problem.preference_lists()[u].size();
-         ++pos) {
-      problem.preference_lists()[u].ReadSequential(pos, result.accesses);
-    }
-  }
-  for (std::size_t pos = 0; pos < problem.static_affinity().size(); ++pos) {
-    problem.static_affinity().ReadSequential(pos, result.accesses);
-  }
-  for (const auto& list : problem.period_affinity()) {
-    for (std::size_t pos = 0; pos < list.size(); ++pos) {
-      list.ReadSequential(pos, result.accesses);
-    }
-  }
-  for (const auto& list : problem.agreement_lists()) {
-    for (std::size_t pos = 0; pos < list.size(); ++pos) {
-      list.ReadSequential(pos, result.accesses);
-    }
-  }
+  for (const ListView& list : problem.preference_lists()) scan(list);
+  scan(problem.static_affinity());
+  for (const ListView& list : problem.period_affinity()) scan(list);
+  for (const ListView& list : problem.agreement_lists()) scan(list);
 
   // Score every candidate item exactly.
   const std::vector<double> pair_aff = problem.ExactPairAffinities();
@@ -36,8 +28,9 @@ TopKResult NaiveTopK(const GroupProblem& problem, std::size_t k) {
   std::vector<double> prefs(g);
   std::vector<double> agreements(problem.agreement_lists().size());
   std::vector<ListEntry> scored;
-  scored.reserve(problem.num_items());
+  scored.reserve(problem.num_candidates());
   for (ListKey key = 0; key < problem.num_items(); ++key) {
+    if (!problem.IsCandidate(key)) continue;
     for (std::size_t u = 0; u < g; ++u) {
       apref[u] = problem.preference_lists()[u].ScoreOfKey(key);
     }

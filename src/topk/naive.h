@@ -4,6 +4,8 @@
 #ifndef GRECA_TOPK_NAIVE_H_
 #define GRECA_TOPK_NAIVE_H_
 
+#include <cstddef>
+
 #include "topk/problem.h"
 #include "topk/result.h"
 

@@ -1,6 +1,7 @@
 #include "topk/problem.h"
 
 #include <cassert>
+#include <utility>
 
 #include "affinity/static_affinity.h"
 #include "preference/preference_model.h"
@@ -14,26 +15,74 @@ GroupProblem::GroupProblem(std::size_t num_items,
                            AffinityCombiner combiner, ConsensusSpec consensus,
                            std::vector<SortedList> agreement_lists)
     : num_items_(num_items),
-      preference_lists_(std::move(preference_lists)),
-      static_affinity_(std::move(static_affinity)),
-      period_affinity_(std::move(period_affinity)),
+      num_candidates_(num_items),
       combiner_(std::move(combiner)),
       consensus_(std::move(consensus)),
-      agreement_lists_(std::move(agreement_lists)) {
-  assert(!preference_lists_.empty());
-  assert(period_affinity_.size() == combiner_.num_periods());
+      owned_preference_(std::move(preference_lists)),
+      owned_static_(std::move(static_affinity)),
+      owned_period_(std::move(period_affinity)),
+      owned_agreement_(std::move(agreement_lists)) {
+  // Adapt the owned lists to the view layer the algorithms consume. The
+  // views point into each SortedList's heap buffers and view_storage_'s heap
+  // buffer, both of which travel with the problem on move.
+  view_storage_.reserve(owned_preference_.size() + owned_period_.size() +
+                        owned_agreement_.size());
+  for (const SortedList& list : owned_preference_) {
+    view_storage_.emplace_back(list);
+  }
+  for (const SortedList& list : owned_period_) {
+    view_storage_.emplace_back(list);
+  }
+  for (const SortedList& list : owned_agreement_) {
+    view_storage_.emplace_back(list);
+  }
+  const ListView* base = view_storage_.data();
+  preference_views_ = {base, owned_preference_.size()};
+  period_views_ = {base + owned_preference_.size(), owned_period_.size()};
+  agreement_views_ = {base + owned_preference_.size() + owned_period_.size(),
+                      owned_agreement_.size()};
+  static_view_ = ListView(owned_static_);
+
+  assert(!preference_views_.empty());
+  assert(period_views_.size() == combiner_.num_periods());
   assert((consensus_.disagreement == DisagreementKind::kPairwise &&
           group_size() >= 2)
-             ? (agreement_lists_.size() == num_pairs() ||
-                agreement_lists_.size() == 1)
-             : agreement_lists_.empty());
+             ? (agreement_views_.size() == num_pairs() ||
+                agreement_views_.size() == 1)
+             : agreement_views_.empty());
+}
+
+GroupProblem::GroupProblem(std::size_t num_items, std::size_t num_candidates,
+                           std::span<const ListView> preference_views,
+                           ListView static_view,
+                           std::span<const ListView> period_views,
+                           AffinityCombiner combiner, ConsensusSpec consensus,
+                           std::span<const ListView> agreement_views,
+                           std::unique_ptr<ProblemArena> backing)
+    : num_items_(num_items),
+      num_candidates_(num_candidates),
+      combiner_(std::move(combiner)),
+      consensus_(std::move(consensus)),
+      owned_arena_(std::move(backing)),
+      preference_views_(preference_views),
+      static_view_(static_view),
+      period_views_(period_views),
+      agreement_views_(agreement_views) {
+  assert(!preference_views_.empty());
+  assert(num_candidates_ <= num_items_);
+  assert(period_views_.size() == combiner_.num_periods());
+  assert((consensus_.disagreement == DisagreementKind::kPairwise &&
+          group_size() >= 2)
+             ? (agreement_views_.size() == num_pairs() ||
+                agreement_views_.size() == 1)
+             : agreement_views_.empty());
 }
 
 std::size_t GroupProblem::TotalEntries() const {
-  std::size_t total = static_affinity_.size();
-  for (const auto& list : preference_lists_) total += list.size();
-  for (const auto& list : period_affinity_) total += list.size();
-  for (const auto& list : agreement_lists_) total += list.size();
+  std::size_t total = static_view_.size();
+  for (const ListView& list : preference_views_) total += list.size();
+  for (const ListView& list : period_views_) total += list.size();
+  for (const ListView& list : agreement_views_) total += list.size();
   return total;
 }
 
@@ -43,10 +92,10 @@ std::size_t GroupProblem::PairIndex(std::size_t a, std::size_t b) const {
 
 double GroupProblem::ExactPairAffinity(std::size_t q) const {
   const auto key = static_cast<ListKey>(q);
-  const double aff_s = static_affinity_.ScoreOfKey(key);
+  const double aff_s = static_view_.ScoreOfKey(key);
   std::vector<double> aff_p;
-  aff_p.reserve(period_affinity_.size());
-  for (const auto& list : period_affinity_) {
+  aff_p.reserve(period_views_.size());
+  for (const ListView& list : period_views_) {
     aff_p.push_back(list.ScoreOfKey(key));
   }
   return combiner_.Combine(aff_s, aff_p);
@@ -80,15 +129,15 @@ double GroupProblem::ExactScore(ListKey key) const {
   const std::size_t g = group_size();
   std::vector<double> apref(g);
   for (std::size_t u = 0; u < g; ++u) {
-    apref[u] = preference_lists_[u].ScoreOfKey(key);
+    apref[u] = preference_views_[u].ScoreOfKey(key);
   }
   const std::vector<double> pair_aff = ExactPairAffinities();
   std::vector<double> prefs(g);
   MemberPreferences(apref, pair_aff, prefs);
   if (uses_agreement_lists()) {
-    std::vector<double> agreements(agreement_lists_.size());
+    std::vector<double> agreements(agreement_views_.size());
     for (std::size_t q = 0; q < agreements.size(); ++q) {
-      agreements[q] = agreement_lists_[q].ScoreOfKey(key);
+      agreements[q] = agreement_views_[q].ScoreOfKey(key);
     }
     return ConsensusScoreWithAgreements(consensus_, prefs, agreements);
   }
@@ -96,7 +145,7 @@ double GroupProblem::ExactScore(ListKey key) const {
 }
 
 std::vector<SortedList> BuildAgreementLists(
-    const std::vector<SortedList>& preference_lists, std::size_t num_items,
+    std::span<const ListView> preference_lists, std::size_t num_items,
     double disagreement_scale) {
   const std::size_t g = preference_lists.size();
   std::vector<SortedList> lists;
@@ -106,6 +155,7 @@ std::vector<SortedList> BuildAgreementLists(
       std::vector<ListEntry> entries;
       entries.reserve(num_items);
       for (ListKey key = 0; key < num_items; ++key) {
+        if (preference_lists[a].IsTombstoned(key)) continue;
         entries.push_back(
             {key, PairAgreement(preference_lists[a].ScoreOfKey(key),
                                 preference_lists[b].ScoreOfKey(key),
@@ -118,14 +168,17 @@ std::vector<SortedList> BuildAgreementLists(
   return lists;
 }
 
-SortedList BuildGroupAgreementList(
-    const std::vector<SortedList>& preference_lists, std::size_t num_items,
-    double disagreement_scale) {
+void BuildGroupAgreementListInto(std::span<const ListView> preference_lists,
+                                 std::size_t num_items,
+                                 double disagreement_scale,
+                                 std::vector<ListEntry>& scratch,
+                                 SortedList& out) {
   const std::size_t g = preference_lists.size();
   const double num_pairs = static_cast<double>(NumUserPairs(g));
-  std::vector<ListEntry> entries;
-  entries.reserve(num_items);
+  scratch.clear();
+  scratch.reserve(num_items);
   for (ListKey key = 0; key < num_items; ++key) {
+    if (preference_lists[0].IsTombstoned(key)) continue;
     double sum = 0.0;
     for (std::size_t a = 0; a < g; ++a) {
       for (std::size_t b = a + 1; b < g; ++b) {
@@ -134,10 +187,44 @@ SortedList BuildGroupAgreementList(
                              disagreement_scale);
       }
     }
-    entries.push_back({key, num_pairs > 0 ? sum / num_pairs : 1.0});
+    scratch.push_back({key, num_pairs > 0 ? sum / num_pairs : 1.0});
   }
-  return SortedList::FromUnsorted(std::move(entries),
-                                  static_cast<ListKey>(num_items));
+  out.AssignUnsorted(scratch, static_cast<ListKey>(num_items));
+}
+
+SortedList BuildGroupAgreementList(std::span<const ListView> preference_lists,
+                                   std::size_t num_items,
+                                   double disagreement_scale) {
+  SortedList out;
+  std::vector<ListEntry> scratch;
+  BuildGroupAgreementListInto(preference_lists, num_items, disagreement_scale,
+                              scratch, out);
+  return out;
+}
+
+namespace {
+
+std::vector<ListView> ViewsOf(const std::vector<SortedList>& lists) {
+  std::vector<ListView> views;
+  views.reserve(lists.size());
+  for (const SortedList& list : lists) views.emplace_back(list);
+  return views;
+}
+
+}  // namespace
+
+std::vector<SortedList> BuildAgreementLists(
+    const std::vector<SortedList>& preference_lists, std::size_t num_items,
+    double disagreement_scale) {
+  return BuildAgreementLists(ViewsOf(preference_lists), num_items,
+                             disagreement_scale);
+}
+
+SortedList BuildGroupAgreementList(
+    const std::vector<SortedList>& preference_lists, std::size_t num_items,
+    double disagreement_scale) {
+  return BuildGroupAgreementList(ViewsOf(preference_lists), num_items,
+                                 disagreement_scale);
 }
 
 }  // namespace greca

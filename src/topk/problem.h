@@ -14,25 +14,56 @@
 // the /2 and /(|G|−1) normalizations keep pref in [0, 1] (the paper computes
 // un-normalized sums in its walk-through "by ignoring normalization", §3.2,
 // but normalizes in the deployed system, §4.1.2).
+//
+// Storage model: algorithms consume every list through non-owning ListViews.
+// Two assembly paths feed them:
+//  * the owning path (tests/benches): vectors of SortedLists are moved into
+//    the problem and adapted to views — the original seed composition style;
+//  * the zero-copy path (GroupRecommender::BuildProblem): preference views
+//    slice the shared PreferenceIndex directly and the small per-query
+//    affinity/agreement lists live in a reusable ProblemArena, so steady-state
+//    assembly performs no allocation and no preference-list sort.
 #ifndef GRECA_TOPK_PROBLEM_H_
 #define GRECA_TOPK_PROBLEM_H_
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "affinity/temporal_model.h"
 #include "consensus/consensus.h"
 #include "topk/interval.h"
+#include "topk/list_view.h"
 #include "topk/sorted_list.h"
 
 namespace greca {
 
+/// Reusable backing store for one in-flight query's problem: the group's
+/// tombstone bitmap, the assembled preference views, and the materialized
+/// affinity/agreement lists. One arena per worker amortizes every per-query
+/// buffer across a batch; an arena must back at most one live GroupProblem
+/// at a time (rebuilding it invalidates the previous problem's views).
+struct ProblemArena {
+  /// 1 bit per candidate-pool key; set = excluded (group-rated) item.
+  std::vector<std::uint64_t> tombstones;
+  std::vector<ListView> preference_views;
+  SortedList static_list;
+  std::vector<SortedList> period_lists;  // grow-only; first P are active
+  std::vector<ListView> period_views;
+  SortedList agreement_list;
+  std::vector<ListView> agreement_views;
+  /// Unsorted-entry scratch shared by the list materializers.
+  std::vector<ListEntry> entry_scratch;
+};
+
 class GroupProblem {
  public:
-  /// `preference_lists` has one list per member keyed by candidate item
-  /// (key space [0, num_items)); `static_affinity` and each `period_affinity`
-  /// list are keyed by local pair index (see LocalPairIndex). The number of
-  /// period lists must equal combiner.num_periods().
+  /// Owning path. `preference_lists` has one list per member keyed by
+  /// candidate item (key space [0, num_items)); `static_affinity` and each
+  /// `period_affinity` list are keyed by local pair index (see
+  /// LocalPairIndex). The number of period lists must equal
+  /// combiner.num_periods().
   ///
   /// `agreement_lists` carry the agreement components consumed by the
   /// pairwise-disagreement consensus (Lemma 1's "pair-wise disagreement
@@ -49,27 +80,53 @@ class GroupProblem {
                AffinityCombiner combiner, ConsensusSpec consensus,
                std::vector<SortedList> agreement_lists = {});
 
-  std::size_t group_size() const { return preference_lists_.size(); }
-  std::size_t num_items() const { return num_items_; }
-  std::size_t num_pairs() const { return NumUserPairs(group_size()); }
-  std::size_t num_periods() const { return period_affinity_.size(); }
+  /// Zero-copy path. All views (and the spans' backing vectors) point into
+  /// external storage — the shared PreferenceIndex plus a ProblemArena. When
+  /// `backing` is non-null the problem owns that arena (the facade's
+  /// workspace-less path); otherwise the arena must outlive the problem.
+  /// `num_candidates` is the number of live (non-tombstoned) keys.
+  GroupProblem(std::size_t num_items, std::size_t num_candidates,
+               std::span<const ListView> preference_views,
+               ListView static_view, std::span<const ListView> period_views,
+               AffinityCombiner combiner, ConsensusSpec consensus,
+               std::span<const ListView> agreement_views = {},
+               std::unique_ptr<ProblemArena> backing = nullptr);
 
-  const std::vector<SortedList>& preference_lists() const {
-    return preference_lists_;
+  // Views alias internal storage: movable, not copyable.
+  GroupProblem(GroupProblem&&) = default;
+  GroupProblem& operator=(GroupProblem&&) = default;
+  GroupProblem(const GroupProblem&) = delete;
+  GroupProblem& operator=(const GroupProblem&) = delete;
+
+  std::size_t group_size() const { return preference_views_.size(); }
+  /// Key-space bound: candidate keys run in [0, num_items()). On the
+  /// zero-copy path this is the candidate-pool prefix size and some keys may
+  /// be tombstoned; see num_candidates().
+  std::size_t num_items() const { return num_items_; }
+  /// Number of live candidate keys (== num_items() on the owning path).
+  std::size_t num_candidates() const { return num_candidates_; }
+  std::size_t num_pairs() const { return NumUserPairs(group_size()); }
+  std::size_t num_periods() const { return period_views_.size(); }
+
+  /// True when `key` is a live candidate (not tombstoned by the group).
+  bool IsCandidate(ListKey key) const {
+    return !preference_views_[0].IsTombstoned(key);
   }
-  const SortedList& static_affinity() const { return static_affinity_; }
-  const std::vector<SortedList>& period_affinity() const {
-    return period_affinity_;
+
+  std::span<const ListView> preference_lists() const {
+    return preference_views_;
   }
-  const std::vector<SortedList>& agreement_lists() const {
-    return agreement_lists_;
+  const ListView& static_affinity() const { return static_view_; }
+  std::span<const ListView> period_affinity() const { return period_views_; }
+  std::span<const ListView> agreement_lists() const {
+    return agreement_views_;
   }
-  bool uses_agreement_lists() const { return !agreement_lists_.empty(); }
+  bool uses_agreement_lists() const { return !agreement_views_.empty(); }
   const AffinityCombiner& combiner() const { return combiner_; }
   const ConsensusSpec& consensus() const { return consensus_; }
 
-  /// Total entries across all input lists — the exhaustive-scan cost that
-  /// normalizes the %SA metric.
+  /// Total live entries across all input lists — the exhaustive-scan cost
+  /// that normalizes the %SA metric.
   std::size_t TotalEntries() const;
 
   /// Exact temporal affinity of local pair `q` (uncounted accesses).
@@ -99,22 +156,52 @@ class GroupProblem {
 
  private:
   std::size_t num_items_;
-  std::vector<SortedList> preference_lists_;
-  SortedList static_affinity_;
-  std::vector<SortedList> period_affinity_;
+  std::size_t num_candidates_;
   AffinityCombiner combiner_;
   ConsensusSpec consensus_;
-  std::vector<SortedList> agreement_lists_;  // empty unless kPairwise
+
+  // Owning backing for the adapter path (empty on the zero-copy path); views
+  // point into these lists' heap buffers, which move with the problem.
+  std::vector<SortedList> owned_preference_;
+  SortedList owned_static_;
+  std::vector<SortedList> owned_period_;
+  std::vector<SortedList> owned_agreement_;
+  std::vector<ListView> view_storage_;
+  std::unique_ptr<ProblemArena> owned_arena_;
+
+  // What the algorithms consume. Spans point into view_storage_ or into the
+  // (owned or external) arena.
+  std::span<const ListView> preference_views_;
+  ListView static_view_;
+  std::span<const ListView> period_views_;
+  std::span<const ListView> agreement_views_;
 };
 
 /// Builds the per-pair agreement lists from the members' preference lists:
-/// for pair (a, b), entry score = 1 − |apref_a(i) − apref_b(i)|, all items.
+/// for pair (a, b), entry score = 1 − |apref_a(i) − apref_b(i)|, over every
+/// non-tombstoned item key.
 std::vector<SortedList> BuildAgreementLists(
-    const std::vector<SortedList>& preference_lists, std::size_t num_items,
+    std::span<const ListView> preference_lists, std::size_t num_items,
     double disagreement_scale);
 
 /// Builds the single aggregated group-agreement list: entry score =
 /// mean over pairs of (1 − |Δapref|) = 1 − dis(G, i).
+SortedList BuildGroupAgreementList(std::span<const ListView> preference_lists,
+                                   std::size_t num_items,
+                                   double disagreement_scale);
+
+/// Hot-path variant: rebuilds `out` in place (capacities reused) using
+/// `scratch` for the unsorted entries.
+void BuildGroupAgreementListInto(std::span<const ListView> preference_lists,
+                                 std::size_t num_items,
+                                 double disagreement_scale,
+                                 std::vector<ListEntry>& scratch,
+                                 SortedList& out);
+
+/// Owning-list conveniences for tests/benches that hold SortedLists.
+std::vector<SortedList> BuildAgreementLists(
+    const std::vector<SortedList>& preference_lists, std::size_t num_items,
+    double disagreement_scale);
 SortedList BuildGroupAgreementList(
     const std::vector<SortedList>& preference_lists, std::size_t num_items,
     double disagreement_scale);

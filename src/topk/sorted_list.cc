@@ -1,26 +1,54 @@
 #include "topk/sorted_list.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace greca {
 
-SortedList SortedList::FromUnsorted(std::vector<ListEntry> entries,
-                                    ListKey key_space) {
+namespace {
+
+std::atomic<std::uint64_t> g_from_unsorted_calls{0};
+
+void SortEntriesDescending(std::span<ListEntry> entries) {
   std::sort(entries.begin(), entries.end(),
             [](const ListEntry& a, const ListEntry& b) {
               if (a.score != b.score) return a.score > b.score;
               return a.id < b.id;
             });
+}
+
+}  // namespace
+
+SortedList SortedList::FromUnsorted(std::vector<ListEntry> entries,
+                                    ListKey key_space) {
+  g_from_unsorted_calls.fetch_add(1, std::memory_order_relaxed);
   SortedList list;
-  list.position_of_key_.assign(key_space, kMissing);
+  SortEntriesDescending(entries);
+  list.position_of_key_.assign(key_space, kMissingPosition);
   for (std::size_t pos = 0; pos < entries.size(); ++pos) {
     assert(entries[pos].id < key_space);
-    assert(list.position_of_key_[entries[pos].id] == kMissing);
+    assert(list.position_of_key_[entries[pos].id] == kMissingPosition);
     list.position_of_key_[entries[pos].id] = static_cast<std::uint32_t>(pos);
   }
   list.entries_ = std::move(entries);
   return list;
+}
+
+void SortedList::AssignUnsorted(std::span<const ListEntry> entries,
+                                ListKey key_space) {
+  entries_.assign(entries.begin(), entries.end());
+  SortEntriesDescending(entries_);
+  position_of_key_.assign(key_space, kMissingPosition);
+  for (std::size_t pos = 0; pos < entries_.size(); ++pos) {
+    assert(entries_[pos].id < key_space);
+    assert(position_of_key_[entries_[pos].id] == kMissingPosition);
+    position_of_key_[entries_[pos].id] = static_cast<std::uint32_t>(pos);
+  }
+}
+
+std::uint64_t SortedList::FromUnsortedCalls() {
+  return g_from_unsorted_calls.load(std::memory_order_relaxed);
 }
 
 }  // namespace greca

@@ -5,10 +5,17 @@
 // counted sequential access (SA) down the list and counted random access
 // (RA) by key. Keys form a dense space [0, key_space); preference lists use
 // candidate-item keys, affinity lists use local pair indices.
+//
+// SortedList owns its storage. The algorithms themselves consume the
+// non-owning ListView (list_view.h), which either wraps a SortedList or
+// slices the shared PreferenceIndex; SortedList remains the owning building
+// block for per-query affinity/agreement lists and for tests/benches that
+// compose problems directly.
 #ifndef GRECA_TOPK_SORTED_LIST_H_
 #define GRECA_TOPK_SORTED_LIST_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -19,17 +26,39 @@ namespace greca {
 using ListKey = std::uint32_t;
 using ListEntry = ScoredEntry<ListKey>;
 
+/// Sentinel in key→position arrays for keys without an entry.
+inline constexpr std::uint32_t kMissingPosition = 0xFFFFFFFFu;
+
 class SortedList {
  public:
   SortedList() = default;
 
   /// Sorts `entries` by descending score (ties by ascending key). Every key
-  /// must be < key_space and appear at most once.
+  /// must be < key_space and appear at most once. Allocates fresh storage —
+  /// hot paths that rebuild a list per query use AssignUnsorted instead.
   static SortedList FromUnsorted(std::vector<ListEntry> entries,
                                  ListKey key_space);
 
+  /// Rebuilds this list in place from `entries` (same contract as
+  /// FromUnsorted), reusing the existing buffer capacity so steady-state
+  /// per-query lists allocate nothing.
+  void AssignUnsorted(std::span<const ListEntry> entries, ListKey key_space);
+
+  /// Process-wide FromUnsorted call count. Lets tests assert the zero-copy
+  /// assembly path performs no per-query preference-list sort/copy.
+  static std::uint64_t FromUnsortedCalls();
+
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+  ListKey key_space() const {
+    return static_cast<ListKey>(position_of_key_.size());
+  }
+
+  /// Raw storage views consumed by the ListView adapter.
+  std::span<const ListEntry> entries() const { return entries_; }
+  std::span<const std::uint32_t> key_positions() const {
+    return position_of_key_;
+  }
 
   /// Uncounted positional peek (internal bookkeeping, tests, exact scoring).
   const ListEntry& entry(std::size_t pos) const { return entries_[pos]; }
@@ -41,10 +70,13 @@ class SortedList {
     return entries_[pos];
   }
 
-  /// Uncounted exact score of `key`; 0.0 when the key has no entry.
+  /// Uncounted exact score of `key`; 0.0 when the key has no entry. Keys
+  /// outside the key space are defined as absent (0.0) rather than UB, so
+  /// callers probing a larger key space stay safe in every build mode.
   double ScoreOfKey(ListKey key) const {
+    if (key >= position_of_key_.size()) return 0.0;
     const std::uint32_t pos = position_of_key_[key];
-    return pos == kMissing ? 0.0 : entries_[pos].score;
+    return pos == kMissingPosition ? 0.0 : entries_[pos].score;
   }
 
   /// Counted random access by key.
@@ -57,10 +89,8 @@ class SortedList {
   double MaxScore() const { return entries_.empty() ? 0.0 : entries_[0].score; }
 
  private:
-  static constexpr std::uint32_t kMissing = 0xFFFFFFFFu;
-
   std::vector<ListEntry> entries_;
-  std::vector<std::uint32_t> position_of_key_;  // key -> position or kMissing
+  std::vector<std::uint32_t> position_of_key_;  // key -> position or missing
 };
 
 }  // namespace greca

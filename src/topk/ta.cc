@@ -11,7 +11,7 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
 
   const std::size_t g = problem.group_size();
   const std::size_t num_periods = problem.num_periods();
-  const auto& lists = problem.preference_lists();
+  const auto lists = problem.preference_lists();
 
   std::vector<bool> scored(problem.num_items(), false);
   std::vector<ListEntry> best;  // maintained sorted descending, size <= k
@@ -84,14 +84,16 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
     return ConsensusScore(problem.consensus(), prefs);
   };
 
-  std::size_t depth = 0;
-  std::size_t max_len = 0;
-  for (const auto& list : lists) max_len = std::max(max_len, list.size());
-
-  for (; depth < max_len; ++depth) {
+  // Round-robin over the lists' live entries via per-list cursors (the view
+  // layer skips tombstoned entries transparently).
+  std::vector<std::size_t> cursor(g, 0);
+  bool any_read = true;
+  while (any_read) {
+    any_read = false;
     for (std::size_t u = 0; u < g; ++u) {
-      if (depth >= lists[u].size()) continue;
-      const ListEntry& e = lists[u].ReadSequential(depth, result.accesses);
+      if (!lists[u].SkipToLive(cursor[u])) continue;
+      const ListEntry& e = lists[u].ReadSequential(cursor[u], result.accesses);
+      any_read = true;
       cursor_score[u] = e.score;
       if (scored[e.id]) continue;
       scored[e.id] = true;
@@ -106,6 +108,7 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
       best.insert(it, entry);
       if (best.size() > k) best.pop_back();
     }
+    if (!any_read) break;
     ++result.rounds;
     if (best.size() >= k && best.back().score >= threshold()) {
       result.early_terminated = true;

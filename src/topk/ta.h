@@ -9,6 +9,8 @@
 #ifndef GRECA_TOPK_TA_H_
 #define GRECA_TOPK_TA_H_
 
+#include <cstddef>
+
 #include "topk/problem.h"
 #include "topk/result.h"
 

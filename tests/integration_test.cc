@@ -122,6 +122,10 @@ TEST_F(IntegrationTest, CandidatePoolSizeControlsProblemSize) {
   const GroupProblem p = recommender_->BuildProblem(group, spec, &candidates).value();
   EXPECT_LE(p.num_items(), 100u);
   EXPECT_EQ(p.num_items(), candidates.size());
+  // Tombstoning the group's rated items shrinks the live set, never the key
+  // space.
+  EXPECT_LE(p.num_candidates(), p.num_items());
+  EXPECT_GT(p.num_candidates(), 0u);
   // Candidate keys map back to universe items.
   for (const ItemId item : candidates) {
     EXPECT_LT(item, universe_->dataset.num_items());
@@ -190,12 +194,14 @@ TEST_F(IntegrationTest, PairwiseConsensusCarriesAgreementList) {
   QuerySpec spec = BaseSpec();
   spec.consensus = ConsensusSpec::PairwiseDisagreement(0.5);
   const GroupProblem problem = recommender_->BuildProblem(group, spec).value();
-  // The facade pre-aggregates the pair components into one list.
+  // The facade pre-aggregates the pair components into one list covering
+  // exactly the live (non-tombstoned) candidates.
   ASSERT_EQ(problem.agreement_lists().size(), 1u);
-  EXPECT_EQ(problem.agreement_lists()[0].size(), problem.num_items());
-  // Total entries include it (the %SA denominator is honest).
+  EXPECT_EQ(problem.agreement_lists()[0].size(), problem.num_candidates());
+  // Total entries include it (the %SA denominator is honest), counting live
+  // entries only.
   EXPECT_EQ(problem.TotalEntries(),
-            problem.num_items() * (group.size() + 1) +
+            problem.num_candidates() * (group.size() + 1) +
                 problem.num_pairs() * (1 + problem.num_periods()));
 }
 

@@ -1,0 +1,107 @@
+// Tests for the shared PreferenceIndex: row ordering, the item↔key maps and
+// prefix/tombstone slicing through UserView.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "index/preference_index.h"
+#include "topk/list_view.h"
+
+namespace greca {
+namespace {
+
+PreferenceIndex MakeIndex() {
+  // Two users over a 6-item universe; the pool keeps 4 items in "popularity"
+  // order 5, 2, 0, 3 (universe item ids).
+  const std::vector<std::vector<Score>> predictions = {
+      {1.0, 2.0, 3.0, 4.0, 0.0, 5.0},  // user 0
+      {4.0, 0.5, 4.0, 1.0, 2.5, 2.0},  // user 1
+  };
+  return PreferenceIndex::Build(predictions, /*scale_max=*/5.0,
+                                {5, 2, 0, 3}, /*num_universe_items=*/6);
+}
+
+TEST(PreferenceIndexTest, PoolMapsRoundTrip) {
+  const PreferenceIndex index = MakeIndex();
+  EXPECT_EQ(index.num_users(), 2u);
+  EXPECT_EQ(index.pool_size(), 4u);
+  ASSERT_EQ(index.pool().size(), 4u);
+  EXPECT_EQ(index.pool()[0], 5u);
+  EXPECT_EQ(index.pool()[2], 0u);
+  EXPECT_EQ(index.PoolPositionOf(5), 0u);
+  EXPECT_EQ(index.PoolPositionOf(3), 3u);
+  // Items outside the pool (or the universe) are kNotPooled.
+  EXPECT_EQ(index.PoolPositionOf(1), PreferenceIndex::kNotPooled);
+  EXPECT_EQ(index.PoolPositionOf(4), PreferenceIndex::kNotPooled);
+  EXPECT_EQ(index.PoolPositionOf(999), PreferenceIndex::kNotPooled);
+}
+
+TEST(PreferenceIndexTest, RowsAreSortedDescendingWithPoolKeyTies) {
+  const PreferenceIndex index = MakeIndex();
+  // User 0 pool scores (key order): item5=1.0, item2=0.6, item0=0.2,
+  // item3=0.8 → sorted keys 0, 3, 1, 2.
+  const auto row0 = index.UserEntries(0);
+  ASSERT_EQ(row0.size(), 4u);
+  EXPECT_EQ(row0[0].id, 0u);
+  EXPECT_DOUBLE_EQ(row0[0].score, 1.0);
+  EXPECT_EQ(row0[1].id, 3u);
+  EXPECT_DOUBLE_EQ(row0[1].score, 0.8);
+  EXPECT_EQ(row0[2].id, 1u);
+  EXPECT_EQ(row0[3].id, 2u);
+  // User 1 pool scores: item5=0.4, item2=0.8, item0=0.8, item3=0.2 — the
+  // 0.8 tie breaks by ascending pool key (1 before 2).
+  const auto row1 = index.UserEntries(1);
+  EXPECT_EQ(row1[0].id, 1u);
+  EXPECT_EQ(row1[1].id, 2u);
+  EXPECT_EQ(row1[2].id, 0u);
+  EXPECT_EQ(row1[3].id, 3u);
+}
+
+TEST(PreferenceIndexTest, UserViewSlicesPrefixAndSkipsTombstones) {
+  const PreferenceIndex index = MakeIndex();
+  // Prefix 3 (keys 0..2), tombstone key 0. User 0's live order: 1, 2.
+  const std::vector<std::uint64_t> tombstones = {0b001};
+  const ListView view = index.UserView(0, /*prefix=*/3, tombstones,
+                                       /*live_entries=*/2);
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.key_space(), 3u);
+  EXPECT_TRUE(view.IsTombstoned(0));
+  EXPECT_FALSE(view.IsTombstoned(1));
+  EXPECT_TRUE(view.IsTombstoned(3));  // beyond the prefix
+
+  AccessCounter counter;
+  std::size_t cursor = 0;
+  ASSERT_TRUE(view.SkipToLive(cursor));
+  EXPECT_EQ(view.ReadSequential(cursor, counter).id, 1u);
+  ASSERT_TRUE(view.SkipToLive(cursor));
+  EXPECT_EQ(view.ReadSequential(cursor, counter).id, 2u);
+  EXPECT_FALSE(view.SkipToLive(cursor));
+  EXPECT_EQ(counter.sequential, 2u);  // skipped entries are not counted
+
+  // Random access: live keys read their score, dead keys read as absent.
+  EXPECT_DOUBLE_EQ(view.ScoreOfKey(1), 0.6);
+  EXPECT_DOUBLE_EQ(view.ScoreOfKey(0), 0.0);
+  EXPECT_DOUBLE_EQ(view.ScoreOfKey(3), 0.0);
+  EXPECT_DOUBLE_EQ(view.MaxScore(), 0.6);
+}
+
+TEST(PreferenceIndexTest, FullPrefixViewMatchesRow) {
+  const PreferenceIndex index = MakeIndex();
+  const ListView view = index.UserView(1, index.pool_size(), {},
+                                       index.pool_size());
+  EXPECT_EQ(view.size(), 4u);
+  std::size_t cursor = 0;
+  AccessCounter counter;
+  const auto row = index.UserEntries(1);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    ASSERT_TRUE(view.SkipToLive(cursor));
+    const ListEntry& e = view.ReadSequential(cursor, counter);
+    EXPECT_EQ(e.id, row[i].id);
+    EXPECT_DOUBLE_EQ(e.score, row[i].score);
+  }
+  EXPECT_FALSE(view.SkipToLive(cursor));
+}
+
+}  // namespace
+}  // namespace greca

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "test_util.h"
+#include "topk/list_view.h"
 #include "topk/naive.h"
 #include "topk/problem.h"
 #include "topk/sorted_list.h"
@@ -41,6 +42,57 @@ TEST(SortedListTest, ScoreOfMissingKeyIsZero) {
   EXPECT_DOUBLE_EQ(list.ScoreOfKey(1), 0.5);
   EXPECT_DOUBLE_EQ(list.ScoreOfKey(0), 0.0);
   EXPECT_DOUBLE_EQ(list.ScoreOfKey(2), 0.0);
+}
+
+TEST(SortedListTest, ScoreOfKeyBeyondKeySpaceIsZeroNotUb) {
+  // Regression: keys >= key_space used to index past position_of_key_.
+  SortedList list = SortedList::FromUnsorted({{0, 0.9}, {1, 0.5}}, 2);
+  EXPECT_DOUBLE_EQ(list.ScoreOfKey(2), 0.0);
+  EXPECT_DOUBLE_EQ(list.ScoreOfKey(1'000'000), 0.0);
+  AccessCounter counter;
+  EXPECT_DOUBLE_EQ(list.RandomAccess(999, counter), 0.0);
+  EXPECT_EQ(counter.random, 1u);
+  // Empty lists are safe for any key.
+  const SortedList empty;
+  EXPECT_DOUBLE_EQ(empty.ScoreOfKey(0), 0.0);
+}
+
+TEST(SortedListTest, AssignUnsortedRebuildsInPlace) {
+  SortedList list = SortedList::FromUnsorted({{0, 0.1}, {1, 0.2}, {2, 0.3}}, 3);
+  const std::uint64_t before = SortedList::FromUnsortedCalls();
+  const std::vector<ListEntry> entries{{0, 0.4}, {1, 0.9}};
+  list.AssignUnsorted(entries, 4);
+  EXPECT_EQ(SortedList::FromUnsortedCalls(), before);  // no FromUnsorted
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.key_space(), 4u);
+  EXPECT_EQ(list.entry(0).id, 1u);
+  EXPECT_EQ(list.entry(1).id, 0u);
+  EXPECT_DOUBLE_EQ(list.ScoreOfKey(1), 0.9);
+  EXPECT_DOUBLE_EQ(list.ScoreOfKey(2), 0.0);  // stale entry gone
+  EXPECT_DOUBLE_EQ(list.ScoreOfKey(3), 0.0);  // missing in new key space
+}
+
+TEST(ListViewTest, AdapterMatchesSortedList) {
+  const SortedList list =
+      SortedList::FromUnsorted({{2, 0.5}, {0, 0.9}, {1, 0.1}}, 3);
+  const ListView view(list);
+  EXPECT_EQ(view.size(), list.size());
+  EXPECT_EQ(view.key_space(), 3u);
+  EXPECT_DOUBLE_EQ(view.MaxScore(), list.MaxScore());
+  for (ListKey key = 0; key < 3; ++key) {
+    EXPECT_FALSE(view.IsTombstoned(key));
+    EXPECT_DOUBLE_EQ(view.ScoreOfKey(key), list.ScoreOfKey(key));
+  }
+  EXPECT_TRUE(view.IsTombstoned(3));
+  EXPECT_DOUBLE_EQ(view.ScoreOfKey(7), 0.0);
+  AccessCounter counter;
+  std::size_t cursor = 0;
+  for (std::size_t pos = 0; pos < list.size(); ++pos) {
+    ASSERT_TRUE(view.SkipToLive(cursor));
+    EXPECT_EQ(view.ReadSequential(cursor, counter), list.entry(pos));
+  }
+  EXPECT_FALSE(view.SkipToLive(cursor));
+  EXPECT_EQ(counter.sequential, 3u);
 }
 
 TEST(GroupProblemTest, TotalEntriesSumsAllLists) {
