@@ -1,0 +1,279 @@
+// Online serving under live updates: the acceptance bench for the
+// snapshot-centric (RCU-style) API.
+//
+// Phase 1 (baseline): reader threads hammer Engine::Recommend for a fixed
+// wall-clock window with no writer — queries/second plus per-query p50/p99.
+// Phase 2 (live): the same reader load while a writer thread applies a
+// RatingEvent batch every --update-interval, each publish building a new
+// snapshot generation off the serving path. Because readers pin snapshots
+// and the writer publishes with an atomic pointer swap, reads never block on
+// writes: throughput under the writer should track the baseline (the gap is
+// CPU time the writer consumes, not lock waits — on a single-core host the
+// writer's rebuild share is the expected gap).
+//
+// The bench also replays a query batch pinned to a pre-writer snapshot after
+// dozens of generations have published and fails hard if any result changed
+// — the serving-immutability contract, cheap enough to enforce every run.
+//
+// Output: a human-readable table plus a machine-readable JSON file
+// (BENCH_online.json by default; override with GRECA_BENCH_ONLINE_JSON).
+// Env knobs: GRECA_BENCH_SMALL=1 (smoke scale), GRECA_ONLINE_SECONDS,
+// GRECA_ONLINE_READERS, GRECA_ONLINE_UPDATE_MS, GRECA_ONLINE_EVENTS.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+namespace {
+
+using namespace greca;
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+    std::cerr << "ignoring " << name << "='" << env
+              << "' (expected a positive integer)\n";
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double>& sorted_in_place, double p) {
+  if (sorted_in_place.empty()) return 0.0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_in_place.size() - 1));
+  return sorted_in_place[idx];
+}
+
+struct PhaseResult {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t queries = 0;
+};
+
+/// Runs `readers` threads issuing queries round-robin for `seconds`.
+PhaseResult RunReaders(const Engine& engine, std::span<const Query> queries,
+                       std::size_t readers, double seconds) {
+  std::vector<std::vector<double>> latencies(readers);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  Stopwatch phase_watch;
+  for (std::size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      auto& lat = latencies[r];
+      lat.reserve(1 << 14);
+      std::size_t i = r;  // stride so readers spread over the query mix
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Query& q = queries[i % queries.size()];
+        i += readers;
+        Stopwatch watch;
+        const auto result = engine.Recommend(q);
+        lat.push_back(watch.ElapsedSeconds() * 1e6);
+        if (!result.ok()) {
+          std::cerr << "ERROR: query failed: " << result.status().ToString()
+                    << "\n";
+          std::abort();
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double elapsed = phase_watch.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  PhaseResult result;
+  result.queries = all.size();
+  result.qps = static_cast<double>(all.size()) / elapsed;
+  result.p50_us = Percentile(all, 0.50);
+  result.p99_us = Percentile(all, 0.99);
+  return result;
+}
+
+std::vector<RatingEvent> RandomEvents(Rng& rng, std::size_t count,
+                                      UserId participants, ItemId items,
+                                      Timestamp base_ts) {
+  std::vector<RatingEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RatingEvent e;
+    e.user = static_cast<UserId>(rng.NextInt(0, participants - 1));
+    e.item = static_cast<ItemId>(rng.NextInt(0, items - 1));
+    e.rating = static_cast<Score>(rng.NextInt(1, 5));
+    e.timestamp = base_ts + static_cast<Timestamp>(i);
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  const auto& ctx = bench::BenchContext::Get();
+  GroupRecommender& recommender = *ctx.recommender;  // writer entry point
+  const Engine engine(recommender);                  // serving entry point
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t readers = EnvSize(
+      "GRECA_ONLINE_READERS",
+      std::clamp<std::size_t>(hw > 2 ? hw - 2 : 2, 2, 4));
+  const double seconds =
+      static_cast<double>(EnvSize("GRECA_ONLINE_SECONDS", 3));
+  const std::size_t update_ms = EnvSize("GRECA_ONLINE_UPDATE_MS", 100);
+  const std::size_t events_per_batch = EnvSize("GRECA_ONLINE_EVENTS", 8);
+
+  // The paper's scalability mix: random groups of 6, k = 10, AP, discrete
+  // model — 20 distinct groups cycled by the readers, so the snapshot's
+  // (group, period) cache sees the repetition a real batch workload has.
+  const PerformanceHarness perf(recommender, /*seed=*/2015);
+  const QuerySpec spec = PerformanceHarness::DefaultSpec();
+  std::vector<Query> queries;
+  for (const Group& group : perf.RandomGroups(bench::kNumRandomGroups, 6)) {
+    queries.push_back(Query{group, spec});
+  }
+
+  const auto participants =
+      static_cast<UserId>(recommender.study().num_participants());
+  const auto num_items =
+      static_cast<ItemId>(ctx.universe.dataset.num_items());
+
+  // Pin a pre-writer snapshot and record its answers: replayed at the end to
+  // enforce that publishes never mutate a pinned generation.
+  const auto pinned = engine.snapshot();
+  const auto pinned_before = engine.RecommendBatch(queries, pinned);
+
+  // Warm-up: touch every query once outside the measurement windows so the
+  // baseline phase is not charged the process's cold-start (allocator,
+  // period-cache fill for generation 1).
+  for (const Query& q : queries) {
+    if (!engine.Recommend(q).ok()) std::abort();
+  }
+
+  std::cout << "bench_online: " << readers << " readers, " << seconds
+            << "s per phase, writer batch " << events_per_batch
+            << " events every " << update_ms << "ms (" << hw
+            << " hardware threads)\n";
+
+  const PhaseResult baseline = RunReaders(engine, queries, readers, seconds);
+
+  // Phase 2: same reader load + a writer publishing at a fixed arrival rate.
+  std::atomic<bool> writer_stop{false};
+  std::vector<double> publish_ms;
+  std::size_t updates_applied = 0;
+  std::thread writer([&] {
+    Rng rng(77);
+    Timestamp ts = 1'000'000'000;
+    while (!writer_stop.load(std::memory_order_relaxed)) {
+      const auto events =
+          RandomEvents(rng, events_per_batch, participants, num_items, ts);
+      ts += static_cast<Timestamp>(events_per_batch);
+      Stopwatch watch;
+      const Status status = recommender.ApplyRatingUpdates(events);
+      publish_ms.push_back(watch.ElapsedMillis());
+      if (!status.ok()) {
+        std::cerr << "ERROR: update failed: " << status.ToString() << "\n";
+        std::abort();
+      }
+      updates_applied += events.size();
+      std::this_thread::sleep_for(std::chrono::milliseconds(update_ms));
+    }
+  });
+  const PhaseResult live = RunReaders(engine, queries, readers, seconds);
+  writer_stop.store(true);
+  writer.join();
+
+  const std::uint64_t final_generation = engine.snapshot()->generation();
+
+  // Immutability check: the pinned pre-writer generation must replay
+  // bit-identically after every publish above.
+  const auto pinned_after = engine.RecommendBatch(queries, pinned);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!pinned_after[i].ok() || !pinned_before[i].ok() ||
+        pinned_after[i].value().items != pinned_before[i].value().items ||
+        pinned_after[i].value().scores != pinned_before[i].value().scores) {
+      ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    std::cerr << "ERROR: " << mismatches << "/" << queries.size()
+              << " pinned-snapshot results changed across publishes\n";
+    return 1;
+  }
+
+  const double ratio = live.qps / baseline.qps;
+  const double publish_p50 = Percentile(publish_ms, 0.50);
+  const double publish_p99 = Percentile(publish_ms, 0.99);
+
+  TablePrinter table("Engine::Recommend under live updates (generation 1 -> " +
+                     std::to_string(final_generation) + ")");
+  table.SetColumns(
+      {"phase", "queries", "queries/s", "p50 (us)", "p99 (us)"});
+  table.AddRow({"no writer", std::to_string(baseline.queries),
+                TablePrinter::Cell(baseline.qps, 1),
+                TablePrinter::Cell(baseline.p50_us, 0),
+                TablePrinter::Cell(baseline.p99_us, 0)});
+  table.AddRow({"concurrent writer", std::to_string(live.queries),
+                TablePrinter::Cell(live.qps, 1),
+                TablePrinter::Cell(live.p50_us, 0),
+                TablePrinter::Cell(live.p99_us, 0)});
+  table.Print(std::cout);
+
+  std::cout << "qps_ratio (writer/baseline): " << ratio << "\n"
+            << "snapshot_publish_ms p50: " << publish_p50
+            << "  p99: " << publish_p99 << "  publishes: "
+            << publish_ms.size() << " (" << updates_applied << " events)\n"
+            << "pinned-snapshot replay: identical across "
+            << (final_generation - pinned->generation())
+            << " publishes\nExpected: ratio >= 0.85 on multi-core hosts "
+               "(reads never block; the residual gap is the writer's own "
+               "CPU share)\n";
+  if (ratio < 0.85) {
+    std::cout << "WARNING: ratio below 0.85 — on a single-core host the "
+                 "writer's rebuild time is the likely cause, not blocking\n";
+  }
+
+  const char* json_path = std::getenv("GRECA_BENCH_ONLINE_JSON");
+  const std::string path =
+      json_path != nullptr ? json_path : "BENCH_online.json";
+  std::ofstream json(path);
+  json << "{\n"
+       << "  \"readers\": " << readers << ",\n"
+       << "  \"phase_seconds\": " << seconds << ",\n"
+       << "  \"update_interval_ms\": " << update_ms << ",\n"
+       << "  \"events_per_batch\": " << events_per_batch << ",\n"
+       << "  \"baseline_qps\": " << baseline.qps << ",\n"
+       << "  \"baseline_p50_us\": " << baseline.p50_us << ",\n"
+       << "  \"baseline_p99_us\": " << baseline.p99_us << ",\n"
+       << "  \"writer_qps\": " << live.qps << ",\n"
+       << "  \"writer_p50_us\": " << live.p50_us << ",\n"
+       << "  \"writer_p99_us\": " << live.p99_us << ",\n"
+       << "  \"qps_ratio\": " << ratio << ",\n"
+       << "  \"publish_p50_ms\": " << publish_p50 << ",\n"
+       << "  \"publish_p99_ms\": " << publish_p99 << ",\n"
+       << "  \"publishes\": " << publish_ms.size() << ",\n"
+       << "  \"events_applied\": " << updates_applied << ",\n"
+       << "  \"final_generation\": " << final_generation << ",\n"
+       << "  \"pinned_replay_identical\": true\n"
+       << "}\n";
+  std::cout << "Wrote " << path << "\n";
+  return 0;
+}

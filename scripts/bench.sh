@@ -6,6 +6,11 @@
 #   BENCH_fig5.txt    — GRECA %SA scalability sweep (paper Figure 5)
 #   BENCH_batch.txt   — Engine::RecommendBatch vs sequential throughput plus
 #                       the problem_assembly_seconds / solve_seconds split
+#                       and the period-cache cold/warm assembly comparison
+#   BENCH_online.txt  — query p50/p99 with and without a concurrent writer
+#                       applying live rating updates (RCU snapshot swap)
+#   BENCH_online.json — the same, machine-readable (queries/sec under a
+#                       concurrent writer, snapshot-publish latency)
 #
 # Usage: scripts/bench.sh [build-dir]
 # Env:   GRECA_BENCH_SMALL=1 for a smoke-scale run.
@@ -15,7 +20,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability bench_batch
+cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability bench_batch bench_online
 # bench_micro exists only when google-benchmark is installed; always rebuild
 # it so the recorded numbers match the current sources.
 if cmake --build "$BUILD_DIR" -j --target bench_micro 2>/dev/null; then
@@ -28,5 +33,8 @@ fi
 
 "$BUILD_DIR"/bench/bench_fig5_scalability | tee BENCH_fig5.txt
 "$BUILD_DIR"/bench/bench_batch | tee BENCH_batch.txt
+GRECA_BENCH_ONLINE_JSON=BENCH_online.json \
+  "$BUILD_DIR"/bench/bench_online | tee BENCH_online.txt
 
-echo "Wrote BENCH_micro.json, BENCH_fig5.txt, BENCH_batch.txt"
+echo "Wrote BENCH_micro.json, BENCH_fig5.txt, BENCH_batch.txt," \
+     "BENCH_online.txt, BENCH_online.json"

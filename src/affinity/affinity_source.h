@@ -13,7 +13,13 @@
 //  * Static() is raw (>= 0) and MaxStatic() bounds it over the population —
 //    group- and population-level normalizations both derive from these;
 //  * all values are monotone inputs to the temporal combiner, which is what
-//    keeps the consensus bounds sound (Lemma 1).
+//    keeps the consensus bounds sound (Lemma 1);
+//  * implementations are immutable once bound to a Snapshot and safe for
+//    concurrent const reads: MaterializePeriodListInto is the fill hook of
+//    the snapshot-scoped (group, period) list cache (api/snapshot.h), which
+//    may invoke it from any batch worker. To change an affinity model at
+//    runtime, publish a NEW source via Engine::UpdateAffinitySource — never
+//    mutate one in place.
 #ifndef GRECA_AFFINITY_AFFINITY_SOURCE_H_
 #define GRECA_AFFINITY_AFFINITY_SOURCE_H_
 

@@ -20,7 +20,6 @@ Engine::Engine(const RatingsDataset& universe, const FacebookStudy& study,
                RecommenderOptions options, EngineOptions engine_options)
     : owned_(std::make_unique<GroupRecommender>(universe, study, options)),
       recommender_(owned_.get()),
-      index_(recommender_->preference_index_snapshot()),
       pool_(std::make_unique<ThreadPool>(
           ResolveNumThreads(engine_options.num_threads))),
       workspaces_(pool_->size()) {}
@@ -28,12 +27,21 @@ Engine::Engine(const RatingsDataset& universe, const FacebookStudy& study,
 Engine::Engine(const GroupRecommender& recommender,
                EngineOptions engine_options)
     : recommender_(&recommender),
-      index_(recommender.preference_index_snapshot()),
       pool_(std::make_unique<ThreadPool>(
           ResolveNumThreads(engine_options.num_threads))),
       workspaces_(pool_->size()) {}
 
-Status Engine::set_affinity_source(
+Status Engine::ApplyUpdates(std::span<const RatingEvent> events,
+                            UpdateReport* report) {
+  if (owned_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine wraps an external recommender; apply updates through its "
+        "owner");
+  }
+  return owned_->ApplyRatingUpdates(events, report);
+}
+
+Status Engine::UpdateAffinitySource(
     std::shared_ptr<const AffinitySource> source) {
   if (source == nullptr) {
     return Status::InvalidArgument("affinity source must not be null");
@@ -41,18 +49,30 @@ Status Engine::set_affinity_source(
   if (owned_ == nullptr) {
     return Status::FailedPrecondition(
         "engine wraps an external recommender; swap its affinity source "
-        "directly");
+        "through its owner");
   }
-  owned_->set_affinity_source(std::move(source));
-  return Status::Ok();
+  return owned_->UpdateAffinitySource(std::move(source));
 }
 
 Result<Recommendation> Engine::Recommend(const Query& query) const {
   return recommender_->Recommend(query.group, query.spec);
 }
 
+Result<Recommendation> Engine::Recommend(
+    const Query& query, std::shared_ptr<const Snapshot> snap) const {
+  return recommender_->Recommend(snap, query.group, query.spec);
+}
+
 std::vector<Result<Recommendation>> Engine::RecommendBatch(
     std::span<const Query> queries) const {
+  // One snapshot pin per batch: every query in the batch sees the same
+  // generation no matter how many updates publish while it runs.
+  return RecommendBatch(queries, recommender_->snapshot());
+}
+
+std::vector<Result<Recommendation>> Engine::RecommendBatch(
+    std::span<const Query> queries,
+    std::shared_ptr<const Snapshot> snap) const {
   // Serialize batches: each worker's QueryWorkspace must belong to exactly
   // one in-flight batch.
   std::lock_guard<std::mutex> lock(batch_mutex_);
@@ -60,7 +80,7 @@ std::vector<Result<Recommendation>> Engine::RecommendBatch(
   pool_->ParallelFor(
       queries.size(), [&](std::size_t worker, std::size_t i) {
         scratch[i].emplace(recommender_->Recommend(
-            queries[i].group, queries[i].spec, &workspaces_[worker]));
+            snap, queries[i].group, queries[i].spec, &workspaces_[worker]));
       });
   std::vector<Result<Recommendation>> results;
   results.reserve(queries.size());

@@ -1,14 +1,24 @@
-// The public, batch-first entry point of the GRECA library.
+// The public, batch-first, snapshot-centric entry point of the GRECA
+// library.
 //
-// The paper's GRECA answers one ad-hoc group query at a time; production
-// workloads (and the related group-formation literature) issue thousands of
-// group queries per experiment. The Engine serves such workloads: a batch of
-// queries executes in parallel over an internal thread pool. All workers
-// read one shared, immutable PreferenceIndex snapshot (the pre-sorted
-// per-user preference lists every query slices zero-copy), while each worker
-// owns a reusable QueryWorkspace holding only mutable scratch — the
-// problem-assembly arena and GRECA bound buffers — so steady-state queries
-// sort nothing and allocate nothing on the hot path.
+// The paper's GRECA answers one ad-hoc group query at a time over frozen
+// data; production workloads issue thousands of group queries per second
+// while ratings and affinities keep changing. The Engine serves such
+// workloads with an RCU-style split:
+//
+//  * Reads — Recommend / RecommendBatch — pin the currently published
+//    immutable Snapshot (pre-sorted PreferenceIndex + CF predictions +
+//    bound AffinitySource + generation id, see snapshot.h) and read nothing
+//    else for their whole lifetime. A batch executes in parallel over an
+//    internal thread pool, all workers sharing the one pinned snapshot;
+//    each worker owns a reusable QueryWorkspace holding only mutable
+//    scratch, so steady-state queries sort nothing and allocate nothing on
+//    the hot path.
+//  * Writes — ApplyUpdates / UpdateAffinitySource — rebuild the affected
+//    index rows and CF state OFF the serving path and publish the result as
+//    a new snapshot generation with an atomic pointer swap. Readers never
+//    block on writers; a publish mid-batch cannot change the batch's
+//    results (it keeps its pinned generation).
 //
 // Failures are per-query: RecommendBatch returns one Result<Recommendation>
 // per input query in input order, so one malformed query never poisons the
@@ -16,10 +26,10 @@
 // surface validation errors before dispatch.
 //
 //   Engine engine(universe, study, options);
-//   std::vector<Query> queries = ...;
 //   for (auto& result : engine.RecommendBatch(queries)) {
 //     if (result.ok()) Use(result.value());
 //   }
+//   engine.ApplyUpdates(events);   // publishes a new generation
 #ifndef GRECA_API_ENGINE_H_
 #define GRECA_API_ENGINE_H_
 
@@ -28,6 +38,8 @@
 #include <span>
 #include <vector>
 
+#include "api/snapshot.h"
+#include "api/update.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/group_recommender.h"
@@ -50,8 +62,9 @@ struct EngineOptions {
 class Engine {
  public:
   /// Builds and owns the underlying recommender. Construction precomputes CF
-  /// predictions and affinity tables (the expensive, query-independent part);
-  /// both dataset references must outlive the engine.
+  /// predictions and affinity tables (the expensive, query-independent part)
+  /// and publishes snapshot generation 1; both dataset references must
+  /// outlive the engine and every snapshot pinned from it.
   Engine(const RatingsDataset& universe, const FacebookStudy& study,
          RecommenderOptions options = {}, EngineOptions engine_options = {});
   Engine(const SyntheticRatings& universe, const FacebookStudy& study,
@@ -59,40 +72,85 @@ class Engine {
       : Engine(universe.dataset, study, options, engine_options) {}
 
   /// Wraps an existing recommender (non-owning; must outlive the engine).
+  /// A wrapping engine serves queries — including against snapshots the
+  /// wrapped recommender's owner publishes — but cannot mutate: the
+  /// update entry points below return kFailedPrecondition.
   explicit Engine(const GroupRecommender& recommender,
                   EngineOptions engine_options = {});
 
-  /// Runs one query. Invalid queries yield a non-OK status.
+  // --- Snapshot lifecycle ---
+
+  /// Pins the currently published serving state. Hold the pointer to keep a
+  /// generation alive across calls (e.g. a paginated session that must see
+  /// stable results); pass it to the snapshot-explicit overloads below.
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return recommender_->snapshot();
+  }
+
+  /// Applies a batch of live rating events and publishes a new snapshot
+  /// generation (see GroupRecommender::ApplyRatingUpdates for the exact
+  /// fold semantics). Serving never blocks: in-flight queries finish on
+  /// their pinned snapshot. Returns kFailedPrecondition on engines that
+  /// wrap an external recommender (the wrapped instance is const; apply
+  /// updates through its owner instead).
+  Status ApplyUpdates(std::span<const RatingEvent> events,
+                      UpdateReport* report = nullptr);
+
+  /// Swaps the pluggable affinity backend (see AffinitySource) by
+  /// publishing a new snapshot generation bound to `source`. Same wrapping
+  /// restriction as ApplyUpdates. Safe with respect to in-flight queries —
+  /// they keep the source their snapshot was bound to.
+  Status UpdateAffinitySource(std::shared_ptr<const AffinitySource> source);
+
+  /// Deprecated spelling of UpdateAffinitySource, kept for existing
+  /// callers. Routed through the snapshot-swap path, so the historical
+  /// "not thread-safe with respect to in-flight queries" caveat no longer
+  /// applies.
+  Status set_affinity_source(std::shared_ptr<const AffinitySource> source) {
+    return UpdateAffinitySource(std::move(source));
+  }
+
+  // --- Queries ---
+
+  /// Runs one query against the current snapshot. Invalid queries yield a
+  /// non-OK status.
   Result<Recommendation> Recommend(const Query& query) const;
 
+  /// Runs one query against an explicitly pinned snapshot.
+  Result<Recommendation> Recommend(const Query& query,
+                                   std::shared_ptr<const Snapshot> snap) const;
+
   /// Runs a batch of queries in parallel over the internal thread pool and
-  /// returns one result per query, in input order. Results are identical to
-  /// issuing the queries sequentially (the algorithms are deterministic and
-  /// workspaces only amortize allocations). Thread-safe; concurrent batches
-  /// are serialized internally.
+  /// returns one result per query, in input order. The whole batch pins ONE
+  /// snapshot, so its results are mutually consistent and unaffected by
+  /// concurrent publishes; they are identical to issuing the queries
+  /// sequentially against that snapshot (the algorithms are deterministic
+  /// and workspaces only amortize allocations). Thread-safe; concurrent
+  /// batches are serialized internally.
   std::vector<Result<Recommendation>> RecommendBatch(
       std::span<const Query> queries) const;
 
-  /// Swaps the pluggable affinity backend (see AffinitySource). Returns
-  /// kFailedPrecondition on engines that wrap an external recommender (the
-  /// wrapped instance is const; swap its source directly instead). Not
-  /// thread-safe with respect to in-flight queries.
-  Status set_affinity_source(std::shared_ptr<const AffinitySource> source);
+  /// Batch execution against an explicitly pinned snapshot — e.g. to replay
+  /// a batch on a retired generation, or to split one logical workload
+  /// across several RecommendBatch calls that must all see the same data.
+  std::vector<Result<Recommendation>> RecommendBatch(
+      std::span<const Query> queries,
+      std::shared_ptr<const Snapshot> snap) const;
 
   const GroupRecommender& recommender() const { return *recommender_; }
   std::size_t num_threads() const { return pool_->size(); }
 
-  /// The read-only preference snapshot shared by every batch worker.
-  const PreferenceIndex& preference_index() const { return *index_; }
+  /// The preference index of the current snapshot. The reference does not
+  /// pin its snapshot: it is safe only while no concurrent writer can
+  /// publish. Pin snapshot() and use snapshot()->index() when updates may
+  /// race this call.
+  const PreferenceIndex& preference_index() const {
+    return recommender_->preference_index();
+  }
 
  private:
   std::unique_ptr<GroupRecommender> owned_;  // null when wrapping
   const GroupRecommender* recommender_;
-  // The one preference snapshot every worker reads. Shared ownership makes
-  // the one-copy-for-all-workers contract explicit; lifetime of the
-  // recommender itself is still the caller's responsibility on the wrapping
-  // path.
-  std::shared_ptr<const PreferenceIndex> index_;
   std::unique_ptr<ThreadPool> pool_;
   mutable std::vector<QueryWorkspace> workspaces_;  // one per worker
   mutable std::mutex batch_mutex_;

@@ -1,5 +1,6 @@
 #include "api/query_builder.h"
 
+#include <cstddef>
 #include <utility>
 
 namespace greca {
@@ -55,11 +56,25 @@ QueryBuilder& QueryBuilder::CandidatePool(std::size_t num_items) {
 }
 
 Result<Query> QueryBuilder::Build() const {
-  if (Status s = recommender_->ValidateQuery(query_.group, query_.spec);
+  Query query = query_;
+  // Dedupe to first occurrences, preserving order: a duplicate would
+  // double-weight that member in every consensus function. O(g²) on a group
+  // capped at tens of members.
+  auto& group = query.group;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (group[j] == group[i]) {
+        group.erase(group.begin() + static_cast<std::ptrdiff_t>(i));
+        --i;
+        break;
+      }
+    }
+  }
+  if (Status s = recommender_->ValidateQuery(query.group, query.spec);
       !s.ok()) {
     return s;
   }
-  return query_;
+  return query;
 }
 
 }  // namespace greca

@@ -3,8 +3,22 @@
 // QueryBuilder front-loads validation: Build() checks the group, k, the
 // candidate pool and the evaluation period against the engine's datasets and
 // returns either a ready-to-run Query or the first greca::Status error —
-// before any per-query work happens. A query that Build() returned OK cannot
-// fail validation inside Recommend/RecommendBatch.
+// before any per-query work happens. A query that Build() returned OK
+// cannot fail validation against the snapshot generation Build() validated
+// on. Execution pins its own (possibly newer) snapshot, so an intervening
+// UpdateAffinitySource to a source covering fewer periods can still fail a
+// time-aware query at Recommend time — callers serving across live affinity
+// swaps should pin engine.snapshot() and pass it to the snapshot-explicit
+// overloads alongside the built query.
+//
+// Duplicate members: a repeated UserId in a group would double-weight that
+// member in every consensus function (their preference list would be counted
+// twice), so duplicates are never executed. The builder DEDUPES — Build()
+// keeps the first occurrence of each member, preserving order — because
+// callers assembling groups from event streams or invitation lists hit
+// benign repeats constantly. Hand-built Query structs that bypass the
+// builder are REJECTED instead (ValidateQuery returns kInvalidArgument):
+// code constructing raw groups is expected to know its membership.
 //
 //   const Result<Query> query = QueryBuilder(engine)
 //                                   .Members({4, 17, 29})
@@ -29,9 +43,10 @@ class QueryBuilder {
   explicit QueryBuilder(const GroupRecommender& recommender)
       : recommender_(&recommender) {}
 
-  /// Replaces the group (study participant ids).
+  /// Replaces the group (study participant ids). Repeats are allowed here;
+  /// Build() dedupes to first occurrences (see file comment).
   QueryBuilder& Members(std::vector<UserId> members);
-  /// Appends one member.
+  /// Appends one member (repeats allowed; deduped at Build()).
   QueryBuilder& AddMember(UserId user);
   QueryBuilder& TopK(std::size_t k);
   QueryBuilder& Model(const AffinityModelSpec& model);
@@ -44,8 +59,9 @@ class QueryBuilder {
   QueryBuilder& Termination(TerminationPolicy policy);
   QueryBuilder& CandidatePool(std::size_t num_items);
 
-  /// Validates against the engine's datasets and returns the query or the
-  /// first validation error.
+  /// Dedupes the group (first occurrence wins, order preserved), validates
+  /// against the engine's datasets and returns the query or the first
+  /// validation error.
   Result<Query> Build() const;
 
  private:

@@ -1,0 +1,70 @@
+#include "api/snapshot.h"
+
+#include <cassert>
+#include <utility>
+
+namespace greca {
+
+const SortedList& PeriodListCache::Get(std::span<const UserId> group,
+                                       PeriodId p,
+                                       const AffinitySource& source) {
+  const KeyView probe{group, p};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(probe);  // heterogeneous: no key allocation
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return *it->second;
+    }
+  }
+  // Materialize outside the lock so a slow build never stalls other readers'
+  // cache hits; concurrent builders of the same key race benignly (the loser
+  // drops its copy).
+  auto list = std::make_unique<SortedList>();
+  std::vector<ListEntry> scratch;
+  source.MaterializePeriodListInto(group, p, scratch, *list);
+  Key key{std::vector<UserId>(group.begin(), group.end()), p};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      cache_.try_emplace(std::move(key), std::move(list));
+  (inserted ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+  return *it->second;
+}
+
+std::size_t PeriodListCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+std::size_t PeriodListCache::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t bytes = 0;
+  for (const auto& [key, list] : cache_) {
+    bytes += key.group.size() * sizeof(UserId) + sizeof(Key);
+    bytes += sizeof(SortedList) + list->size() * sizeof(ListEntry) +
+             list->key_space() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+Snapshot::Snapshot(
+    std::uint64_t generation,
+    std::shared_ptr<const RatingsDataset> study_ratings,
+    std::shared_ptr<const std::vector<std::vector<Score>>> predictions,
+    std::shared_ptr<const PreferenceIndex> index,
+    std::shared_ptr<const AffinitySource> affinity,
+    std::shared_ptr<PeriodListCache> cache)
+    : generation_(generation),
+      study_ratings_(std::move(study_ratings)),
+      predictions_(std::move(predictions)),
+      index_(std::move(index)),
+      affinity_(std::move(affinity)),
+      cache_(cache != nullptr ? std::move(cache)
+                              : std::make_shared<PeriodListCache>()) {
+  assert(study_ratings_ != nullptr);
+  assert(predictions_ != nullptr);
+  assert(index_ != nullptr);
+  assert(affinity_ != nullptr);
+}
+
+}  // namespace greca

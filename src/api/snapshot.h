@@ -1,0 +1,213 @@
+// The immutable unit of serving state that every query pins.
+//
+// A Snapshot bundles everything a query reads — the pre-sorted
+// PreferenceIndex, the CF predictions it was built from, the study ratings
+// (the tombstone source for §2.4's already-rated exclusion) and the bound
+// AffinitySource — under one generation id. Queries pin a snapshot for their
+// whole lifetime (one per query via Engine::Recommend, one per batch via
+// Engine::RecommendBatch), so a concurrently published update can never
+// change a running query's inputs: updates build a NEW snapshot off the
+// serving path and publish it with a constant-time pointer swap (RCU-style;
+// see update.h and GroupRecommender::ApplyRatingUpdates).
+//
+// Period-list caching: the materialized periodic-affinity pair lists
+// consumed by BuildProblem depend only on (group, period) and the bound
+// AffinitySource — not on the query's candidate pool and not on ratings —
+// and batch workloads repeat groups constantly. PeriodList() memoizes them
+// in a PeriodListCache scoped to the affinity binding: rating-update
+// generations SHARE the cache of the snapshot they were built from (their
+// lists are bit-identical), while an affinity-source swap starts a fresh
+// one. Invalidation is therefore free — when the last snapshot sharing a
+// cache retires, the cache goes with it — and a steady rating-update stream
+// never re-colds the cache. Cached lists are immutable once inserted and
+// pointer-stable, so GroupProblem views alias them directly and stay valid
+// as long as the snapshot lives (GroupProblem keeps it alive).
+//
+// Thread-safety: all members are const after construction except the cache,
+// which is internally synchronized — any number of threads may call
+// PeriodList() concurrently. Cache hits are allocation-free (heterogeneous
+// key lookup on the group span).
+//
+// The cache is unbounded by design (entries are small — one pair list per
+// distinct (group, period)); workloads with unbounded ad-hoc group churn
+// under a long-lived affinity binding should watch MemoryBytes() — a size
+// cap with eviction is a ROADMAP follow-on.
+#ifndef GRECA_API_SNAPSHOT_H_
+#define GRECA_API_SNAPSHOT_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "affinity/affinity_source.h"
+#include "common/types.h"
+#include "dataset/ratings.h"
+#include "index/preference_index.h"
+#include "topk/sorted_list.h"
+
+namespace greca {
+
+/// Memoized (group, period) → materialized periodic-affinity pair list.
+/// Internally synchronized; shared by every snapshot generation bound to
+/// the same AffinitySource. Entries are immutable and pointer-stable.
+class PeriodListCache {
+ public:
+  /// The cached list for (group, p), materialized through `source` on first
+  /// use. The group is significant in ORDER (lists are keyed by local pair
+  /// index); the validated Query path always presents a canonical order.
+  const SortedList& Get(std::span<const UserId> group, PeriodId p,
+                        const AffinitySource& source);
+
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Key {
+    std::vector<UserId> group;
+    PeriodId period = 0;
+  };
+  /// Allocation-free probe key over a caller-owned span.
+  struct KeyView {
+    std::span<const UserId> group;
+    PeriodId period = 0;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    static std::size_t Mix(std::span<const UserId> group, PeriodId period) {
+      // FNV-1a over the member ids and the period.
+      std::uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+      };
+      for (const UserId u : group) mix(u);
+      mix(0xABCDull);
+      mix(period);
+      return static_cast<std::size_t>(h);
+    }
+    std::size_t operator()(const Key& k) const {
+      return Mix(k.group, k.period);
+    }
+    std::size_t operator()(const KeyView& k) const {
+      return Mix(k.group, k.period);
+    }
+  };
+  struct KeyEqual {
+    using is_transparent = void;
+    static bool Eq(std::span<const UserId> a, PeriodId pa,
+                   std::span<const UserId> b, PeriodId pb) {
+      return pa == pb && std::ranges::equal(a, b);
+    }
+    bool operator()(const Key& a, const Key& b) const {
+      return Eq(a.group, a.period, b.group, b.period);
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return Eq(a.group, a.period, b.group, b.period);
+    }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return Eq(a.group, a.period, b.group, b.period);
+    }
+  };
+
+  // unique_ptr values keep list addresses stable across rehashes; built
+  // outside the lock (a lost insert race discards the duplicate build).
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::unique_ptr<const SortedList>, KeyHash, KeyEqual>
+      cache_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+class Snapshot {
+ public:
+  /// All parts but `cache` must be non-null; the snapshot shares their
+  /// ownership (the ratings pointer may alias caller-owned storage on the
+  /// initial generation — see GroupRecommender construction). `cache` is
+  /// the period-list cache to share — pass the previous generation's cache
+  /// when the affinity binding is unchanged (rating updates), null to start
+  /// cold (construction, affinity swaps).
+  Snapshot(std::uint64_t generation,
+           std::shared_ptr<const RatingsDataset> study_ratings,
+           std::shared_ptr<const std::vector<std::vector<Score>>> predictions,
+           std::shared_ptr<const PreferenceIndex> index,
+           std::shared_ptr<const AffinitySource> affinity,
+           std::shared_ptr<PeriodListCache> cache = nullptr);
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// Monotonically increasing publish id; 1 is the construction-time state.
+  std::uint64_t generation() const { return generation_; }
+
+  const PreferenceIndex& index() const { return *index_; }
+  const AffinitySource& affinity() const { return *affinity_; }
+  /// The study participants' own ratings as of this generation (tombstone
+  /// source for the group-rated exclusion).
+  const RatingsDataset& study_ratings() const { return *study_ratings_; }
+  /// CF-predicted ratings (universe scale) per study participant.
+  std::span<const Score> predictions(UserId study_user) const {
+    return (*predictions_)[study_user];
+  }
+  std::size_t num_users() const { return predictions_->size(); }
+
+  /// Shared handles (what the next generation's builder reuses for the
+  /// untouched parts).
+  const std::shared_ptr<const RatingsDataset>& study_ratings_ptr() const {
+    return study_ratings_;
+  }
+  const std::shared_ptr<const std::vector<std::vector<Score>>>&
+  predictions_ptr() const {
+    return predictions_;
+  }
+  const std::shared_ptr<const PreferenceIndex>& index_ptr() const {
+    return index_;
+  }
+  const std::shared_ptr<const AffinitySource>& affinity_ptr() const {
+    return affinity_;
+  }
+  const std::shared_ptr<PeriodListCache>& period_cache_ptr() const {
+    return cache_;
+  }
+
+  /// The materialized periodic-affinity list of `group` (ordered; local pair
+  /// key order, see LocalPairIndex) at period `p`, served from the shared
+  /// PeriodListCache. Thread-safe; the returned list is immutable and valid
+  /// as long as this snapshot lives.
+  const SortedList& PeriodList(std::span<const UserId> group,
+                               PeriodId p) const {
+    return cache_->Get(group, p, *affinity_);
+  }
+
+  /// Cache observability (counters are cache-lifetime, i.e. shared across
+  /// the rating-update generations bound to the same affinity source).
+  /// hits + misses == PeriodList() calls.
+  std::uint64_t period_cache_hits() const { return cache_->hits(); }
+  std::uint64_t period_cache_misses() const { return cache_->misses(); }
+  /// Number of distinct (group, period) lists currently materialized.
+  std::size_t period_cache_size() const { return cache_->size(); }
+  /// Resident bytes of the cached period lists (excludes the shared index).
+  std::size_t PeriodCacheMemoryBytes() const { return cache_->MemoryBytes(); }
+
+ private:
+  const std::uint64_t generation_;
+  const std::shared_ptr<const RatingsDataset> study_ratings_;
+  const std::shared_ptr<const std::vector<std::vector<Score>>> predictions_;
+  const std::shared_ptr<const PreferenceIndex> index_;
+  const std::shared_ptr<const AffinitySource> affinity_;
+  const std::shared_ptr<PeriodListCache> cache_;  // never null
+};
+
+}  // namespace greca
+
+#endif  // GRECA_API_SNAPSHOT_H_

@@ -1,0 +1,49 @@
+// The mutation surface of the snapshot-centric serving API.
+//
+// The paper's GRECA assumes a frozen ratings matrix and a frozen affinity
+// study; a serving system does not get that luxury — members keep rating
+// items while queries are in flight. Updates enter the engine as batches of
+// RatingEvents through Engine::ApplyUpdates (or
+// GroupRecommender::ApplyRatingUpdates); the writer rebuilds the affected
+// per-user CF predictions and index rows OFF the serving path and publishes
+// the result as a brand-new immutable Snapshot (snapshot.h). Queries that
+// pinned the previous snapshot keep it until they finish — reads never block
+// on writes, writes never corrupt reads.
+#ifndef GRECA_API_UPDATE_H_
+#define GRECA_API_UPDATE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace greca {
+
+/// One live rating by a study participant on a universe item. Matches the
+/// dataset semantics of RatingsDataset::FromRecords: a (user, item) pair
+/// keeps its latest-timestamped rating, so an event older than the stored
+/// rating of the same pair is ignored.
+struct RatingEvent {
+  /// Study participant id (NOT a universe user id).
+  UserId user = kInvalidUser;
+  /// Universe item id.
+  ItemId item = kInvalidItem;
+  /// Rating on the universe's star scale.
+  Score rating = 0.0;
+  Timestamp timestamp = 0;
+
+  friend bool operator==(const RatingEvent&, const RatingEvent&) = default;
+};
+
+/// What one ApplyUpdates call did — filled for observability and benches.
+struct UpdateReport {
+  /// Generation id of the snapshot the call published.
+  std::uint64_t published_generation = 0;
+  /// Distinct study users whose CF predictions + index rows were rebuilt.
+  std::size_t users_rebuilt = 0;
+  /// Events applied (== the input batch size once validation passed).
+  std::size_t events_applied = 0;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_API_UPDATE_H_

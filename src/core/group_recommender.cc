@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -22,25 +23,143 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
       periodic_(PeriodicAffinity::Compute(study.likes, study.periods)),
       dynamic_(DynamicAffinityIndex::Build(periodic_)) {
   const std::size_t n = study.num_participants();
-  predictions_.reserve(n);
+  auto predictions = std::make_shared<std::vector<std::vector<Score>>>();
+  predictions->reserve(n);
   for (UserId su = 0; su < n; ++su) {
-    predictions_.push_back(
+    predictions->push_back(
         knn_.PredictAll(study.study_ratings.RatingsOfUser(su)));
   }
   static_ = ComputeCommonFriendCounts(study.graph);
-  source_ = std::make_shared<StudyAffinitySource>(static_, periodic_, &dynamic_);
+  auto source =
+      std::make_shared<StudyAffinitySource>(static_, periodic_, &dynamic_);
   // One shared, immutable sorted-preference index over the popular-item
   // pool; every query (and every batch worker) slices it by prefix.
-  index_ = std::make_shared<const PreferenceIndex>(PreferenceIndex::Build(
-      predictions_, /*scale_max=*/5.0,
+  auto index = std::make_shared<const PreferenceIndex>(PreferenceIndex::Build(
+      *predictions, /*scale_max=*/5.0,
       universe.TopPopularItems(options.max_candidate_items),
       universe.num_items()));
+  // Generation 1 aliases the study-owned ratings (non-owning shared_ptr —
+  // the study outlives the recommender by contract); every later generation
+  // owns a fresh fold of the live updates.
+  snapshot_ = std::make_shared<const Snapshot>(
+      /*generation=*/1,
+      std::shared_ptr<const RatingsDataset>(std::shared_ptr<const void>(),
+                                            &study.study_ratings),
+      std::move(predictions), std::move(index), std::move(source));
+}
+
+void GroupRecommender::Publish(
+    std::shared_ptr<const RatingsDataset> ratings,
+    std::shared_ptr<const std::vector<std::vector<Score>>> preds,
+    std::shared_ptr<const PreferenceIndex> index,
+    std::shared_ptr<const AffinitySource> source,
+    std::shared_ptr<PeriodListCache> cache) {
+  // All building happened before this point; the swap itself is O(1).
+  auto next = std::make_shared<const Snapshot>(
+      next_generation_++, std::move(ratings), std::move(preds),
+      std::move(index), std::move(source), std::move(cache));
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(next);
+}
+
+Status GroupRecommender::ApplyRatingUpdates(
+    std::span<const RatingEvent> events, UpdateReport* report) {
+  const std::size_t n = study_->num_participants();
+  for (const RatingEvent& e : events) {
+    if (e.user >= n) {
+      return Status::NotFound("rating event for unknown study participant " +
+                              std::to_string(e.user) + " (study has " +
+                              std::to_string(n) + ")");
+    }
+    if (e.item >= universe_->num_items()) {
+      return Status::NotFound("rating event for unknown universe item " +
+                              std::to_string(e.item) + " (universe has " +
+                              std::to_string(universe_->num_items()) + ")");
+    }
+    // A non-finite rating would poison the folded dataset permanently (CF
+    // norms and similarities all turn NaN), so gate it with the rest.
+    if (!std::isfinite(e.rating)) {
+      return Status::InvalidArgument("rating event with non-finite rating");
+    }
+  }
+  if (events.empty()) {
+    // A no-op batch publishes nothing: callers polling generation ids can
+    // rely on every increment meaning a real state change.
+    if (report != nullptr) *report = UpdateReport{};
+    return Status::Ok();
+  }
+
+  // Writers serialize here; readers continue on the published snapshot.
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  const std::shared_ptr<const Snapshot> cur = snapshot();
+  const RatingsDataset& old_ratings = cur->study_ratings();
+
+  // Fold the events into a fresh immutable ratings dataset. FromRecords
+  // keeps the latest-timestamped rating per (user, item), so events override
+  // stored ratings unless they are older.
+  std::vector<RatingRecord> records;
+  records.reserve(old_ratings.num_ratings() + events.size());
+  for (UserId su = 0; su < n; ++su) {
+    for (const UserRatingEntry& r : old_ratings.RatingsOfUser(su)) {
+      records.push_back({su, r.item, r.rating, r.timestamp});
+    }
+  }
+  for (const RatingEvent& e : events) {
+    records.push_back({e.user, e.item, e.rating, e.timestamp});
+  }
+  auto ratings = std::make_shared<const RatingsDataset>(
+      RatingsDataset::FromRecords(n, universe_->num_items(),
+                                  std::move(records)));
+
+  // Rebuild CF predictions + index rows for the touched users only.
+  std::vector<UserId> touched;
+  touched.reserve(events.size());
+  for (const RatingEvent& e : events) touched.push_back(e.user);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  auto preds =
+      std::make_shared<std::vector<std::vector<Score>>>(*cur->predictions_ptr());
+  std::vector<std::span<const Score>> touched_preds;
+  touched_preds.reserve(touched.size());
+  for (const UserId su : touched) {
+    (*preds)[su] = knn_.PredictAll(ratings->RatingsOfUser(su));
+    touched_preds.emplace_back((*preds)[su]);
+  }
+  auto index = std::make_shared<const PreferenceIndex>(
+      cur->index().CloneWithUpdatedRows(touched, touched_preds));
+
+  if (report != nullptr) {
+    report->published_generation = next_generation_;
+    report->users_rebuilt = touched.size();
+    report->events_applied = events.size();
+  }
+  // The affinity binding is unchanged, so the period-list cache carries
+  // forward: a steady rating-update stream never re-colds it.
+  Publish(std::move(ratings), std::move(preds), std::move(index),
+          cur->affinity_ptr(), cur->period_cache_ptr());
+  return Status::Ok();
+}
+
+Status GroupRecommender::UpdateAffinitySource(
+    std::shared_ptr<const AffinitySource> source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("affinity source must not be null");
+  }
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  const std::shared_ptr<const Snapshot> cur = snapshot();
+  // New affinity binding → the period lists change: start a cold cache.
+  Publish(cur->study_ratings_ptr(), cur->predictions_ptr(), cur->index_ptr(),
+          std::move(source), /*cache=*/nullptr);
+  return Status::Ok();
 }
 
 void GroupRecommender::set_affinity_source(
     std::shared_ptr<const AffinitySource> source) {
   assert(source != nullptr);
-  source_ = std::move(source);
+  const Status status = UpdateAffinitySource(std::move(source));
+  assert(status.ok());
+  (void)status;
 }
 
 Result<PeriodId> GroupRecommender::ResolvePeriod(
@@ -57,6 +176,12 @@ Result<PeriodId> GroupRecommender::ResolvePeriod(
 }
 
 Status GroupRecommender::ValidateQuery(std::span<const UserId> group,
+                                       const QuerySpec& spec) const {
+  return ValidateQuery(*snapshot(), group, spec);
+}
+
+Status GroupRecommender::ValidateQuery(const Snapshot& snap,
+                                       std::span<const UserId> group,
                                        const QuerySpec& spec) const {
   if (group.empty()) {
     return Status::InvalidArgument("group must not be empty");
@@ -91,17 +216,18 @@ Status GroupRecommender::ValidateQuery(std::span<const UserId> group,
   const Result<PeriodId> period = ResolvePeriod(spec.eval_period);
   if (!period.ok()) return period.status();
   if (spec.model.affinity_aware && spec.model.time_aware &&
-      period.value() >= source_->num_periods()) {
+      period.value() >= snap.affinity().num_periods()) {
     return Status::FailedPrecondition(
         "affinity source covers only " +
-        std::to_string(source_->num_periods()) + " periods");
+        std::to_string(snap.affinity().num_periods()) + " periods");
   }
   return Status::Ok();
 }
 
 std::span<const Score> GroupRecommender::Predictions(UserId study_user) const {
-  assert(study_user < predictions_.size());
-  return predictions_[study_user];
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  assert(study_user < snap->num_users());
+  return snap->predictions(study_user);
 }
 
 double GroupRecommender::RatingSimilarity(UserId a, UserId b) const {
@@ -118,24 +244,38 @@ double GroupRecommender::ModelAffinity(UserId a, UserId b,
   assert(resolved.ok() && "ModelAffinity requires an in-range period");
   if (!resolved.ok()) return 0.0;
   const PeriodId p = resolved.value();
-  std::vector<double> averages = source_->PeriodAverages(p);
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const AffinitySource& source = snap->affinity();
+  std::vector<double> averages = source.PeriodAverages(p);
   std::vector<double> aff_p;
   aff_p.reserve(p + 1);
   for (PeriodId q = 0; q <= p; ++q) {
-    aff_p.push_back(source_->Periodic(a, b, q));
+    aff_p.push_back(source.Periodic(a, b, q));
   }
   const AffinityCombiner combiner(spec, std::move(averages));
   // Static affinity normalized by the population max (group context is not
   // available for a bare pair).
-  return combiner.Combine(source_->NormalizedStatic(a, b), aff_p);
+  return combiner.Combine(source.NormalizedStatic(a, b), aff_p);
 }
 
 Result<GroupProblem> GroupRecommender::BuildProblem(
     std::span<const UserId> group, const QuerySpec& spec,
     std::vector<ItemId>* candidates_out, QueryWorkspace* workspace) const {
-  if (Status s = ValidateQuery(group, spec); !s.ok()) return s;
+  return BuildProblem(snapshot(), group, spec, candidates_out, workspace);
+}
+
+Result<GroupProblem> GroupRecommender::BuildProblem(
+    const std::shared_ptr<const Snapshot>& snap,
+    std::span<const UserId> group, const QuerySpec& spec,
+    std::vector<ItemId>* candidates_out, QueryWorkspace* workspace) const {
+  if (snap == nullptr) {
+    return Status::InvalidArgument("snapshot must not be null");
+  }
+  if (Status s = ValidateQuery(*snap, group, spec); !s.ok()) return s;
   const PeriodId eval_period = ResolvePeriod(spec.eval_period).value();
   const std::size_t g = group.size();
+  const PreferenceIndex& index = snap->index();
+  const AffinitySource& source = snap->affinity();
 
   // The problem's views point into an arena: the caller's workspace when
   // given (reused across a batch), otherwise one the problem itself owns.
@@ -144,16 +284,16 @@ Result<GroupProblem> GroupRecommender::BuildProblem(
   ProblemArena& arena =
       workspace != nullptr ? workspace->arena : *owned_arena;
 
-  // Candidate pool = keys [0, pool) of the shared index (the popularity
+  // Candidate pool = keys [0, pool) of the snapshot's index (the popularity
   // prefix); the group's already-rated items are tombstoned, not re-keyed
   // (§2.4 exclusion), so no preference list is sorted or copied per query.
   const std::size_t pool =
-      std::min(spec.num_candidate_items, index_->pool_size());
+      std::min(spec.num_candidate_items, index.pool_size());
   arena.tombstones.assign((pool + 63) / 64, 0);
   if (options_.exclude_group_rated) {
     for (const UserId su : group) {
-      for (const auto& e : study_->study_ratings.RatingsOfUser(su)) {
-        const std::uint32_t key = index_->PoolPositionOf(e.item);
+      for (const auto& e : snap->study_ratings().RatingsOfUser(su)) {
+        const std::uint32_t key = index.PoolPositionOf(e.item);
         if (key < pool) arena.tombstones[key >> 6] |= 1ull << (key & 63u);
       }
     }
@@ -168,29 +308,25 @@ Result<GroupProblem> GroupRecommender::BuildProblem(
   arena.preference_views.reserve(g);
   for (const UserId su : group) {
     arena.preference_views.push_back(
-        index_->UserView(su, pool, arena.tombstones, live));
+        index.UserView(su, pool, arena.tombstones, live));
   }
 
-  // Affinity lists come only from the pluggable source: the static list is
-  // group-normalized (paper §4.1.2), plus one periodic list per period
-  // 0..eval_period. Time- or affinity-agnostic variants read no periodic
-  // lists at all. All land in the arena's reusable buffers.
-  source_->MaterializeStaticListInto(group, arena.entry_scratch,
-                                     arena.static_list);
+  // Affinity lists come only from the snapshot-bound source: the static list
+  // is group-normalized (paper §4.1.2) and materialized into the arena, plus
+  // one periodic list per period 0..eval_period served from the snapshot's
+  // (group, period) cache — repeated groups in a batch rebuild nothing.
+  // Time- or affinity-agnostic variants read no periodic lists at all.
+  source.MaterializeStaticListInto(group, arena.entry_scratch,
+                                   arena.static_list);
   arena.period_views.clear();
   std::vector<double> averages;
   if (spec.model.time_aware && spec.model.affinity_aware) {
     const std::size_t periods = static_cast<std::size_t>(eval_period) + 1;
-    if (arena.period_lists.size() < periods) {
-      arena.period_lists.resize(periods);  // grow-only, capacity is kept
-    }
     arena.period_views.reserve(periods);
     for (PeriodId p = 0; p <= eval_period; ++p) {
-      source_->MaterializePeriodListInto(group, p, arena.entry_scratch,
-                                         arena.period_lists[p]);
-      arena.period_views.emplace_back(arena.period_lists[p]);
+      arena.period_views.emplace_back(snap->PeriodList(group, p));
     }
-    averages = source_->PeriodAverages(eval_period);
+    averages = source.PeriodAverages(eval_period);
   }
 
   // Pair-wise disagreement consensus reads its own agreement list (Lemma 1's
@@ -207,21 +343,32 @@ Result<GroupProblem> GroupRecommender::BuildProblem(
 
   AffinityCombiner combiner(spec.model, std::move(averages));
   if (candidates_out != nullptr) {
-    const std::span<const ItemId> items = index_->pool();
+    const std::span<const ItemId> items = index.pool();
     candidates_out->assign(items.begin(), items.begin() + pool);
   }
-  return GroupProblem(pool, live, arena.preference_views,
-                      ListView(arena.static_list), arena.period_views,
-                      std::move(combiner), spec.consensus,
-                      arena.agreement_views, std::move(owned_arena));
+  GroupProblem problem(pool, live, arena.preference_views,
+                       ListView(arena.static_list), arena.period_views,
+                       std::move(combiner), spec.consensus,
+                       arena.agreement_views, std::move(owned_arena));
+  // The problem's views alias the snapshot's index rows and cached period
+  // lists: share ownership so they survive a concurrent publish.
+  problem.PinLifetime(snap);
+  return problem;
 }
 
 Result<Recommendation> GroupRecommender::Recommend(
     std::span<const UserId> group, const QuerySpec& spec,
     QueryWorkspace* workspace) const {
+  return Recommend(snapshot(), group, spec, workspace);
+}
+
+Result<Recommendation> GroupRecommender::Recommend(
+    const std::shared_ptr<const Snapshot>& snap,
+    std::span<const UserId> group, const QuerySpec& spec,
+    QueryWorkspace* workspace) const {
   QueryWorkspace local;
   QueryWorkspace& ws = workspace != nullptr ? *workspace : local;
-  Result<GroupProblem> problem = BuildProblem(group, spec, nullptr, &ws);
+  Result<GroupProblem> problem = BuildProblem(snap, group, spec, nullptr, &ws);
   if (!problem.ok()) return problem.status();
 
   Recommendation rec;
@@ -242,7 +389,7 @@ Result<Recommendation> GroupRecommender::Recommend(
   }
   rec.items.reserve(rec.raw.items.size());
   rec.scores.reserve(rec.raw.items.size());
-  const std::span<const ItemId> pool = index_->pool();
+  const std::span<const ItemId> pool = snap->index().pool();
   for (const ListEntry& e : rec.raw.items) {
     rec.items.push_back(pool[e.id]);  // problem keys are pool positions
     rec.scores.push_back(e.score);

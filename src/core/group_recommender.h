@@ -12,14 +12,18 @@
 //     PreferenceIndex — per query each member's list is a ListView slice of
 //     the index (no sort, no copy);
 //  3. static affinities from common friends, normalized within the group;
-//  4. periodic affinities from common page-like categories per period;
+//  4. periodic affinities from common page-like categories per period,
+//     served from the snapshot's (group, period) list cache;
 //  5. the chosen temporal model + consensus function form a GroupProblem
 //     solved by GRECA / TA / the naive scan.
 //
-// Affinities (steps 3–4) are consumed exclusively through the pluggable
-// AffinitySource interface; by default queries run against the study-backed
-// source, and set_affinity_source() swaps in alternative models without
-// touching this layer.
+// Serving state lives in an immutable Snapshot (src/api/snapshot.h): the
+// preference index, the CF predictions, the study ratings and the bound
+// AffinitySource, all under one generation id. Every query pins the current
+// snapshot at entry and reads nothing else, so the live-update path —
+// ApplyRatingUpdates / UpdateAffinitySource — can rebuild the affected state
+// off the serving path and publish a new generation with an atomic pointer
+// swap (RCU-style) without ever blocking or corrupting in-flight queries.
 //
 // Error handling: invalid queries (empty group, k = 0, unknown member,
 // out-of-range period, oversized group) are reported through
@@ -28,7 +32,9 @@
 #ifndef GRECA_CORE_GROUP_RECOMMENDER_H_
 #define GRECA_CORE_GROUP_RECOMMENDER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -38,6 +44,8 @@
 #include "affinity/periodic_affinity.h"
 #include "affinity/static_affinity.h"
 #include "affinity/temporal_model.h"
+#include "api/snapshot.h"
+#include "api/update.h"
 #include "cf/user_knn.h"
 #include "common/status.h"
 #include "consensus/consensus.h"
@@ -104,8 +112,9 @@ struct QueryWorkspace {
 
 class GroupRecommender {
  public:
-  /// Both references must outlive this object. Construction precomputes CF
-  /// predictions for every study participant and all affinity tables.
+  /// Both references must outlive this object (and every snapshot pinned
+  /// from it). Construction precomputes CF predictions for every study
+  /// participant and all affinity tables, and publishes generation 1.
   /// `universe` may be any collaborative rating dataset — the synthetic twin
   /// or a parsed real MovieLens file.
   GroupRecommender(const RatingsDataset& universe, const FacebookStudy& study,
@@ -116,31 +125,92 @@ class GroupRecommender {
                    const FacebookStudy& study, RecommenderOptions options)
       : GroupRecommender(universe.dataset, study, options) {}
 
-  // The default affinity source points at member tables.
   GroupRecommender(const GroupRecommender&) = delete;
   GroupRecommender& operator=(const GroupRecommender&) = delete;
 
-  /// Recommends spec.k items to `group` (study participant ids). Returns a
-  /// non-OK status for invalid queries (see ValidateQuery). `workspace`, when
-  /// non-null, provides reusable buffers for batch execution.
+  // --- Snapshot lifecycle (the RCU-style serving contract) ---
+
+  /// The currently published serving state. Queries made through the
+  /// parameterless Recommend/BuildProblem pin it implicitly; callers that
+  /// need cross-call stability (a batch, a paginated session) pin it once
+  /// and pass it to the snapshot-explicit overloads. Never null.
+  ///
+  /// Pinning is a constant-time pointer copy under a light mutex — the
+  /// publication point. Rebuild work always happens outside it, so readers
+  /// never wait on a refresh (std::atomic<shared_ptr> would express the
+  /// same contract, but libstdc++'s embedded-spinlock implementation is
+  /// opaque to ThreadSanitizer, and the TSan CI job is part of this
+  /// contract's regression suite).
+  std::shared_ptr<const Snapshot> snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+
+  /// Applies a batch of live ratings: validates every event (known study
+  /// participant, known universe item), folds them into the study ratings
+  /// (latest timestamp wins per (user, item), matching
+  /// RatingsDataset::FromRecords), recomputes the affected users' CF
+  /// predictions and index rows, and publishes the result as a new snapshot
+  /// generation. In-flight queries keep their pinned snapshot; no event is
+  /// applied when any event is invalid. Writers are serialized internally;
+  /// readers are never blocked. `report`, when non-null, receives what was
+  /// rebuilt.
+  Status ApplyRatingUpdates(std::span<const RatingEvent> events,
+                            UpdateReport* report = nullptr);
+
+  /// Swaps the affinity backend by publishing a new snapshot generation
+  /// bound to `source` — same non-blocking contract as ApplyRatingUpdates,
+  /// so the swap is safe with respect to in-flight queries. The source must
+  /// cover the study's participants and periods and be internally
+  /// thread-safe for concurrent const reads.
+  Status UpdateAffinitySource(std::shared_ptr<const AffinitySource> source);
+
+  /// Deprecated spelling of UpdateAffinitySource (kept for callers of the
+  /// pre-snapshot API; now race-free). Asserts on null sources.
+  void set_affinity_source(std::shared_ptr<const AffinitySource> source);
+
+  // --- Queries ---
+
+  /// Recommends spec.k items to `group` (study participant ids) against the
+  /// currently published snapshot. Returns a non-OK status for invalid
+  /// queries (see ValidateQuery). `workspace`, when non-null, provides
+  /// reusable buffers for batch execution.
   Result<Recommendation> Recommend(std::span<const UserId> group,
                                    const QuerySpec& spec,
                                    QueryWorkspace* workspace = nullptr) const;
 
-  /// Builds the underlying top-k problem (exposed for tests and benches).
+  /// Snapshot-explicit variant: runs entirely against `snap`, regardless of
+  /// how many generations publish meanwhile — results are bit-identical for
+  /// the same (snap, group, spec).
+  Result<Recommendation> Recommend(const std::shared_ptr<const Snapshot>& snap,
+                                   std::span<const UserId> group,
+                                   const QuerySpec& spec,
+                                   QueryWorkspace* workspace = nullptr) const;
+
+  /// Builds the underlying top-k problem (exposed for tests and benches)
+  /// against the currently published snapshot.
   /// Zero-copy hot path: member preference lists are ListView slices of the
-  /// shared PreferenceIndex (pool-prefix keys, group-rated items
-  /// tombstoned) — no per-query sort or copy; only the small per-group
-  /// affinity/agreement lists are materialized, into the workspace's arena
-  /// through the configured AffinitySource.
+  /// snapshot's PreferenceIndex (pool-prefix keys, group-rated items
+  /// tombstoned) — no per-query sort or copy; periodic affinity lists come
+  /// from the snapshot's (group, period) cache, and only the small static /
+  /// agreement lists are materialized into the workspace's arena.
   ///
   /// `candidates_out`, when non-null, receives the candidate-pool items in
   /// key order (problem key k ↔ candidates_out[k]; tombstoned keys never
   /// appear in results). When `workspace` is non-null the problem's views
   /// point into its arena — the workspace must outlive the problem and not
   /// be reused before the problem is dropped; when null the problem owns its
-  /// arena.
+  /// arena. Either way the problem shares ownership of the snapshot it was
+  /// built from, so index rows and cached period lists outlive any
+  /// subsequent publish.
   Result<GroupProblem> BuildProblem(
+      std::span<const UserId> group, const QuerySpec& spec,
+      std::vector<ItemId>* candidates_out = nullptr,
+      QueryWorkspace* workspace = nullptr) const;
+
+  /// Snapshot-explicit variant of BuildProblem.
+  Result<GroupProblem> BuildProblem(
+      const std::shared_ptr<const Snapshot>& snap,
       std::span<const UserId> group, const QuerySpec& spec,
       std::vector<ItemId>* candidates_out = nullptr,
       QueryWorkspace* workspace = nullptr) const;
@@ -150,28 +220,40 @@ class GroupRecommender {
   /// a non-empty candidate pool and an in-range evaluation period.
   Status ValidateQuery(std::span<const UserId> group,
                        const QuerySpec& spec) const;
+  Status ValidateQuery(const Snapshot& snap, std::span<const UserId> group,
+                       const QuerySpec& spec) const;
 
-  /// Swaps the affinity backend every subsequent query consumes. The default
-  /// is the study-backed source (common friends + page-like categories +
-  /// drift index). The source must cover the study's participants and
-  /// periods.
-  void set_affinity_source(std::shared_ptr<const AffinitySource> source);
-  const AffinitySource& affinity_source() const { return *source_; }
+  // Legacy direct accessors into the CURRENT snapshot, for tests and the
+  // evaluation harnesses. They return references/spans whose backing
+  // snapshot they do not pin, so they are safe only while no concurrent
+  // writer can publish (a publish may free the old generation the moment
+  // its last pin drops). Code that coexists with ApplyRatingUpdates /
+  // UpdateAffinitySource must pin snapshot() and read through it instead.
 
-  /// CF-predicted ratings (universe scale) for a study participant.
+  /// The affinity source bound to the current snapshot (lifetime caveat
+  /// above).
+  const AffinitySource& affinity_source() const {
+    return snapshot()->affinity();
+  }
+
+  /// CF-predicted ratings (universe scale) for a study participant, as of
+  /// the current snapshot (lifetime caveat above).
   std::span<const Score> Predictions(UserId study_user) const;
 
-  /// The shared sorted-preference index every query slices (built once at
-  /// construction over the popular-item pool).
-  const PreferenceIndex& preference_index() const { return *index_; }
-  /// Ownership-sharing handle to the same snapshot (what the Engine hands to
-  /// its batch workers).
+  /// The sorted-preference index of the current snapshot (lifetime caveat
+  /// above).
+  const PreferenceIndex& preference_index() const {
+    return snapshot()->index();
+  }
+  /// Ownership-sharing handle to the current snapshot's index.
   std::shared_ptr<const PreferenceIndex> preference_index_snapshot() const {
-    return index_;
+    return snapshot()->index_ptr();
   }
 
   /// Group cohesiveness signal: overlap-cosine of two participants' own
-  /// study ratings (§4.1.3).
+  /// study ratings (§4.1.3). Reads the immutable as-generated study ratings,
+  /// not live updates — it feeds evaluation-group formation, which is
+  /// defined on the study artifacts.
   double RatingSimilarity(UserId a, UserId b) const;
 
   /// Model affinity of a pair at a period (used to form high/low affinity
@@ -194,16 +276,31 @@ class GroupRecommender {
   Result<PeriodId> ResolvePeriod(std::optional<PeriodId> requested) const;
 
  private:
+  /// Builds and atomically publishes the next generation. `cache` is the
+  /// period-list cache to carry forward (same affinity binding) or null to
+  /// start cold (affinity swaps). Callers hold update_mutex_.
+  void Publish(std::shared_ptr<const RatingsDataset> ratings,
+               std::shared_ptr<const std::vector<std::vector<Score>>> preds,
+               std::shared_ptr<const PreferenceIndex> index,
+               std::shared_ptr<const AffinitySource> source,
+               std::shared_ptr<PeriodListCache> cache);
+
   const RatingsDataset* universe_;
   const FacebookStudy* study_;
   RecommenderOptions options_;
   UserKnn knn_;
-  std::vector<std::vector<Score>> predictions_;  // per study user
-  PairTable static_;                             // raw common-friend counts
+  PairTable static_;       // raw common-friend counts (immutable study table)
   PeriodicAffinity periodic_;
   DynamicAffinityIndex dynamic_;
-  std::shared_ptr<const AffinitySource> source_;      // never null
-  std::shared_ptr<const PreferenceIndex> index_;      // never null; immutable
+
+  // The RCU publication point: queries copy the pointer, writers
+  // (serialized by update_mutex_) swap in a freshly built snapshot.
+  // snapshot_mu_ guards only the pointer itself — never held while
+  // rebuilding. Never null after construction.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::mutex update_mutex_;
+  std::uint64_t next_generation_ = 2;  // guarded by update_mutex_
 };
 
 }  // namespace greca

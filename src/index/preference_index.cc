@@ -7,11 +7,24 @@
 
 namespace greca {
 
+void PreferenceIndex::RebuildRow(UserId u, std::span<const Score> predictions) {
+  const std::size_t pool_size = pool_.size();
+  const std::vector<ListEntry> row =
+      BuildPreferenceEntries(predictions, scale_max_, pool_);
+  ListEntry* const out = entries_.data() + u * pool_size;
+  std::uint32_t* const pos = positions_.data() + u * pool_size;
+  for (std::size_t p = 0; p < row.size(); ++p) {
+    out[p] = row[p];
+    pos[row[p].id] = static_cast<std::uint32_t>(p);
+  }
+}
+
 PreferenceIndex PreferenceIndex::Build(
     std::span<const std::vector<Score>> predictions, double scale_max,
     std::vector<ItemId> pool, std::size_t num_universe_items) {
   PreferenceIndex index;
   index.num_users_ = predictions.size();
+  index.scale_max_ = scale_max;
   index.pool_ = std::move(pool);
   const std::size_t pool_size = index.pool_.size();
 
@@ -27,16 +40,27 @@ PreferenceIndex PreferenceIndex::Build(
   for (UserId u = 0; u < index.num_users_; ++u) {
     // Same normalization and ordering as the per-query seed path, computed
     // once: keys are pool positions, scores predictions/scale_max in [0, 1].
-    const std::vector<ListEntry> row =
-        BuildPreferenceEntries(predictions[u], scale_max, index.pool_);
-    ListEntry* const out = index.entries_.data() + u * pool_size;
-    std::uint32_t* const pos = index.positions_.data() + u * pool_size;
-    for (std::size_t p = 0; p < row.size(); ++p) {
-      out[p] = row[p];
-      pos[row[p].id] = static_cast<std::uint32_t>(p);
-    }
+    index.RebuildRow(u, predictions[u]);
   }
   return index;
+}
+
+PreferenceIndex PreferenceIndex::CloneWithUpdatedRows(
+    std::span<const UserId> users,
+    std::span<const std::span<const Score>> predictions) const {
+  assert(users.size() == predictions.size());
+  PreferenceIndex clone;
+  clone.num_users_ = num_users_;
+  clone.scale_max_ = scale_max_;
+  clone.pool_ = pool_;
+  clone.pool_position_of_item_ = pool_position_of_item_;
+  clone.entries_ = entries_;      // untouched rows copied wholesale
+  clone.positions_ = positions_;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    assert(users[i] < num_users_);
+    clone.RebuildRow(users[i], predictions[i]);
+  }
+  return clone;
 }
 
 }  // namespace greca

@@ -14,6 +14,13 @@
 // to that prefix and tombstones the group's already-rated items via a bitmap
 // — no per-query sort, copy, or re-keying. One index snapshot is shared
 // read-only by every batch worker (src/api/engine.h).
+//
+// Live updates never mutate a published index. When ratings change, the
+// writer calls CloneWithUpdatedRows() with the affected users' fresh CF
+// predictions: the clone copies the untouched rows wholesale and re-sorts
+// only the affected ones, then gets published inside a new Snapshot
+// (src/api/snapshot.h) via atomic pointer swap — readers holding the old
+// index are unaffected.
 #ifndef GRECA_INDEX_PREFERENCE_INDEX_H_
 #define GRECA_INDEX_PREFERENCE_INDEX_H_
 
@@ -38,6 +45,17 @@ class PreferenceIndex {
   static PreferenceIndex Build(std::span<const std::vector<Score>> predictions,
                                double scale_max, std::vector<ItemId> pool,
                                std::size_t num_universe_items);
+
+  /// Incremental rebuild for live updates: a full copy of this index in
+  /// which the rows of `users` (parallel to `predictions`: predictions[i]
+  /// is a view of users[i]'s fresh per-ItemId prediction array) are
+  /// re-normalized and re-sorted; every other row is copied bit-identically.
+  /// The pool, the item→key map and the score normalization (scale_max) are
+  /// inherited. Cost: one O(users × pool) memcpy plus O(pool log pool) per
+  /// updated row.
+  PreferenceIndex CloneWithUpdatedRows(
+      std::span<const UserId> users,
+      std::span<const std::span<const Score>> predictions) const;
 
   std::size_t num_users() const { return num_users_; }
   std::size_t pool_size() const { return pool_.size(); }
@@ -79,7 +97,12 @@ class PreferenceIndex {
   }
 
  private:
+  /// Re-sorts user `u`'s row (and its key→position map) from a fresh
+  /// prediction array. Internal: only called on rows of an unpublished copy.
+  void RebuildRow(UserId u, std::span<const Score> predictions);
+
   std::size_t num_users_ = 0;
+  double scale_max_ = 1.0;                            // score normalization
   std::vector<ItemId> pool_;                          // key -> universe item
   std::vector<std::uint32_t> pool_position_of_item_;  // item -> key
   std::vector<ListEntry> entries_;    // num_users × pool_size, row-major

@@ -49,7 +49,8 @@ struct ProblemArena {
   std::vector<std::uint64_t> tombstones;
   std::vector<ListView> preference_views;
   SortedList static_list;
-  std::vector<SortedList> period_lists;  // grow-only; first P are active
+  /// Periodic lists themselves live in the query's Snapshot (its
+  /// (group, period) cache); the arena only holds the per-query views.
   std::vector<ListView> period_views;
   SortedList agreement_list;
   std::vector<ListView> agreement_views;
@@ -97,6 +98,15 @@ class GroupProblem {
   GroupProblem& operator=(GroupProblem&&) = default;
   GroupProblem(const GroupProblem&) = delete;
   GroupProblem& operator=(const GroupProblem&) = delete;
+
+  /// Shares ownership of external storage the views alias — on the
+  /// snapshot-serving path BuildProblem pins the query's Snapshot here, so
+  /// the problem's index rows and cached period lists stay valid even after
+  /// the engine publishes a newer generation (type-erased: topk stays
+  /// independent of the api layer).
+  void PinLifetime(std::shared_ptr<const void> keep_alive) {
+    pinned_ = std::move(keep_alive);
+  }
 
   std::size_t group_size() const { return preference_views_.size(); }
   /// Key-space bound: candidate keys run in [0, num_items()). On the
@@ -168,6 +178,7 @@ class GroupProblem {
   std::vector<SortedList> owned_agreement_;
   std::vector<ListView> view_storage_;
   std::unique_ptr<ProblemArena> owned_arena_;
+  std::shared_ptr<const void> pinned_;  // snapshot keep-alive (may be null)
 
   // What the algorithms consume. Spans point into view_storage_ or into the
   // (owned or external) arena.

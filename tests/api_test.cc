@@ -151,10 +151,12 @@ TEST_F(ApiTest, ValidationErrorsSurfaceAsStatus) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 
-  // Duplicate member.
+  // Duplicate members: the builder dedupes to first occurrences (see
+  // query_builder.h) — a raw Query with duplicates is still rejected, which
+  // DuplicateMembersAreDeduplicatedByBuilder covers in full.
   r = QueryBuilder(*engine_).Members({4, 4, 7}).Build();
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().group, (std::vector<UserId>{4, 7}));
 
   // Out-of-range period.
   r = QueryBuilder(*engine_).Members({1, 2}).AtPeriod(10'000).Build();
@@ -186,6 +188,48 @@ TEST_F(ApiTest, ValidationErrorsSurfaceAsStatus) {
   const auto rec = engine_->Recommend(r.value());
   ASSERT_TRUE(rec.ok());
   EXPECT_EQ(rec.value().items.size(), 5u);
+}
+
+TEST_F(ApiTest, DuplicateMembersAreDeduplicatedByBuilder) {
+  // A duplicated member would double-weight that member's preferences in
+  // every consensus function; the builder collapses repeats to the first
+  // occurrence (order preserved) so the query runs as the distinct group.
+  const auto deduped = QueryBuilder(*engine_)
+                           .Members({17, 4, 17, 29, 4})
+                           .TopK(5)
+                           .Build();
+  ASSERT_TRUE(deduped.ok()) << deduped.status().ToString();
+  EXPECT_EQ(deduped.value().group, (std::vector<UserId>{17, 4, 29}));
+
+  // AddMember repeats collapse the same way.
+  const auto added = QueryBuilder(*engine_)
+                         .AddMember(4)
+                         .AddMember(17)
+                         .AddMember(4)
+                         .TopK(5)
+                         .Build();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(added.value().group, (std::vector<UserId>{4, 17}));
+
+  // The deduped query is equivalent to the distinct group spelled out.
+  const auto distinct =
+      QueryBuilder(*engine_).Members({17, 4, 29}).TopK(5).Build();
+  ASSERT_TRUE(distinct.ok());
+  const auto a = engine_->Recommend(deduped.value());
+  const auto b = engine_->Recommend(distinct.value());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().items, b.value().items);
+  EXPECT_EQ(a.value().scores, b.value().scores);
+
+  // Bypassing the builder with a raw duplicate group is still rejected:
+  // silent double-weighting never executes.
+  Query raw;
+  raw.group = {4, 4, 7};
+  raw.spec.k = 5;
+  const auto rejected = engine_->Recommend(raw);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(ApiTest, BadQueryInBatchDoesNotPoisonOthers) {

@@ -1,0 +1,450 @@
+// Tests for the snapshot-centric serving API: RCU-style publish semantics
+// (pinned generations are immutable under concurrent updates), the
+// live-update path (ApplyUpdates rebuilds predictions + index rows +
+// tombstones), the snapshot-scoped period-list cache, and the
+// affinity-swap-mid-batch regression the old API documented as racy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/query_builder.h"
+#include "common/rng.h"
+
+namespace greca {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticRatingsConfig uc;
+    uc.num_users = 350;
+    uc.num_items = 450;
+    uc.target_ratings = 30'000;
+    uc.seed = 33;
+    universe_ = new SyntheticRatings(GenerateSyntheticRatings(uc));
+    FacebookStudyConfig sc;
+    sc.diversity_pool = 200;
+    study_ = new FacebookStudy(GenerateFacebookStudy(sc, *universe_));
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    delete universe_;
+    study_ = nullptr;
+    universe_ = nullptr;
+  }
+
+  static std::unique_ptr<Engine> MakeEngine(std::size_t threads = 4) {
+    RecommenderOptions options;
+    options.max_candidate_items = 400;
+    EngineOptions eopts;
+    eopts.num_threads = threads;
+    return std::make_unique<Engine>(*universe_, *study_, options, eopts);
+  }
+
+  /// A mixed batch exercising all algorithms, models and several periods.
+  static std::vector<Query> MixedBatch(const Engine& engine,
+                                       std::size_t count,
+                                       std::uint64_t seed) {
+    const auto participants = static_cast<UserId>(study_->num_participants());
+    const auto num_periods =
+        static_cast<PeriodId>(engine.recommender().num_periods());
+    const AffinityModelSpec models[] = {
+        AffinityModelSpec::Default(), AffinityModelSpec::Continuous(),
+        AffinityModelSpec::TimeAgnostic()};
+    const Algorithm algorithms[] = {Algorithm::kGreca, Algorithm::kNaive,
+                                    Algorithm::kTa};
+    Rng rng(seed);
+    std::vector<Query> batch;
+    for (std::size_t i = 0; i < count; ++i) {
+      Query q;
+      const std::size_t size = 2 + rng.NextInt(0, 4);
+      while (q.group.size() < size) {
+        const auto u =
+            static_cast<UserId>(rng.NextInt(0, participants - 1));
+        if (std::find(q.group.begin(), q.group.end(), u) == q.group.end()) {
+          q.group.push_back(u);
+        }
+      }
+      q.spec.k = 3 + i % 6;
+      q.spec.model = models[i % 3];
+      q.spec.algorithm = algorithms[i % 3];
+      q.spec.num_candidate_items = 400;
+      q.spec.eval_period = static_cast<PeriodId>(i % num_periods);
+      batch.push_back(std::move(q));
+    }
+    return batch;
+  }
+
+  static std::vector<RatingEvent> RandomEvents(std::size_t count,
+                                               std::uint64_t seed) {
+    const auto participants = static_cast<UserId>(study_->num_participants());
+    const auto items = static_cast<ItemId>(universe_->dataset.num_items());
+    Rng rng(seed);
+    std::vector<RatingEvent> events;
+    for (std::size_t i = 0; i < count; ++i) {
+      RatingEvent e;
+      e.user = static_cast<UserId>(rng.NextInt(0, participants - 1));
+      e.item = static_cast<ItemId>(rng.NextInt(0, items - 1));
+      e.rating = static_cast<Score>(1 + rng.NextInt(0, 4));
+      // Far-future timestamps so every event overrides any stored rating.
+      e.timestamp = 1'000'000'000 + static_cast<Timestamp>(i);
+      events.push_back(e);
+    }
+    return events;
+  }
+
+  static SyntheticRatings* universe_;
+  static FacebookStudy* study_;
+};
+
+SyntheticRatings* SnapshotTest::universe_ = nullptr;
+FacebookStudy* SnapshotTest::study_ = nullptr;
+
+TEST_F(SnapshotTest, GenerationsIncrementAndReportsFill) {
+  auto engine = MakeEngine();
+  const auto g1 = engine->snapshot();
+  EXPECT_EQ(g1->generation(), 1u);
+
+  UpdateReport report;
+  ASSERT_TRUE(engine->ApplyUpdates(RandomEvents(16, 7), &report).ok());
+  EXPECT_EQ(report.published_generation, 2u);
+  EXPECT_EQ(report.events_applied, 16u);
+  EXPECT_GE(report.users_rebuilt, 1u);
+  EXPECT_LE(report.users_rebuilt, 16u);
+  EXPECT_EQ(engine->snapshot()->generation(), 2u);
+  // The pinned generation-1 snapshot is untouched.
+  EXPECT_EQ(g1->generation(), 1u);
+
+  // Affinity swaps publish too.
+  auto base = std::make_shared<StudyAffinitySource>(
+      engine->recommender().static_affinity(),
+      engine->recommender().periodic_affinity());
+  ASSERT_TRUE(engine
+                  ->UpdateAffinitySource(
+                      std::make_shared<DecayWeightedAffinitySource>(base, 0.5))
+                  .ok());
+  EXPECT_EQ(engine->snapshot()->generation(), 3u);
+
+  // Empty batches publish nothing (every generation means a state change).
+  ASSERT_TRUE(engine->ApplyUpdates({}, &report).ok());
+  EXPECT_EQ(report.events_applied, 0u);
+  EXPECT_EQ(engine->snapshot()->generation(), 3u);
+}
+
+TEST_F(SnapshotTest, InvalidEventsRejectAtomically) {
+  auto engine = MakeEngine();
+  std::vector<RatingEvent> events = RandomEvents(4, 11);
+  events[2].user = 10'000;  // unknown study participant
+  auto status = engine->ApplyUpdates(events);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine->snapshot()->generation(), 1u) << "nothing published";
+
+  events = RandomEvents(4, 13);
+  events[0].item = 1'000'000;  // unknown universe item
+  status = engine->ApplyUpdates(events);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine->snapshot()->generation(), 1u);
+
+  // Non-finite ratings would poison the fold (NaN similarities) forever.
+  events = RandomEvents(4, 19);
+  events[3].rating = std::numeric_limits<Score>::quiet_NaN();
+  status = engine->ApplyUpdates(events);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->snapshot()->generation(), 1u);
+
+  // A null explicit snapshot is a Status, not a crash.
+  Query query;
+  query.group = {4, 17};
+  query.spec.k = 3;
+  const auto null_snap = engine->Recommend(query, nullptr);
+  ASSERT_FALSE(null_snap.ok());
+  EXPECT_EQ(null_snap.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, WrappingEngineRejectsUpdates) {
+  auto engine = MakeEngine();
+  Engine wrapping(engine->recommender());
+  EXPECT_EQ(wrapping.ApplyUpdates(RandomEvents(2, 3)).code(),
+            StatusCode::kFailedPrecondition);
+  auto base = std::make_shared<StudyAffinitySource>(
+      engine->recommender().static_affinity(),
+      engine->recommender().periodic_affinity());
+  EXPECT_EQ(wrapping.UpdateAffinitySource(base).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wrapping.UpdateAffinitySource(nullptr).code(),
+            StatusCode::kInvalidArgument);
+
+  // But it serves snapshots its owner publishes.
+  ASSERT_TRUE(engine->ApplyUpdates(RandomEvents(4, 5)).ok());
+  EXPECT_EQ(wrapping.snapshot()->generation(), 2u);
+}
+
+// The tentpole guarantee: a batch pinned to generation G returns
+// bit-identical results whether or not updates publish G+1 (and G+2, ...)
+// mid-stream. Randomized over groups, specs and event batches.
+TEST_F(SnapshotTest, PinnedBatchIsImmuneToConcurrentPublishes) {
+  auto engine = MakeEngine();
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    const auto pinned = engine->snapshot();
+    const std::vector<Query> batch = MixedBatch(*engine, 24, 100 + trial);
+    const auto before = engine->RecommendBatch(batch, pinned);
+
+    // Publish one or two newer generations: rating updates always, an
+    // affinity swap on odd trials.
+    ASSERT_TRUE(engine->ApplyUpdates(RandomEvents(32, 200 + trial)).ok());
+    if (trial % 2 == 1) {
+      auto base = std::make_shared<StudyAffinitySource>(
+          engine->recommender().static_affinity(),
+          engine->recommender().periodic_affinity());
+      ASSERT_TRUE(engine
+                      ->UpdateAffinitySource(
+                          std::make_shared<DecayWeightedAffinitySource>(
+                              base, 0.5 + 0.1 * static_cast<double>(trial)))
+                      .ok());
+    }
+    EXPECT_GT(engine->snapshot()->generation(), pinned->generation());
+
+    // Replaying against the pinned snapshot is bit-identical.
+    const auto after = engine->RecommendBatch(batch, pinned);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(before[i].ok()) << "trial " << trial << " query " << i;
+      ASSERT_TRUE(after[i].ok()) << "trial " << trial << " query " << i;
+      EXPECT_EQ(before[i].value().items, after[i].value().items)
+          << "trial " << trial << " query " << i;
+      EXPECT_EQ(before[i].value().scores, after[i].value().scores)
+          << "trial " << trial << " query " << i;
+    }
+
+    // The current snapshot serves the same batch without error (results may
+    // legitimately differ — the data changed).
+    for (const auto& r : engine->RecommendBatch(batch)) {
+      EXPECT_TRUE(r.ok());
+    }
+  }
+}
+
+// Live ratings must actually change serving: rating an item for every
+// member tombstones it out of that group's candidates (§2.4 exclusion).
+TEST_F(SnapshotTest, AppliedRatingsTombstoneRecommendedItems) {
+  auto engine = MakeEngine();
+  Query query;
+  query.group = {4, 17, 29};
+  query.spec.k = 5;
+  query.spec.num_candidate_items = 400;
+
+  const auto before = engine->Recommend(query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before.value().items.empty());
+  const ItemId top = before.value().items[0];
+
+  std::vector<RatingEvent> events;
+  for (const UserId member : query.group) {
+    events.push_back({member, top, 5.0, 2'000'000'000});
+  }
+  ASSERT_TRUE(engine->ApplyUpdates(events).ok());
+
+  const auto after = engine->Recommend(query);
+  ASSERT_TRUE(after.ok());
+  for (const ItemId item : after.value().items) {
+    EXPECT_NE(item, top) << "group-rated item still recommended";
+  }
+  // The update also lands in the snapshot's ratings view.
+  EXPECT_TRUE(engine->snapshot()->study_ratings().HasRating(4, top));
+}
+
+// Period-list cache: the first query for a (group, period) materializes, a
+// repeated group served from the same snapshot rebuilds nothing.
+TEST_F(SnapshotTest, PeriodCacheHitsOnRepeatedGroups) {
+  auto engine = MakeEngine();
+  const auto snap = engine->snapshot();
+  const auto last_period =
+      static_cast<PeriodId>(engine->recommender().num_periods() - 1);
+  const std::size_t periods = static_cast<std::size_t>(last_period) + 1;
+
+  Query query;
+  query.group = {4, 17, 29};
+  query.spec.k = 5;
+  query.spec.num_candidate_items = 400;
+  query.spec.eval_period = last_period;  // touches every period list
+
+  EXPECT_EQ(snap->period_cache_hits(), 0u);
+  EXPECT_EQ(snap->period_cache_misses(), 0u);
+
+  ASSERT_TRUE(engine->Recommend(query, snap).ok());
+  EXPECT_EQ(snap->period_cache_misses(), periods);
+  EXPECT_EQ(snap->period_cache_hits(), 0u);
+  EXPECT_EQ(snap->period_cache_size(), periods);
+
+  // Second identical query: zero pair-list rebuild work — every period list
+  // is a cache hit and no new list is materialized.
+  ASSERT_TRUE(engine->Recommend(query, snap).ok());
+  EXPECT_EQ(snap->period_cache_misses(), periods) << "no rebuild on repeat";
+  EXPECT_EQ(snap->period_cache_hits(), periods);
+  EXPECT_EQ(snap->period_cache_size(), periods);
+
+  // A different group misses again (cache is keyed by (group, period)).
+  Query other = query;
+  other.group = {3, 11};
+  ASSERT_TRUE(engine->Recommend(other, snap).ok());
+  EXPECT_EQ(snap->period_cache_misses(), 2 * periods);
+  EXPECT_EQ(snap->period_cache_size(), 2 * periods);
+
+  EXPECT_GT(snap->PeriodCacheMemoryBytes(), 0u);
+
+  // Rating updates do not change the affinity binding, so the next
+  // generation CARRIES the cache — the repeated group stays warm across a
+  // steady update stream.
+  ASSERT_TRUE(engine->ApplyUpdates(RandomEvents(4, 17)).ok());
+  const auto next = engine->snapshot();
+  EXPECT_EQ(next->period_cache_size(), 2 * periods);
+  EXPECT_EQ(next->period_cache_misses(), 2 * periods);
+  const auto hits_before = next->period_cache_hits();
+  ASSERT_TRUE(engine->Recommend(query, next).ok());
+  EXPECT_EQ(next->period_cache_misses(), 2 * periods) << "still warm";
+  EXPECT_EQ(next->period_cache_hits(), hits_before + periods);
+
+  // An affinity-source swap DOES change the lists: its generation starts a
+  // cold cache, and dropping the old generations drops theirs.
+  auto base = std::make_shared<StudyAffinitySource>(
+      engine->recommender().static_affinity(),
+      engine->recommender().periodic_affinity());
+  ASSERT_TRUE(engine
+                  ->UpdateAffinitySource(
+                      std::make_shared<DecayWeightedAffinitySource>(base, 0.7))
+                  .ok());
+  const auto swapped = engine->snapshot();
+  EXPECT_EQ(swapped->period_cache_misses(), 0u);
+  EXPECT_EQ(swapped->period_cache_size(), 0u);
+  EXPECT_EQ(swapped->PeriodCacheMemoryBytes(), 0u);
+}
+
+// Cached lists must be identical to freshly materialized ones (the cache is
+// a pure memoization, not an approximation).
+TEST_F(SnapshotTest, CachedPeriodListsMatchDirectMaterialization) {
+  auto engine = MakeEngine();
+  const auto snap = engine->snapshot();
+  const std::vector<UserId> group = {2, 9, 23, 31};
+  const auto last_period =
+      static_cast<PeriodId>(engine->recommender().num_periods() - 1);
+  for (PeriodId p = 0; p <= last_period; ++p) {
+    const SortedList& cached = snap->PeriodList(group, p);
+    const SortedList direct = snap->affinity().MaterializePeriodList(group, p);
+    ASSERT_EQ(cached.size(), direct.size()) << "period " << p;
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(cached.entry(i).id, direct.entry(i).id) << "period " << p;
+      EXPECT_EQ(cached.entry(i).score, direct.entry(i).score)
+          << "period " << p;
+    }
+    // Second lookup returns the same stable address.
+    EXPECT_EQ(&snap->PeriodList(group, p), &cached);
+  }
+}
+
+// Regression for the old documented race: swapping the affinity source while
+// batches are in flight. Under ASan/TSan this must be clean, and every
+// result must be either the old or the new source's answer — never a blend.
+TEST_F(SnapshotTest, AffinitySwapMidBatchIsSafe) {
+  auto engine = MakeEngine(/*threads=*/3);
+  const std::vector<Query> batch = MixedBatch(*engine, 32, 424);
+
+  auto base = std::make_shared<StudyAffinitySource>(
+      engine->recommender().static_affinity(),
+      engine->recommender().periodic_affinity());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const double decay = (i++ % 2 == 0) ? 1.0 : 0.3;
+      ASSERT_TRUE(engine
+                      ->UpdateAffinitySource(
+                          std::make_shared<DecayWeightedAffinitySource>(base,
+                                                                        decay))
+                      .ok());
+      std::this_thread::yield();
+    }
+  });
+
+  // Consistency oracle: each batch pins one snapshot, so its results must
+  // equal a sequential replay against that same snapshot.
+  for (int round = 0; round < 8; ++round) {
+    const auto pinned = engine->snapshot();
+    const auto results = engine->RecommendBatch(batch, pinned);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << "round " << round << " query " << i;
+      const auto replay = engine->Recommend(batch[i], pinned);
+      ASSERT_TRUE(replay.ok());
+      EXPECT_EQ(results[i].value().items, replay.value().items)
+          << "round " << round << " query " << i;
+      EXPECT_EQ(results[i].value().scores, replay.value().scores)
+          << "round " << round << " query " << i;
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// Rating updates racing a query stream: queries must never crash or error,
+// and every RecommendBatch must be internally consistent with the one
+// snapshot it pinned. (The ASan/TSan CI jobs turn latent races into
+// failures here.)
+TEST_F(SnapshotTest, RatingUpdatesRacingQueriesAreSafe) {
+  auto engine = MakeEngine(/*threads=*/3);
+  const std::vector<Query> batch = MixedBatch(*engine, 24, 777);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t seed = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(engine->ApplyUpdates(RandomEvents(8, seed++)).ok());
+      std::this_thread::yield();
+    }
+  });
+
+  for (int round = 0; round < 8; ++round) {
+    for (const auto& r : engine->RecommendBatch(batch)) {
+      ASSERT_TRUE(r.ok()) << "round " << round;
+    }
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(engine->snapshot()->generation(), 1u);
+}
+
+// A GroupProblem built from a snapshot stays valid after newer generations
+// publish (the problem shares ownership of the snapshot it aliases).
+TEST_F(SnapshotTest, ProblemOutlivesRetiredGeneration) {
+  auto engine = MakeEngine();
+  const std::vector<UserId> group = {4, 17, 29};
+  QuerySpec spec;
+  spec.k = 5;
+  spec.num_candidate_items = 400;
+
+  auto pinned = engine->snapshot();
+  auto problem =
+      engine->recommender().BuildProblem(pinned, group, spec);
+  ASSERT_TRUE(problem.ok());
+  const double score_before = problem.value().ExactScore(0);
+
+  // Retire the generation; drop our own pin. The problem must keep the
+  // snapshot (index rows + cached period lists) alive on its own.
+  ASSERT_TRUE(engine->ApplyUpdates(RandomEvents(16, 99)).ok());
+  pinned.reset();
+
+  EXPECT_EQ(problem.value().ExactScore(0), score_before);
+  std::vector<double> affinities = problem.value().ExactPairAffinities();
+  EXPECT_EQ(affinities.size(), NumUserPairs(group.size()));
+}
+
+}  // namespace
+}  // namespace greca
