@@ -11,14 +11,25 @@
 // CPU time the writer consumes, not lock waits — on a single-core host the
 // writer's rebuild share is the expected gap).
 //
+// Phase 3 (publish-latency curve): back-to-back update batches, recording
+// per-publish latency against the number of live ratings accumulated so far
+// — the delta-log acceptance. Publishes fold O(batch) into the per-user
+// delta log instead of re-folding the whole dataset, so p99 publish latency
+// must stay flat (within ~1.5x) while accumulated live ratings grow 10x;
+// the old full re-fold grew linearly. Compaction publishes (the periodic
+// fold of the log back into a fresh base) are flagged and reported
+// separately from the steady-state curve.
+//
 // The bench also replays a query batch pinned to a pre-writer snapshot after
-// dozens of generations have published and fails hard if any result changed
-// — the serving-immutability contract, cheap enough to enforce every run.
+// all phases — dozens of generations and at least the curve's compactions
+// later — and fails hard if any result changed: the serving-immutability
+// contract, cheap enough to enforce every run.
 //
 // Output: a human-readable table plus a machine-readable JSON file
 // (BENCH_online.json by default; override with GRECA_BENCH_ONLINE_JSON).
 // Env knobs: GRECA_BENCH_SMALL=1 (smoke scale), GRECA_ONLINE_SECONDS,
-// GRECA_ONLINE_READERS, GRECA_ONLINE_UPDATE_MS, GRECA_ONLINE_EVENTS.
+// GRECA_ONLINE_READERS, GRECA_ONLINE_UPDATE_MS, GRECA_ONLINE_EVENTS,
+// GRECA_ONLINE_CURVE_PUBLISHES, GRECA_ONLINE_CURVE_EVENTS.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -200,6 +211,90 @@ int main() {
   writer_stop.store(true);
   writer.join();
 
+  // Phase 3: the publish-latency curve. Apply update batches back to back
+  // and bucket per-publish latency into deciles by accumulated live
+  // ratings; with the per-user delta log, the steady-state p99 must not
+  // grow with the accumulated volume.
+  const bool small_scale = std::getenv("GRECA_BENCH_SMALL") != nullptr;
+  const std::size_t curve_publishes =
+      EnvSize("GRECA_ONLINE_CURVE_PUBLISHES", small_scale ? 120 : 400);
+  const std::size_t curve_events = EnvSize("GRECA_ONLINE_CURVE_EVENTS", 32);
+  struct PublishSample {
+    std::size_t accumulated = 0;  // live ratings before this publish
+    double ms = 0.0;
+    bool compacted = false;
+  };
+  std::vector<PublishSample> curve;
+  curve.reserve(curve_publishes);
+  {
+    Rng rng(4242);
+    Timestamp ts = 3'000'000'000;
+    std::size_t accumulated = updates_applied;  // phase-2 events carry over
+    for (std::size_t i = 0; i < curve_publishes; ++i) {
+      const auto events =
+          RandomEvents(rng, curve_events, participants, num_items, ts);
+      ts += static_cast<Timestamp>(curve_events);
+      UpdateReport report;
+      Stopwatch watch;
+      const Status status = recommender.ApplyRatingUpdates(events, &report);
+      const double ms = watch.ElapsedMillis();
+      if (!status.ok()) {
+        std::cerr << "ERROR: curve update failed: " << status.ToString()
+                  << "\n";
+        std::abort();
+      }
+      curve.push_back({accumulated, ms, report.compacted});
+      accumulated += report.events_applied;
+    }
+  }
+
+  struct CurveBucket {
+    std::size_t accumulated_mid = 0;
+    std::size_t publishes = 0;
+    std::size_t compactions = 0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;  // steady-state (compaction publishes excluded)
+  };
+  constexpr std::size_t kCurveBuckets = 10;
+  std::vector<CurveBucket> buckets(kCurveBuckets);
+  for (std::size_t b = 0; b < kCurveBuckets; ++b) {
+    const std::size_t lo = b * curve.size() / kCurveBuckets;
+    const std::size_t hi = (b + 1) * curve.size() / kCurveBuckets;
+    std::vector<double> steady;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (curve[i].compacted) {
+        ++buckets[b].compactions;
+      } else {
+        steady.push_back(curve[i].ms);
+      }
+    }
+    buckets[b].publishes = hi - lo;
+    buckets[b].accumulated_mid = curve[(lo + hi) / 2].accumulated;
+    buckets[b].p50_ms = Percentile(steady, 0.50);
+    buckets[b].p99_ms = Percentile(steady, 0.99);
+  }
+  const double curve_p99_first = buckets.front().p99_ms;
+  const double curve_p99_last = buckets.back().p99_ms;
+  // A decile with no steady (non-compaction) publishes has no p99; don't
+  // let the flat-latency check silently pass as "ratio 0 = flat".
+  const bool curve_valid = curve_p99_first > 0.0 && curve_p99_last > 0.0;
+  const double curve_p99_ratio =
+      curve_valid ? curve_p99_last / curve_p99_first : 0.0;
+  std::size_t curve_compactions = 0;
+  double compaction_ms_sum = 0.0;
+  for (const PublishSample& s : curve) {
+    if (s.compacted) {
+      ++curve_compactions;
+      compaction_ms_sum += s.ms;
+    }
+  }
+  const double compaction_mean_ms =
+      curve_compactions > 0
+          ? compaction_ms_sum / static_cast<double>(curve_compactions)
+          : 0.0;
+  const std::size_t delta_log_final =
+      engine.snapshot()->ratings().delta_ratings();
+
   const std::uint64_t final_generation = engine.snapshot()->generation();
 
   // Immutability check: the pinned pre-writer generation must replay
@@ -237,18 +332,49 @@ int main() {
                 TablePrinter::Cell(live.p99_us, 0)});
   table.Print(std::cout);
 
+  TablePrinter curve_table(
+      "Publish latency vs accumulated live ratings (delta-log curve, " +
+      std::to_string(curve_events) + " events/batch)");
+  curve_table.SetColumns({"live ratings", "publishes", "p50 (ms)",
+                          "steady p99 (ms)", "compactions"});
+  for (const CurveBucket& b : buckets) {
+    curve_table.AddRow({std::to_string(b.accumulated_mid),
+                        std::to_string(b.publishes),
+                        TablePrinter::Cell(b.p50_ms, 3),
+                        TablePrinter::Cell(b.p99_ms, 3),
+                        std::to_string(b.compactions)});
+  }
+  curve_table.Print(std::cout);
+
   std::cout << "qps_ratio (writer/baseline): " << ratio << "\n"
             << "snapshot_publish_ms p50: " << publish_p50
             << "  p99: " << publish_p99 << "  publishes: "
             << publish_ms.size() << " (" << updates_applied << " events)\n"
+            << "publish_curve_p99 (last/first decile): " << curve_p99_last
+            << " / " << curve_p99_first << " = " << curve_p99_ratio << " ("
+            << curve.front().accumulated << " -> " << curve.back().accumulated
+            << " live ratings, " << curve_compactions
+            << " compactions, mean " << compaction_mean_ms << " ms, "
+            << delta_log_final << " delta entries resident)\n"
             << "pinned-snapshot replay: identical across "
             << (final_generation - pinned->generation())
             << " publishes\nExpected: ratio >= 0.85 on multi-core hosts "
                "(reads never block; the residual gap is the writer's own "
-               "CPU share)\n";
+               "CPU share); publish_curve_p99_ratio <= 1.5 (the delta log "
+               "keeps publishes O(batch) — the old full re-fold grew "
+               "linearly with accumulated ratings)\n";
   if (ratio < 0.85) {
     std::cout << "WARNING: ratio below 0.85 — on a single-core host the "
                  "writer's rebuild time is the likely cause, not blocking\n";
+  }
+  if (!curve_valid) {
+    std::cout << "WARNING: a curve decile had no steady (non-compaction) "
+                 "publishes — publish_curve_p99_ratio is 0 (no data), not "
+                 "flat; raise GRECA_ONLINE_CURVE_PUBLISHES\n";
+  } else if (curve_p99_ratio > 1.5) {
+    std::cout << "WARNING: publish p99 grew " << curve_p99_ratio
+              << "x across the curve — the delta-log publish path is no "
+                 "longer flat\n";
   }
 
   const char* json_path = std::getenv("GRECA_BENCH_ONLINE_JSON");
@@ -271,6 +397,25 @@ int main() {
        << "  \"publish_p99_ms\": " << publish_p99 << ",\n"
        << "  \"publishes\": " << publish_ms.size() << ",\n"
        << "  \"events_applied\": " << updates_applied << ",\n"
+       << "  \"curve_publishes\": " << curve.size() << ",\n"
+       << "  \"curve_events_per_batch\": " << curve_events << ",\n"
+       << "  \"publish_curve\": [\n";
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    json << "    {\"accumulated_live_ratings\": "
+         << buckets[b].accumulated_mid
+         << ", \"publishes\": " << buckets[b].publishes
+         << ", \"p50_ms\": " << buckets[b].p50_ms
+         << ", \"steady_p99_ms\": " << buckets[b].p99_ms
+         << ", \"compactions\": " << buckets[b].compactions << "}"
+         << (b + 1 < buckets.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"publish_curve_p99_first_ms\": " << curve_p99_first << ",\n"
+       << "  \"publish_curve_p99_last_ms\": " << curve_p99_last << ",\n"
+       << "  \"publish_curve_p99_ratio\": " << curve_p99_ratio << ",\n"
+       << "  \"curve_compactions\": " << curve_compactions << ",\n"
+       << "  \"curve_compaction_mean_ms\": " << compaction_mean_ms << ",\n"
+       << "  \"delta_log_ratings_final\": " << delta_log_final << ",\n"
        << "  \"final_generation\": " << final_generation << ",\n"
        << "  \"pinned_replay_identical\": true\n"
        << "}\n";

@@ -8,9 +8,13 @@
 #                       the problem_assembly_seconds / solve_seconds split
 #                       and the period-cache cold/warm assembly comparison
 #   BENCH_online.txt  — query p50/p99 with and without a concurrent writer
-#                       applying live rating updates (RCU snapshot swap)
+#                       applying live rating updates (RCU snapshot swap),
+#                       plus the publish-latency-vs-accumulated-live-ratings
+#                       curve (delta-log acceptance: steady p99 flat within
+#                       1.5x while live ratings grow 10x)
 #   BENCH_online.json — the same, machine-readable (queries/sec under a
-#                       concurrent writer, snapshot-publish latency)
+#                       concurrent writer, snapshot-publish latency, the
+#                       per-decile publish_curve with compaction counts)
 #
 # Usage: scripts/bench.sh [build-dir]
 # Env:   GRECA_BENCH_SMALL=1 for a smoke-scale run.

@@ -89,10 +89,13 @@ class Engine {
 
   /// Applies a batch of live rating events and publishes a new snapshot
   /// generation (see GroupRecommender::ApplyRatingUpdates for the exact
-  /// fold semantics). Serving never blocks: in-flight queries finish on
-  /// their pinned snapshot. Returns kFailedPrecondition on engines that
-  /// wrap an external recommender (the wrapped instance is const; apply
-  /// updates through its owner instead).
+  /// fold semantics). The fold is O(delta) — events land in a per-user
+  /// delta log, not a re-fold of the whole dataset — and calls arriving
+  /// while a publish is in flight group-commit into one generation
+  /// (`report->batches_coalesced`). Serving never blocks: in-flight queries
+  /// finish on their pinned snapshot. Returns kFailedPrecondition on
+  /// engines that wrap an external recommender (the wrapped instance is
+  /// const; apply updates through its owner instead).
   Status ApplyUpdates(std::span<const RatingEvent> events,
                       UpdateReport* report = nullptr);
 

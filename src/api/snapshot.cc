@@ -49,19 +49,19 @@ std::size_t PeriodListCache::MemoryBytes() const {
 
 Snapshot::Snapshot(
     std::uint64_t generation,
-    std::shared_ptr<const RatingsDataset> study_ratings,
+    std::shared_ptr<const RatingsOverlay> ratings,
     std::shared_ptr<const std::vector<std::vector<Score>>> predictions,
     std::shared_ptr<const PreferenceIndex> index,
     std::shared_ptr<const AffinitySource> affinity,
     std::shared_ptr<PeriodListCache> cache)
     : generation_(generation),
-      study_ratings_(std::move(study_ratings)),
+      ratings_(std::move(ratings)),
       predictions_(std::move(predictions)),
       index_(std::move(index)),
       affinity_(std::move(affinity)),
       cache_(cache != nullptr ? std::move(cache)
                               : std::make_shared<PeriodListCache>()) {
-  assert(study_ratings_ != nullptr);
+  assert(ratings_ != nullptr);
   assert(predictions_ != nullptr);
   assert(index_ != nullptr);
   assert(affinity_ != nullptr);

@@ -2,9 +2,10 @@
 //
 // A Snapshot bundles everything a query reads — the pre-sorted
 // PreferenceIndex, the CF predictions it was built from, the study ratings
-// (the tombstone source for §2.4's already-rated exclusion) and the bound
-// AffinitySource — under one generation id. Queries pin a snapshot for their
-// whole lifetime (one per query via Engine::Recommend, one per batch via
+// (base + live delta log, the tombstone source for §2.4's already-rated
+// exclusion) and the bound AffinitySource — under one generation id.
+// Queries pin a snapshot for their whole lifetime (one per query via
+// Engine::Recommend, one per batch via
 // Engine::RecommendBatch), so a concurrently published update can never
 // change a running query's inputs: updates build a NEW snapshot off the
 // serving path and publish it with a constant-time pointer swap (RCU-style;
@@ -47,6 +48,7 @@
 #include "affinity/affinity_source.h"
 #include "common/types.h"
 #include "dataset/ratings.h"
+#include "dataset/ratings_overlay.h"
 #include "index/preference_index.h"
 #include "topk/sorted_list.h"
 
@@ -132,13 +134,13 @@ class PeriodListCache {
 class Snapshot {
  public:
   /// All parts but `cache` must be non-null; the snapshot shares their
-  /// ownership (the ratings pointer may alias caller-owned storage on the
+  /// ownership (the overlay's base may alias caller-owned storage on the
   /// initial generation — see GroupRecommender construction). `cache` is
   /// the period-list cache to share — pass the previous generation's cache
-  /// when the affinity binding is unchanged (rating updates), null to start
-  /// cold (construction, affinity swaps).
+  /// when the affinity binding is unchanged (rating updates, delta-log
+  /// compactions), null to start cold (construction, affinity swaps).
   Snapshot(std::uint64_t generation,
-           std::shared_ptr<const RatingsDataset> study_ratings,
+           std::shared_ptr<const RatingsOverlay> ratings,
            std::shared_ptr<const std::vector<std::vector<Score>>> predictions,
            std::shared_ptr<const PreferenceIndex> index,
            std::shared_ptr<const AffinitySource> affinity,
@@ -152,9 +154,11 @@ class Snapshot {
 
   const PreferenceIndex& index() const { return *index_; }
   const AffinitySource& affinity() const { return *affinity_; }
-  /// The study participants' own ratings as of this generation (tombstone
-  /// source for the group-rated exclusion).
-  const RatingsDataset& study_ratings() const { return *study_ratings_; }
+  /// The study participants' own ratings as of this generation: the
+  /// immutable base plus the live per-user delta log, merged on read
+  /// (tombstone source for the group-rated exclusion). Use
+  /// ratings().base() for the base alone.
+  const RatingsOverlay& ratings() const { return *ratings_; }
   /// CF-predicted ratings (universe scale) per study participant.
   std::span<const Score> predictions(UserId study_user) const {
     return (*predictions_)[study_user];
@@ -163,8 +167,8 @@ class Snapshot {
 
   /// Shared handles (what the next generation's builder reuses for the
   /// untouched parts).
-  const std::shared_ptr<const RatingsDataset>& study_ratings_ptr() const {
-    return study_ratings_;
+  const std::shared_ptr<const RatingsOverlay>& ratings_ptr() const {
+    return ratings_;
   }
   const std::shared_ptr<const std::vector<std::vector<Score>>>&
   predictions_ptr() const {
@@ -201,7 +205,7 @@ class Snapshot {
 
  private:
   const std::uint64_t generation_;
-  const std::shared_ptr<const RatingsDataset> study_ratings_;
+  const std::shared_ptr<const RatingsOverlay> ratings_;
   const std::shared_ptr<const std::vector<std::vector<Score>>> predictions_;
   const std::shared_ptr<const PreferenceIndex> index_;
   const std::shared_ptr<const AffinitySource> affinity_;

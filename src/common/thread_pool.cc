@@ -1,8 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace greca {
+
+thread_local const ThreadPool* ThreadPool::current_worker_pool_ = nullptr;
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
@@ -22,6 +25,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(std::size_t worker) {
+  current_worker_pool_ = this;
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t, std::size_t)>* job;
@@ -52,6 +56,14 @@ void ThreadPool::ParallelFor(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  // A nested call from one of our own workers can never complete: the
+  // worker executing fn would have to finish the outer batch first. Fail
+  // fast in debug builds instead of deadlocking on dispatch_mu_.
+  assert(current_worker_pool_ != this &&
+         "ParallelFor called from its own worker (nested calls deadlock)");
+  // Concurrent external callers take turns; mu_ alone cannot serialize them
+  // because it is released while waiting on done_cv_ below.
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
   std::unique_lock<std::mutex> lock(mu_);
   job_ = &fn;
   job_size_ = n;

@@ -33,8 +33,14 @@ class ThreadPool {
   /// Runs fn(worker, index) for every index in [0, n), spread across the
   /// workers, and returns when all indices completed. `worker` is a stable
   /// id in [0, size()) — callers key per-thread state off it. `fn` must be
-  /// callable concurrently from different workers. Calls do not nest;
-  /// concurrent ParallelFor calls must be serialized by the caller.
+  /// callable concurrently from different workers.
+  ///
+  /// Concurrent calls from different EXTERNAL threads are safe: they are
+  /// serialized internally (one dispatch at a time; the historical contract
+  /// that callers serialize corrupted active_workers_ when violated). Calls
+  /// must still never NEST — fn must not call ParallelFor on its own pool;
+  /// the workers can never finish the outer batch, so the nested call
+  /// deadlocks. Debug builds assert on nesting instead of hanging.
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t worker,
                                             std::size_t index)>& fn);
@@ -42,7 +48,16 @@ class ThreadPool {
  private:
   void WorkerLoop(std::size_t worker);
 
+  /// The pool whose WorkerLoop is running on this thread (null on external
+  /// threads) — the debug-mode nested-ParallelFor detector.
+  static thread_local const ThreadPool* current_worker_pool_;
+
   std::vector<std::thread> workers_;
+  /// Serializes whole ParallelFor calls; never held by workers, so fn runs
+  /// without it. Separate from mu_ because mu_ is released while waiting
+  /// for the round to finish (done_cv_), which is exactly when a concurrent
+  /// caller used to sneak in and clobber the dispatch state.
+  std::mutex dispatch_mu_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

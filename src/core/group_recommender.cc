@@ -39,27 +39,31 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
       universe.TopPopularItems(options.max_candidate_items),
       universe.num_items()));
   // Generation 1 aliases the study-owned ratings (non-owning shared_ptr —
-  // the study outlives the recommender by contract); every later generation
-  // owns a fresh fold of the live updates.
+  // the study outlives the recommender by contract) under an empty delta
+  // log; live updates accumulate in later generations' logs until a
+  // compaction owns a fresh base.
+  auto base = std::shared_ptr<const RatingsDataset>(
+      std::shared_ptr<const void>(), &study.study_ratings);
   snapshot_ = std::make_shared<const Snapshot>(
       /*generation=*/1,
-      std::shared_ptr<const RatingsDataset>(std::shared_ptr<const void>(),
-                                            &study.study_ratings),
+      std::make_shared<const RatingsOverlay>(std::move(base)),
       std::move(predictions), std::move(index), std::move(source));
 }
 
-void GroupRecommender::Publish(
-    std::shared_ptr<const RatingsDataset> ratings,
+std::uint64_t GroupRecommender::Publish(
+    std::shared_ptr<const RatingsOverlay> ratings,
     std::shared_ptr<const std::vector<std::vector<Score>>> preds,
     std::shared_ptr<const PreferenceIndex> index,
     std::shared_ptr<const AffinitySource> source,
     std::shared_ptr<PeriodListCache> cache) {
   // All building happened before this point; the swap itself is O(1).
+  const std::uint64_t generation = next_generation_++;
   auto next = std::make_shared<const Snapshot>(
-      next_generation_++, std::move(ratings), std::move(preds),
-      std::move(index), std::move(source), std::move(cache));
+      generation, std::move(ratings), std::move(preds), std::move(index),
+      std::move(source), std::move(cache));
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(next);
+  return generation;
 }
 
 Status GroupRecommender::ApplyRatingUpdates(
@@ -76,7 +80,7 @@ Status GroupRecommender::ApplyRatingUpdates(
                               std::to_string(e.item) + " (universe has " +
                               std::to_string(universe_->num_items()) + ")");
     }
-    // A non-finite rating would poison the folded dataset permanently (CF
+    // A non-finite rating would poison the folded state permanently (CF
     // norms and similarities all turn NaN), so gate it with the rest.
     if (!std::isfinite(e.rating)) {
       return Status::InvalidArgument("rating event with non-finite rating");
@@ -84,61 +88,161 @@ Status GroupRecommender::ApplyRatingUpdates(
   }
   if (events.empty()) {
     // A no-op batch publishes nothing: callers polling generation ids can
-    // rely on every increment meaning a real state change.
-    if (report != nullptr) *report = UpdateReport{};
+    // rely on every increment meaning a real state change. The report still
+    // carries the real current state (a zeroed generation would read as
+    // "never published", a zeroed log size as "just compacted").
+    if (report != nullptr) {
+      const std::shared_ptr<const Snapshot> cur = snapshot();
+      *report = UpdateReport{};
+      report->published_generation = cur->generation();
+      report->batches_coalesced = 1;
+      report->delta_log_ratings = cur->ratings().delta_ratings();
+    }
     return Status::Ok();
   }
 
-  // Writers serialize here; readers continue on the published snapshot.
+  // Group commit: enqueue; the first caller to find no leader publishes
+  // whole rounds until the queue drains, everyone else blocks until its
+  // batch's round lands. Readers continue on the published snapshot either
+  // way.
+  PendingUpdate self;
+  self.events = events;
+  {
+    std::unique_lock<std::mutex> qlock(commit_mu_);
+    commit_queue_.push_back(&self);
+    if (commit_leader_active_) {
+      commit_cv_.wait(qlock, [&] { return self.done; });
+      if (report != nullptr) *report = self.report;
+      return self.status;
+    }
+    commit_leader_active_ = true;
+  }
+  for (;;) {
+    std::vector<PendingUpdate*> round;
+    {
+      std::lock_guard<std::mutex> qlock(commit_mu_);
+      round.swap(commit_queue_);
+      if (round.empty()) {
+        commit_leader_active_ = false;
+        break;
+      }
+    }
+    try {
+      PublishUpdateRound(round);
+    } catch (...) {
+      // The leader must never wedge the queue: fail this round AND every
+      // batch still queued (no leader remains to serve them), hand
+      // leadership back, then let the exception reach our own caller — the
+      // same visibility a pre-group-commit writer had.
+      {
+        std::lock_guard<std::mutex> qlock(commit_mu_);
+        round.insert(round.end(), commit_queue_.begin(), commit_queue_.end());
+        commit_queue_.clear();
+        for (PendingUpdate* batch : round) {
+          batch->status = Status::FailedPrecondition(
+              "group-commit publish failed mid-round; retry the batch");
+          batch->done = true;
+        }
+        commit_leader_active_ = false;
+      }
+      commit_cv_.notify_all();
+      throw;
+    }
+    {
+      std::lock_guard<std::mutex> qlock(commit_mu_);
+      for (PendingUpdate* batch : round) batch->done = true;
+    }
+    commit_cv_.notify_all();
+  }
+  if (report != nullptr) *report = self.report;
+  return self.status;
+}
+
+void GroupRecommender::PublishUpdateRound(
+    std::span<PendingUpdate* const> round) {
+  // Builds serialize with affinity swaps here; readers are never blocked.
   std::lock_guard<std::mutex> lock(update_mutex_);
   const std::shared_ptr<const Snapshot> cur = snapshot();
-  const RatingsDataset& old_ratings = cur->study_ratings();
 
-  // Fold the events into a fresh immutable ratings dataset. FromRecords
-  // keeps the latest-timestamped rating per (user, item), so events override
-  // stored ratings unless they are older.
-  std::vector<RatingRecord> records;
-  records.reserve(old_ratings.num_ratings() + events.size());
-  for (UserId su = 0; su < n; ++su) {
-    for (const UserRatingEntry& r : old_ratings.RatingsOfUser(su)) {
-      records.push_back({su, r.item, r.rating, r.timestamp});
-    }
-  }
-  for (const RatingEvent& e : events) {
-    records.push_back({e.user, e.item, e.rating, e.timestamp});
-  }
-  auto ratings = std::make_shared<const RatingsDataset>(
-      RatingsDataset::FromRecords(n, universe_->num_items(),
-                                  std::move(records)));
-
-  // Rebuild CF predictions + index rows for the touched users only.
+  // Fold each batch into the delta log in arrival order — O(delta), only
+  // the touched users' rows are rebuilt. Per-batch attribution (applied vs
+  // stale) falls out of folding batch by batch.
+  std::shared_ptr<const RatingsOverlay> overlay = cur->ratings_ptr();
   std::vector<UserId> touched;
-  touched.reserve(events.size());
-  for (const RatingEvent& e : events) touched.push_back(e.user);
+  std::vector<RatingRecord> records;  // the overlay speaks dataset records
+  std::size_t round_applied = 0;
+  for (PendingUpdate* batch : round) {
+    records.clear();
+    records.reserve(batch->events.size());
+    for (const RatingEvent& e : batch->events) {
+      records.push_back({e.user, e.item, e.rating, e.timestamp});
+    }
+    RatingsOverlay::ApplyStats stats;
+    overlay = overlay->WithEvents(records, &stats);
+    batch->report = UpdateReport{};
+    batch->report.events_applied = stats.applied;
+    batch->report.events_ignored_stale = stats.ignored_stale;
+    batch->report.batches_coalesced = round.size();
+    touched.insert(touched.end(), stats.touched_users.begin(),
+                   stats.touched_users.end());
+    round_applied += stats.applied;
+  }
+  if (round_applied == 0) {
+    // Every event in the round was stale: nothing changed, publish nothing.
+    for (PendingUpdate* batch : round) {
+      batch->report.published_generation = cur->generation();
+      batch->report.delta_log_ratings = overlay->delta_ratings();
+    }
+    return;
+  }
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
-  auto preds =
-      std::make_shared<std::vector<std::vector<Score>>>(*cur->predictions_ptr());
+  // Compaction: fold the delta log back into a fresh immutable base when
+  // the policy triggers — still off the serving path, and amortized across
+  // the publishes since the last fold.
+  bool compacted = false;
+  if ((options_.compact_every_n_publishes > 0 &&
+       publishes_since_compaction_ + 1 >= options_.compact_every_n_publishes) ||
+      (options_.compact_delta_fraction > 0.0 &&
+       static_cast<double>(overlay->delta_ratings()) >
+           options_.compact_delta_fraction *
+               static_cast<double>(overlay->base().num_ratings()))) {
+    overlay = std::make_shared<const RatingsOverlay>(
+        std::make_shared<const RatingsDataset>(overlay->Compact()));
+    compacted = true;
+  }
+
+  // Rebuild CF predictions + index rows for the touched users only, reading
+  // through the merged view (base + delta) — identical input to a full
+  // re-fold, so the rebuilt rows are bit-identical too.
+  auto preds = std::make_shared<std::vector<std::vector<Score>>>(
+      *cur->predictions_ptr());
+  std::vector<UserRatingEntry> scratch;
   std::vector<std::span<const Score>> touched_preds;
   touched_preds.reserve(touched.size());
   for (const UserId su : touched) {
-    (*preds)[su] = knn_.PredictAll(ratings->RatingsOfUser(su));
+    (*preds)[su] = knn_.PredictAll(overlay->MergedRatingsOfUser(su, scratch));
     touched_preds.emplace_back((*preds)[su]);
   }
   auto index = std::make_shared<const PreferenceIndex>(
       cur->index().CloneWithUpdatedRows(touched, touched_preds));
 
-  if (report != nullptr) {
-    report->published_generation = next_generation_;
-    report->users_rebuilt = touched.size();
-    report->events_applied = events.size();
+  const std::size_t delta_after = overlay->delta_ratings();
+  // The affinity binding is unchanged (compaction included), so the
+  // period-list cache carries forward: a steady rating-update stream never
+  // re-colds it.
+  const std::uint64_t generation =
+      Publish(std::move(overlay), std::move(preds), std::move(index),
+              cur->affinity_ptr(), cur->period_cache_ptr());
+  publishes_since_compaction_ =
+      compacted ? 0 : publishes_since_compaction_ + 1;
+  for (PendingUpdate* batch : round) {
+    batch->report.published_generation = generation;
+    batch->report.users_rebuilt = touched.size();
+    batch->report.compacted = compacted;
+    batch->report.delta_log_ratings = delta_after;
   }
-  // The affinity binding is unchanged, so the period-list cache carries
-  // forward: a steady rating-update stream never re-colds it.
-  Publish(std::move(ratings), std::move(preds), std::move(index),
-          cur->affinity_ptr(), cur->period_cache_ptr());
-  return Status::Ok();
 }
 
 Status GroupRecommender::UpdateAffinitySource(
@@ -149,7 +253,7 @@ Status GroupRecommender::UpdateAffinitySource(
   std::lock_guard<std::mutex> lock(update_mutex_);
   const std::shared_ptr<const Snapshot> cur = snapshot();
   // New affinity binding → the period lists change: start a cold cache.
-  Publish(cur->study_ratings_ptr(), cur->predictions_ptr(), cur->index_ptr(),
+  Publish(cur->ratings_ptr(), cur->predictions_ptr(), cur->index_ptr(),
           std::move(source), /*cache=*/nullptr);
   return Status::Ok();
 }
@@ -291,11 +395,17 @@ Result<GroupProblem> GroupRecommender::BuildProblem(
       std::min(spec.num_candidate_items, index.pool_size());
   arena.tombstones.assign((pool + 63) / 64, 0);
   if (options_.exclude_group_rated) {
+    // A member's rated items = the immutable base row plus the live delta
+    // row (the folded set is their union — latest-wins replaces ratings but
+    // never un-rates an item), so no merged row is materialized here.
+    const RatingsOverlay& ratings = snap->ratings();
+    const auto mark = [&](ItemId item) {
+      const std::uint32_t key = index.PoolPositionOf(item);
+      if (key < pool) arena.tombstones[key >> 6] |= 1ull << (key & 63u);
+    };
     for (const UserId su : group) {
-      for (const auto& e : snap->study_ratings().RatingsOfUser(su)) {
-        const std::uint32_t key = index.PoolPositionOf(e.item);
-        if (key < pool) arena.tombstones[key >> 6] |= 1ull << (key & 63u);
-      }
+      for (const auto& e : ratings.base().RatingsOfUser(su)) mark(e.item);
+      for (const auto& e : ratings.DeltaOfUser(su)) mark(e.item);
     }
   }
   std::size_t tombstoned = 0;

@@ -18,12 +18,20 @@
 //     solved by GRECA / TA / the naive scan.
 //
 // Serving state lives in an immutable Snapshot (src/api/snapshot.h): the
-// preference index, the CF predictions, the study ratings and the bound
+// preference index, the CF predictions, the study ratings (immutable base +
+// per-user delta log, dataset/ratings_overlay.h) and the bound
 // AffinitySource, all under one generation id. Every query pins the current
 // snapshot at entry and reads nothing else, so the live-update path —
 // ApplyRatingUpdates / UpdateAffinitySource — can rebuild the affected state
 // off the serving path and publish a new generation with an atomic pointer
 // swap (RCU-style) without ever blocking or corrupting in-flight queries.
+//
+// Update cost is O(delta), not O(dataset): a batch folds into the delta log
+// (touched users' rows only), and a compaction policy (RecommenderOptions)
+// periodically folds the log back into a fresh immutable base so the overlay
+// stays compact. Concurrent ApplyRatingUpdates callers group-commit: batches
+// arriving while a publish is in flight coalesce into one next generation,
+// each caller blocking only until the coalesced publish lands.
 //
 // Error handling: invalid queries (empty group, k = 0, unknown member,
 // out-of-range period, oversized group) are reported through
@@ -33,6 +41,7 @@
 #define GRECA_CORE_GROUP_RECOMMENDER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -51,6 +60,7 @@
 #include "consensus/consensus.h"
 #include "core/greca.h"
 #include "dataset/facebook_study.h"
+#include "dataset/ratings_overlay.h"
 #include "dataset/synthetic.h"
 #include "index/preference_index.h"
 #include "topk/problem.h"
@@ -71,6 +81,22 @@ struct RecommenderOptions {
   std::size_t max_candidate_items = 3'900;
   /// Drop items any group member has already rated (paper §2.4).
   bool exclude_group_rated = true;
+
+  // --- Delta-log compaction policy (live updates) ---
+  // Live ratings accumulate in a per-user delta log (keeping publishes
+  // O(delta)); compaction folds the log back into a fresh immutable base —
+  // an O(dataset) step paid rarely instead of on every publish. Both
+  // triggers are checked before each rating publish; either suffices.
+  // Compaction changes no observable state (recommendations, reports and
+  // the period-list cache behave identically — tests/delta_log_test.cc).
+
+  /// Compact after this many rating publishes since the last compaction
+  /// (0 = never by count).
+  std::size_t compact_every_n_publishes = 0;
+  /// Compact when the delta log exceeds this fraction of the base's rating
+  /// count (0 = never by size). The default bounds the overlay — and the
+  /// per-query merge overhead — to a quarter of the base.
+  double compact_delta_fraction = 0.25;
 };
 
 struct QuerySpec {
@@ -147,14 +173,24 @@ class GroupRecommender {
   }
 
   /// Applies a batch of live ratings: validates every event (known study
-  /// participant, known universe item), folds them into the study ratings
-  /// (latest timestamp wins per (user, item), matching
-  /// RatingsDataset::FromRecords), recomputes the affected users' CF
-  /// predictions and index rows, and publishes the result as a new snapshot
-  /// generation. In-flight queries keep their pinned snapshot; no event is
-  /// applied when any event is invalid. Writers are serialized internally;
-  /// readers are never blocked. `report`, when non-null, receives what was
-  /// rebuilt.
+  /// participant, known universe item), folds them into the per-user delta
+  /// log (latest (timestamp, rating) wins per (user, item), matching
+  /// RatingsDataset::FromRecords — stale events are counted, not applied),
+  /// recomputes the affected users' CF predictions and index rows, and
+  /// publishes the result as a new snapshot generation. The fold is
+  /// O(delta): the base ratings are never re-folded on the publish path;
+  /// the compaction policy in RecommenderOptions periodically folds the log
+  /// back into a fresh base. In-flight queries keep their pinned snapshot;
+  /// no event is applied when any event is invalid; a batch that changes
+  /// nothing (empty, or all events stale) publishes nothing, so every
+  /// generation increment still means a real state change.
+  ///
+  /// Concurrent callers group-commit: batches arriving while a publish is
+  /// in flight coalesce into the next generation (one rebuild for the whole
+  /// round) and every caller returns once its events are live. Readers are
+  /// never blocked. `report`, when non-null, receives what was rebuilt —
+  /// per-batch applied/stale counts, the round's coalesced batch count and
+  /// the published generation.
   Status ApplyRatingUpdates(std::span<const RatingEvent> events,
                             UpdateReport* report = nullptr);
 
@@ -276,14 +312,32 @@ class GroupRecommender {
   Result<PeriodId> ResolvePeriod(std::optional<PeriodId> requested) const;
 
  private:
-  /// Builds and atomically publishes the next generation. `cache` is the
-  /// period-list cache to carry forward (same affinity binding) or null to
-  /// start cold (affinity swaps). Callers hold update_mutex_.
-  void Publish(std::shared_ptr<const RatingsDataset> ratings,
-               std::shared_ptr<const std::vector<std::vector<Score>>> preds,
-               std::shared_ptr<const PreferenceIndex> index,
-               std::shared_ptr<const AffinitySource> source,
-               std::shared_ptr<PeriodListCache> cache);
+  /// One ApplyRatingUpdates call waiting in the group-commit queue. The
+  /// caller owns it on its stack and blocks until `done`; the leader fills
+  /// `report`/`status` before flipping `done` (all guarded by commit_mu_).
+  struct PendingUpdate {
+    std::span<const RatingEvent> events;
+    UpdateReport report;
+    Status status;  // non-OK when the leader's publish failed
+    bool done = false;
+  };
+
+  /// Builds and atomically publishes the next generation; returns its
+  /// generation id. `cache` is the period-list cache to carry forward (same
+  /// affinity binding) or null to start cold (affinity swaps). Callers hold
+  /// update_mutex_.
+  std::uint64_t Publish(
+      std::shared_ptr<const RatingsOverlay> ratings,
+      std::shared_ptr<const std::vector<std::vector<Score>>> preds,
+      std::shared_ptr<const PreferenceIndex> index,
+      std::shared_ptr<const AffinitySource> source,
+      std::shared_ptr<PeriodListCache> cache);
+
+  /// Folds one coalesced round of update batches into a single generation
+  /// (delta-log fold → optional compaction → touched-row rebuild → publish)
+  /// and fills every batch's report. Called by the group-commit leader with
+  /// no lock held; takes update_mutex_ itself.
+  void PublishUpdateRound(std::span<PendingUpdate* const> round);
 
   const RatingsDataset* universe_;
   const FacebookStudy* study_;
@@ -299,8 +353,20 @@ class GroupRecommender {
   // rebuilding. Never null after construction.
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_;
+  // Serializes snapshot builds (rating-update rounds and affinity swaps).
   std::mutex update_mutex_;
-  std::uint64_t next_generation_ = 2;  // guarded by update_mutex_
+  std::uint64_t next_generation_ = 2;          // guarded by update_mutex_
+  std::size_t publishes_since_compaction_ = 0;  // guarded by update_mutex_
+
+  // Group-commit state: ApplyRatingUpdates callers enqueue here; the first
+  // caller to find no leader becomes one and publishes whole rounds (all
+  // queued batches at once) until the queue drains. commit_mu_ guards only
+  // the queue, the leader flag and the done/report handshake — never held
+  // while building.
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::vector<PendingUpdate*> commit_queue_;
+  bool commit_leader_active_ = false;
 };
 
 }  // namespace greca

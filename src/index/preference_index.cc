@@ -54,7 +54,12 @@ PreferenceIndex PreferenceIndex::CloneWithUpdatedRows(
   clone.scale_max_ = scale_max_;
   clone.pool_ = pool_;
   clone.pool_position_of_item_ = pool_position_of_item_;
-  clone.entries_ = entries_;      // untouched rows copied wholesale
+  // Wholesale copy-assign on purpose: touched rows get written twice
+  // (RebuildRow overwrites them), but touched × pool is tiny next to the
+  // full array, while any skip-the-touched-rows scheme pays a full
+  // value-initializing resize first — double the memory traffic of this
+  // single copy.
+  clone.entries_ = entries_;
   clone.positions_ = positions_;
   for (std::size_t i = 0; i < users.size(); ++i) {
     assert(users[i] < num_users_);

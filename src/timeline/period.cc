@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 namespace greca {
 
 Timestamp GranularitySeconds(Granularity g) {
+  // Exhaustive: -Wswitch flags a new enumerator at compile time, and a
+  // corrupted value aborts loudly instead of silently reading as one day.
   switch (g) {
     case Granularity::kWeek:
       return 7 * kSecondsPerDay;
@@ -18,7 +21,8 @@ Timestamp GranularitySeconds(Granularity g) {
     case Granularity::kHalfYear:
       return 183 * kSecondsPerDay;
   }
-  return kSecondsPerDay;
+  assert(false && "unhandled Granularity value");
+  std::abort();
 }
 
 std::string GranularityName(Granularity g) {
@@ -34,7 +38,8 @@ std::string GranularityName(Granularity g) {
     case Granularity::kHalfYear:
       return "Half-Year";
   }
-  return "Unknown";
+  assert(false && "unhandled Granularity value");
+  std::abort();
 }
 
 std::vector<Granularity> AllGranularities() {

@@ -71,15 +71,20 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
     return ConsensusScore(problem.consensus(), prefs);
   };
 
+  // Both threshold inputs are problem constants, hoisted out of the
+  // per-round lambda: the exact pair affinities and the all-ones agreement
+  // bound used to allocate fresh vectors on every round.
+  const std::vector<double> exact_aff = problem.ExactPairAffinities();
+  const std::vector<double> full_agreement(problem.agreement_lists().size(),
+                                           1.0);
   const auto threshold = [&] {
     // Best score an unseen item could have: every member's absolute
     // preference at its cursor, affinities exact (uncounted here — they were
     // already charged while scoring items), agreement bounded by 1.
-    const std::vector<double> exact_aff = problem.ExactPairAffinities();
     problem.MemberPreferences(cursor_score, exact_aff, prefs);
     if (problem.uses_agreement_lists()) {
-      const std::vector<double> full(problem.agreement_lists().size(), 1.0);
-      return ConsensusScoreWithAgreements(problem.consensus(), prefs, full);
+      return ConsensusScoreWithAgreements(problem.consensus(), prefs,
+                                          full_agreement);
     }
     return ConsensusScore(problem.consensus(), prefs);
   };

@@ -1,9 +1,13 @@
-// Unit tests for src/common: RNG, distributions, statistics, strings, status.
+// Unit tests for src/common: RNG, distributions, statistics, strings,
+// status, thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/distributions.h"
 #include "common/rng.h"
@@ -11,6 +15,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 
 namespace greca {
@@ -252,6 +257,64 @@ TEST(TablePrinterTest, CsvQuotesSpecialCells) {
   table.PrintCsv(csv);
   EXPECT_EQ(csv.str(), "a\n\"x,y\"\n");
 }
+
+TEST(ThreadPoolTest, RunsEveryIndexWithStableWorkerIds) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  constexpr std::size_t kN = 1'000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](std::size_t worker, std::size_t i) {
+    EXPECT_LT(worker, pool.size());
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+// Regression: concurrent ParallelFor calls from different external threads
+// used to clobber the shared dispatch state (job_, active_workers_) because
+// mu_ is released while the dispatcher waits for its round — batches could
+// deadlock or run the wrong lambda. Calls are now serialized internally;
+// every index of every caller must run exactly once.
+TEST(ThreadPoolTest, ConcurrentExternalCallersAreSerialized) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kN = 400;
+  std::vector<std::atomic<int>> counts(kN);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        pool.ParallelFor(kN, [&](std::size_t, std::size_t i) {
+          counts[i].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), static_cast<int>(kCallers * 3))
+        << "index " << i;
+  }
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+// A nested ParallelFor from a worker can never complete (the worker would
+// have to finish the outer batch first); debug builds must fail fast
+// instead of deadlocking.
+TEST(ThreadPoolDeathTest, NestedParallelForAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.ParallelFor(4, [&](std::size_t, std::size_t) {
+          pool.ParallelFor(2, [](std::size_t, std::size_t) {});
+        });
+      },
+      "nested");
+}
+#endif
 
 }  // namespace
 }  // namespace greca

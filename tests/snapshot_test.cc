@@ -258,8 +258,10 @@ TEST_F(SnapshotTest, AppliedRatingsTombstoneRecommendedItems) {
   for (const ItemId item : after.value().items) {
     EXPECT_NE(item, top) << "group-rated item still recommended";
   }
-  // The update also lands in the snapshot's ratings view.
-  EXPECT_TRUE(engine->snapshot()->study_ratings().HasRating(4, top));
+  // The update also lands in the snapshot's merged ratings view (the delta
+  // log, not the immutable base).
+  EXPECT_TRUE(engine->snapshot()->ratings().HasRating(4, top));
+  EXPECT_FALSE(engine->snapshot()->ratings().base().HasRating(4, top));
 }
 
 // Period-list cache: the first query for a (group, period) materializes, a

@@ -95,5 +95,32 @@ TEST(GranularityTest, NamesAndOrder) {
   }
 }
 
+// Every enumerator maps through both switches — no silent fallthrough to a
+// default (the old code read an unhandled value as one day / "Unknown";
+// both functions are now exhaustive and abort on a corrupted value).
+TEST(GranularityTest, EveryEnumeratorMapsExplicitly) {
+  const std::vector<std::pair<Granularity, Timestamp>> seconds = {
+      {Granularity::kWeek, 7 * kSecondsPerDay},
+      {Granularity::kMonth, 31 * kSecondsPerDay},
+      {Granularity::kTwoMonth, 61 * kSecondsPerDay},
+      {Granularity::kSeason, 92 * kSecondsPerDay},
+      {Granularity::kHalfYear, 183 * kSecondsPerDay},
+  };
+  const std::vector<std::pair<Granularity, std::string>> names = {
+      {Granularity::kWeek, "Week"},
+      {Granularity::kMonth, "Month"},
+      {Granularity::kTwoMonth, "Two-Month"},
+      {Granularity::kSeason, "Season"},
+      {Granularity::kHalfYear, "Half-Year"},
+  };
+  ASSERT_EQ(seconds.size(), AllGranularities().size())
+      << "new enumerator: extend the switches and this table";
+  for (const auto& [g, s] : seconds) EXPECT_EQ(GranularitySeconds(g), s);
+  for (const auto& [g, n] : names) {
+    EXPECT_EQ(GranularityName(g), n);
+    EXPECT_NE(GranularityName(g), "Unknown");
+  }
+}
+
 }  // namespace
 }  // namespace greca
