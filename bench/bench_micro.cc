@@ -66,6 +66,55 @@ void BM_TaTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_TaTopK);
 
+void ExhaustPreferenceLists(const GroupProblem& problem,
+                            AccessCounter& counter) {
+  for (const ListView& list : problem.preference_lists()) {
+    std::size_t cursor = 0;
+    while (list.SkipToLive(cursor)) list.ReadSequential(cursor, counter);
+  }
+}
+
+const GroupRecommender& FlatRecommender() {
+  // Same datasets as the shared context, flat (globally sorted) index rows:
+  // the pre-banding baseline for the prefix-scan comparison.
+  static const GroupRecommender* rec = [] {
+    const auto& ctx = BenchContext::Get();
+    RecommenderOptions options;
+    options.max_candidate_items =
+        ctx.recommender->preference_index().pool_size();
+    options.index_layout = IndexLayout::kFlat;
+    return new GroupRecommender(ctx.universe, ctx.study, options);
+  }();
+  return *rec;
+}
+
+void PrefixScan(benchmark::State& state, const GroupRecommender& rec) {
+  // Exhaustive sequential scan of the group's preference views at the given
+  // candidate-pool prefix — the access pattern the banded layout exists for.
+  QuerySpec spec = PerformanceHarness::DefaultSpec();
+  spec.num_candidate_items = static_cast<std::size_t>(state.range(0));
+  const GroupProblem problem = rec.BuildProblem(SampleGroup(), spec).value();
+  for (auto _ : state) {
+    AccessCounter counter;
+    ExhaustPreferenceLists(problem, counter);
+    benchmark::DoNotOptimize(counter.sequential);
+  }
+  state.counters["entries_walked_per_scan"] = static_cast<double>(
+      problem.preference_lists()[0].scan_footprint());
+}
+
+// Pool args span row/16 .. full row at paper scale; GRECA_BENCH_SMALL runs
+// clamp to the shrunken pool (larger args then all hit the flat fast path).
+void BM_PrefixScanBanded(benchmark::State& state) {
+  PrefixScan(state, *BenchContext::Get().recommender);
+}
+BENCHMARK(BM_PrefixScanBanded)->Arg(244)->Arg(975)->Arg(1950)->Arg(3900);
+
+void BM_PrefixScanFlat(benchmark::State& state) {
+  PrefixScan(state, FlatRecommender());
+}
+BENCHMARK(BM_PrefixScanFlat)->Arg(244)->Arg(975)->Arg(1950)->Arg(3900);
+
 void BM_BuildProblem(benchmark::State& state) {
   // Workspace-less assembly: zero-copy preference views plus one
   // problem-owned arena allocation per call.

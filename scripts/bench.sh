@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benches and records machine-readable results:
-#   BENCH_micro.json  — google-benchmark microbenchmarks (core building
-#                       blocks; BM_BuildProblem / BM_ProblemAssembly track
-#                       the zero-copy problem-assembly cost)
+#   BENCH_micro.json  — google-benchmark microbenchmarks when available
+#                       (BM_PrefixScanBanded/Flat track the banded-row
+#                       prefix-scan win, BM_BuildProblem / BM_ProblemAssembly
+#                       the zero-copy assembly cost); when google-benchmark
+#                       is not installed, bench_batch's per-pool-size
+#                       banded-vs-flat layout sweep is written here instead
+#                       so the file always carries the layout qps numbers.
+#   BENCH_batch.json  — bench_batch layout sweep (banded vs flat qps per
+#                       candidate-pool size + entries walked per scan) when
+#                       BENCH_micro.json is taken by google-benchmark.
 #   BENCH_fig5.txt    — GRECA %SA scalability sweep (paper Figure 5)
 #   BENCH_batch.txt   — Engine::RecommendBatch vs sequential throughput plus
-#                       the problem_assembly_seconds / solve_seconds split
-#                       and the period-cache cold/warm assembly comparison
+#                       the problem_assembly_seconds / solve_seconds split,
+#                       the period-cache cold/warm assembly comparison and
+#                       the index-layout sweep table
 #   BENCH_online.txt  — query p50/p99 with and without a concurrent writer
 #                       applying live rating updates (RCU snapshot swap),
 #                       plus the publish-latency-vs-accumulated-live-ratings
@@ -16,29 +24,56 @@
 #                       concurrent writer, snapshot-publish latency, the
 #                       per-decile publish_curve with compaction counts)
 #
-# Usage: scripts/bench.sh [build-dir]
+# Usage: scripts/bench.sh [--layout banded|flat|both] [build-dir]
+#   --layout restricts bench_batch's index-layout sweep (default: both).
 # Env:   GRECA_BENCH_SMALL=1 for a smoke-scale run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+LAYOUT="both"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --layout)
+      LAYOUT="${2:?--layout needs banded|flat|both}"
+      shift 2
+      ;;
+    --layout=*)
+      LAYOUT="${1#--layout=}"
+      shift
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability bench_batch bench_online
 # bench_micro exists only when google-benchmark is installed; always rebuild
-# it so the recorded numbers match the current sources.
+# it so the recorded numbers match the current sources. Its output claims
+# BENCH_micro.json; otherwise bench_batch's layout sweep lands there.
+BATCH_JSON=BENCH_micro.json
 if cmake --build "$BUILD_DIR" -j --target bench_micro 2>/dev/null; then
   "$BUILD_DIR"/bench/bench_micro \
     --benchmark_out=BENCH_micro.json --benchmark_out_format=json \
     --benchmark_repetitions=1
+  BATCH_JSON=BENCH_batch.json
 else
-  echo "bench_micro unavailable (google-benchmark not installed); skipping" >&2
+  echo "bench_micro unavailable (google-benchmark not installed);" \
+       "BENCH_micro.json will carry bench_batch's layout sweep" >&2
 fi
 
 "$BUILD_DIR"/bench/bench_fig5_scalability | tee BENCH_fig5.txt
-"$BUILD_DIR"/bench/bench_batch | tee BENCH_batch.txt
+GRECA_BATCH_LAYOUT="$LAYOUT" GRECA_BATCH_JSON="$BATCH_JSON" \
+  "$BUILD_DIR"/bench/bench_batch | tee BENCH_batch.txt
 GRECA_BENCH_ONLINE_JSON=BENCH_online.json \
   "$BUILD_DIR"/bench/bench_online | tee BENCH_online.txt
 
-echo "Wrote BENCH_micro.json, BENCH_fig5.txt, BENCH_batch.txt," \
+EXTRA_JSON=""
+if [[ "$BATCH_JSON" != "BENCH_micro.json" ]]; then
+  EXTRA_JSON=" $BATCH_JSON,"
+fi
+echo "Wrote BENCH_micro.json,${EXTRA_JSON} BENCH_fig5.txt, BENCH_batch.txt," \
      "BENCH_online.txt, BENCH_online.json"

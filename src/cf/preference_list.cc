@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "topk/sorted_list.h"
+
 namespace greca {
 
 std::vector<ScoredEntry<std::uint32_t>> BuildPreferenceEntries(
@@ -18,11 +20,9 @@ std::vector<ScoredEntry<std::uint32_t>> BuildPreferenceEntries(
         std::clamp(predictions[item] / scale_max, 0.0, 1.0);
     entries.push_back({key, score});
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.id < b.id;
-            });
+  // Shares THE list order (sorted_list.h) with the index's row sorts — any
+  // divergence would break the view/owning and banded/flat equivalences.
+  std::sort(entries.begin(), entries.end(), ListEntryOrder{});
   return entries;
 }
 

@@ -103,9 +103,10 @@ class GrecaRun {
   static constexpr std::uint8_t kActive = 1;
   static constexpr std::uint8_t kPruned = 2;
 
-  // List cursors hold raw view positions; SkipToLive advances them past
-  // tombstoned entries (uncounted), so exhaustion and reads see only live
-  // entries — identical accounting to the owning-list path.
+  // List cursors are opaque to us (flat views store a raw position, banded
+  // views a consumed-live count — see list_view.h); SkipToLive positions
+  // them past dead entries (uncounted), so exhaustion and reads see only
+  // live entries — identical accounting to the owning-list path.
   bool AllExhausted() {
     for (std::size_t u = 0; u < g_; ++u) {
       if (problem_.preference_lists()[u].SkipToLive(pref_pos_[u])) {

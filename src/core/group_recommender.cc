@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -33,11 +34,19 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
   auto source =
       std::make_shared<StudyAffinitySource>(static_, periodic_, &dynamic_);
   // One shared, immutable sorted-preference index over the popular-item
-  // pool; every query (and every batch worker) slices it by prefix.
+  // pool; every query (and every batch worker) slices it by prefix. Banded
+  // rows (the default) keep small-prefix scans proportional to the prefix;
+  // the flat fallback stores one globally sorted row per user.
+  std::vector<ItemId> pool =
+      universe.TopPopularItems(options.max_candidate_items);
+  const std::vector<std::uint32_t> breakpoints =
+      options.index_layout == IndexLayout::kBanded
+          ? PreferenceIndex::GeometricBandBreakpoints(pool.size(),
+                                                      options.min_band_size)
+          : std::vector<std::uint32_t>{};
   auto index = std::make_shared<const PreferenceIndex>(PreferenceIndex::Build(
-      *predictions, /*scale_max=*/5.0,
-      universe.TopPopularItems(options.max_candidate_items),
-      universe.num_items()));
+      *predictions, /*scale_max=*/5.0, std::move(pool), universe.num_items(),
+      breakpoints));
   // Generation 1 aliases the study-owned ratings (non-owning shared_ptr —
   // the study outlives the recommender by contract) under an empty delta
   // log; live updates accumulate in later generations' logs until a

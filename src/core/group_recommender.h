@@ -74,6 +74,21 @@ enum class Algorithm {
   kTa,
 };
 
+/// Row layout of the shared PreferenceIndex (identical recommendations and
+/// access counts either way — the layouts differ only in how many raw
+/// entries a prefix-restricted sequential scan walks).
+enum class IndexLayout {
+  /// Rows bucketed by popularity band (geometric pool-position breakpoints),
+  /// each band score-sorted: a prefix-restricted view walks only the bands
+  /// its candidate pool intersects (≤ 2× the prefix), restoring the paper's
+  /// access-cost model for small-pool queries.
+  kBanded,
+  /// One globally score-sorted row per user: exhausting a prefix slice skips
+  /// every out-of-prefix entry one by one, walking the full row. Kept as the
+  /// equivalence and bench baseline.
+  kFlat,
+};
+
 struct RecommenderOptions {
   UserKnnConfig knn;
   /// Candidate pool = the top-N most popular universe items (the paper's
@@ -81,6 +96,13 @@ struct RecommenderOptions {
   std::size_t max_candidate_items = 3'900;
   /// Drop items any group member has already rated (paper §2.4).
   bool exclude_group_rated = true;
+
+  /// How index rows are stored (see IndexLayout).
+  IndexLayout index_layout = IndexLayout::kBanded;
+  /// Smallest popularity band of the banded layout (the first breakpoint;
+  /// bands double from here up to the pool size). Pool prefixes of at least
+  /// half this size keep exhaustive scans within 2× the prefix.
+  std::size_t min_band_size = 64;
 
   // --- Delta-log compaction policy (live updates) ---
   // Live ratings accumulate in a per-user delta log (keeping publishes

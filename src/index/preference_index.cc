@@ -1,32 +1,80 @@
 #include "index/preference_index.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
-#include "cf/preference_list.h"
-
 namespace greca {
 
+std::vector<std::uint32_t> PreferenceIndex::GeometricBandBreakpoints(
+    std::size_t pool_size, std::size_t first_band) {
+  std::vector<std::uint32_t> breakpoints;
+  if (first_band == 0) return breakpoints;
+  for (std::size_t b = first_band;
+       b < pool_size && breakpoints.size() + 1 < ListView::kMaxBands; b *= 2) {
+    breakpoints.push_back(static_cast<std::uint32_t>(b));
+  }
+  return breakpoints;
+}
+
 void PreferenceIndex::RebuildRow(UserId u, std::span<const Score> predictions) {
+  assert(scale_max_ > 0.0);
   const std::size_t pool_size = pool_.size();
-  const std::vector<ListEntry> row =
-      BuildPreferenceEntries(predictions, scale_max_, pool_);
   ListEntry* const out = entries_.data() + u * pool_size;
   std::uint32_t* const pos = positions_.data() + u * pool_size;
-  for (std::size_t p = 0; p < row.size(); ++p) {
-    out[p] = row[p];
-    pos[row[p].id] = static_cast<std::uint32_t>(p);
+  // Band b holds exactly the keys [band_begin_[b], band_begin_[b+1]), so a
+  // key-order fill already places every entry in its band; each band is then
+  // score-sorted independently. One band (the flat layout) degenerates to
+  // the global sort — same normalization and ordering as the per-query seed
+  // path: keys are pool positions, scores predictions/scale_max in [0, 1].
+  for (std::uint32_t key = 0; key < pool_size; ++key) {
+    assert(pool_[key] < predictions.size());
+    out[key] = {key, std::clamp(predictions[pool_[key]] / scale_max_,
+                                0.0, 1.0)};
+  }
+  constexpr ListEntryOrder by_score{};
+  if (!flat_entries_.empty()) {
+    // Global-order twin for the large-prefix fast path, sorted from the
+    // key-order fill before the bands scramble it.
+    ListEntry* const flat = flat_entries_.data() + u * pool_size;
+    std::uint32_t* const flat_pos = flat_positions_.data() + u * pool_size;
+    std::copy(out, out + pool_size, flat);
+    std::sort(flat, flat + pool_size, by_score);
+    for (std::size_t p = 0; p < pool_size; ++p) {
+      flat_pos[flat[p].id] = static_cast<std::uint32_t>(p);
+    }
+  }
+  for (std::size_t b = 0; b + 1 < band_begin_.size(); ++b) {
+    std::sort(out + band_begin_[b], out + band_begin_[b + 1], by_score);
+  }
+  for (std::size_t p = 0; p < pool_size; ++p) {
+    pos[out[p].id] = static_cast<std::uint32_t>(p);
   }
 }
 
 PreferenceIndex PreferenceIndex::Build(
     std::span<const std::vector<Score>> predictions, double scale_max,
-    std::vector<ItemId> pool, std::size_t num_universe_items) {
+    std::vector<ItemId> pool, std::size_t num_universe_items,
+    std::span<const std::uint32_t> band_breakpoints) {
   PreferenceIndex index;
   index.num_users_ = predictions.size();
   index.scale_max_ = scale_max;
   index.pool_ = std::move(pool);
   const std::size_t pool_size = index.pool_.size();
+
+  // Normalize the breakpoints defensively (not assert-only): out-of-range
+  // and non-ascending values are dropped and the band count is clamped to
+  // ListView's inline merge arrays — a bad grid degrades to coarser bands,
+  // never to out-of-bounds writes in release builds.
+  index.band_begin_.assign(1, 0);
+  for (const std::uint32_t breakpoint : band_breakpoints) {
+    if (breakpoint == 0 || breakpoint >= pool_size) continue;
+    if (breakpoint <= index.band_begin_.back()) continue;
+    if (index.band_begin_.size() >= ListView::kMaxBands) break;
+    index.band_begin_.push_back(breakpoint);
+  }
+  index.band_begin_.push_back(static_cast<std::uint32_t>(pool_size));
+  assert(index.num_bands() <= ListView::kMaxBands);
 
   index.pool_position_of_item_.assign(num_universe_items, kNotPooled);
   for (std::size_t key = 0; key < pool_size; ++key) {
@@ -37,9 +85,11 @@ PreferenceIndex PreferenceIndex::Build(
 
   index.entries_.resize(index.num_users_ * pool_size);
   index.positions_.resize(index.num_users_ * pool_size);
+  if (index.num_bands() > 1) {
+    index.flat_entries_.resize(index.num_users_ * pool_size);
+    index.flat_positions_.resize(index.num_users_ * pool_size);
+  }
   for (UserId u = 0; u < index.num_users_; ++u) {
-    // Same normalization and ordering as the per-query seed path, computed
-    // once: keys are pool positions, scores predictions/scale_max in [0, 1].
     index.RebuildRow(u, predictions[u]);
   }
   return index;
@@ -54,6 +104,7 @@ PreferenceIndex PreferenceIndex::CloneWithUpdatedRows(
   clone.scale_max_ = scale_max_;
   clone.pool_ = pool_;
   clone.pool_position_of_item_ = pool_position_of_item_;
+  clone.band_begin_ = band_begin_;
   // Wholesale copy-assign on purpose: touched rows get written twice
   // (RebuildRow overwrites them), but touched × pool is tiny next to the
   // full array, while any skip-the-touched-rows scheme pays a full
@@ -61,6 +112,8 @@ PreferenceIndex PreferenceIndex::CloneWithUpdatedRows(
   // single copy.
   clone.entries_ = entries_;
   clone.positions_ = positions_;
+  clone.flat_entries_ = flat_entries_;
+  clone.flat_positions_ = flat_positions_;
   for (std::size_t i = 0; i < users.size(); ++i) {
     assert(users[i] < num_users_);
     clone.RebuildRow(users[i], predictions[i]);

@@ -6,14 +6,35 @@
 // (§4.2's candidate-pool sweep exists precisely because list preparation
 // dominates). This index moves that work to construction time: for every
 // study participant it stores one entry array over the popular-item pool,
-// sorted once by descending predicted preference, plus a key→position array
-// for random access.
+// sorted by descending predicted preference, plus a key→position array for
+// random access.
 //
 // Keys are pool positions (popularity ranks), so a query's candidate pool of
 // size C is simply the key prefix [0, C): UserView() restricts a stored row
 // to that prefix and tombstones the group's already-rated items via a bitmap
 // — no per-query sort, copy, or re-keying. One index snapshot is shared
 // read-only by every batch worker (src/api/engine.h).
+//
+// Row layout. A row is partitioned into popularity bands: band b holds
+// exactly the keys [band_begin[b], band_begin[b+1]), each band sorted
+// independently (descending score, ties ascending key). A prefix-restricted
+// UserView receives only the bands its prefix intersects, so an exhaustive
+// sequential scan walks at most the next band boundary past the prefix
+// (≤ 2× the prefix under the geometric grid) instead of the full row — the
+// fix for the prefix-slice skip-tail pathology. ListView merges the band
+// heads on the fly; merged order equals a global sort, so results and access
+// counts are bit-identical across layouts. With a single band (the flat
+// layout, band_begin = {0, pool}) the row is globally sorted and views
+// degenerate to the plain linear walk — kept as an equivalence and bench
+// baseline (RecommenderOptions::index_layout).
+//
+// A banded index additionally keeps each row in global (flat) order: when a
+// prefix covers most of the row the band merge cannot pay for itself (few
+// skipped entries, per-read argmin over the band heads), so UserView serves
+// the flat copy whenever the covered footprint exceeds half the row —
+// large-prefix queries keep the exact pre-banding fast path. The dual order
+// doubles per-row storage, but rows exist only for study participants
+// (72 × pool ≈ a few MB), not universe users.
 //
 // Live updates never mutate a published index. When ratings change, the
 // writer calls CloneWithUpdatedRows() with the affected users' fresh CF
@@ -24,6 +45,7 @@
 #ifndef GRECA_INDEX_PREFERENCE_INDEX_H_
 #define GRECA_INDEX_PREFERENCE_INDEX_H_
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -42,9 +64,23 @@ class PreferenceIndex {
   /// per-ItemId prediction array covering every universe item) over `pool`
   /// (universe items in popularity order). Scores are predictions / scale_max
   /// clamped to [0, 1]; `num_universe_items` sizes the reverse item→pool map.
-  static PreferenceIndex Build(std::span<const std::vector<Score>> predictions,
-                               double scale_max, std::vector<ItemId> pool,
-                               std::size_t num_universe_items);
+  /// `band_breakpoints` are ascending interior pool-position breakpoints of
+  /// the banded row layout; out-of-range or non-ascending values are
+  /// dropped and the count is clamped to ListView::kMaxBands bands (a bad
+  /// grid degrades to coarser bands, never to UB). Empty means one band —
+  /// the flat, globally sorted layout.
+  static PreferenceIndex Build(
+      std::span<const std::vector<Score>> predictions, double scale_max,
+      std::vector<ItemId> pool, std::size_t num_universe_items,
+      std::span<const std::uint32_t> band_breakpoints = {});
+
+  /// The default banded grid: geometric (doubling) breakpoints
+  /// {first_band, 2·first_band, ...} below `pool_size`, capped at
+  /// ListView::kMaxBands bands. Guarantees a prefix P >= first_band / 2 walks
+  /// at most 2·P entries per exhaustive scan (the next boundary past P).
+  /// first_band == 0 yields no breakpoints (flat).
+  static std::vector<std::uint32_t> GeometricBandBreakpoints(
+      std::size_t pool_size, std::size_t first_band = 64);
 
   /// Incremental rebuild for live updates: a full copy of this index in
   /// which the rows of `users` (parallel to `predictions`: predictions[i]
@@ -60,6 +96,13 @@ class PreferenceIndex {
   std::size_t num_users() const { return num_users_; }
   std::size_t pool_size() const { return pool_.size(); }
 
+  /// Number of popularity bands per row (1 = flat layout).
+  std::size_t num_bands() const { return band_begin_.size() - 1; }
+  /// Band boundaries as pool positions: band b = [bounds[b], bounds[b+1]).
+  std::span<const std::uint32_t> band_boundaries() const {
+    return band_begin_;
+  }
+
   /// The popular-item pool in key order: pool()[key] is the universe item of
   /// candidate key `key` for every prefix slice.
   std::span<const ItemId> pool() const { return pool_; }
@@ -70,7 +113,8 @@ class PreferenceIndex {
                                                 : kNotPooled;
   }
 
-  /// User `u`'s full sorted row (descending score, ties by ascending key).
+  /// User `u`'s full row in band order (per-band descending score, ties by
+  /// ascending key; globally sorted when num_bands() == 1).
   std::span<const ListEntry> UserEntries(UserId u) const {
     return {entries_.data() + u * pool_.size(), pool_.size()};
   }
@@ -78,35 +122,72 @@ class PreferenceIndex {
   /// Non-owning preference list of user `u` restricted to the candidate-pool
   /// prefix [0, prefix) minus the keys tombstoned in `tombstones` (which,
   /// with `live_entries`, the caller derives from the group's rated items —
-  /// all members share both). The view is valid as long as this index and the
+  /// all members share both). Only the bands the prefix intersects back the
+  /// view, so exhausting it never walks past the first band boundary >=
+  /// prefix; a prefix whose covered footprint exceeds half the row serves
+  /// the flat-order copy instead (see the header comment — the merge cannot
+  /// pay for itself there). The view is valid as long as this index and the
   /// tombstone buffer live.
   ListView UserView(UserId u, std::size_t prefix,
                     std::span<const std::uint64_t> tombstones,
                     std::size_t live_entries) const {
-    return ListView(UserEntries(u),
-                    {positions_.data() + u * pool_.size(), pool_.size()},
-                    prefix, live_entries, tombstones);
+    const std::size_t pool_size = pool_.size();
+    assert(prefix <= pool_size);
+    if (num_bands() == 1) {
+      // Flat layout: the banded arrays ARE the globally sorted row.
+      return ListView(UserEntries(u),
+                      {positions_.data() + u * pool_size, pool_size}, prefix,
+                      live_entries, tombstones);
+    }
+    std::size_t nb = 1;  // covered bands: band_begin_[nb - 1] < prefix
+    while (band_begin_[nb] < prefix) ++nb;
+    const std::size_t footprint = band_begin_[nb];
+    if (2 * footprint > pool_size) {
+      // Cost-model guard: the merge must at least halve the walk, otherwise
+      // the flat copy (no merge, pre-banding behavior) is the better lens.
+      return ListView({flat_entries_.data() + u * pool_size, pool_size},
+                      {flat_positions_.data() + u * pool_size, pool_size},
+                      prefix, live_entries, tombstones);
+    }
+    const std::span<const ListEntry> entries{entries_.data() + u * pool_size,
+                                             footprint};
+    const std::span<const std::uint32_t> positions{
+        positions_.data() + u * pool_size, pool_size};
+    if (nb == 1) {
+      // One covered band is already sorted — plain flat view, no merge.
+      return ListView(entries, positions, prefix, live_entries, tombstones);
+    }
+    return ListView(entries, positions, prefix, live_entries, tombstones,
+                    std::span<const std::uint32_t>(band_begin_.data(), nb + 1));
   }
 
   /// Approximate resident size, for capacity planning.
   std::size_t MemoryBytes() const {
-    return entries_.size() * sizeof(ListEntry) +
-           positions_.size() * sizeof(std::uint32_t) +
+    return (entries_.size() + flat_entries_.size()) * sizeof(ListEntry) +
+           (positions_.size() + flat_positions_.size()) *
+               sizeof(std::uint32_t) +
            pool_.size() * sizeof(ItemId) +
-           pool_position_of_item_.size() * sizeof(std::uint32_t);
+           pool_position_of_item_.size() * sizeof(std::uint32_t) +
+           band_begin_.size() * sizeof(std::uint32_t);
   }
 
  private:
-  /// Re-sorts user `u`'s row (and its key→position map) from a fresh
-  /// prediction array. Internal: only called on rows of an unpublished copy.
+  /// Re-sorts user `u`'s row (per band) and its key→position map from a
+  /// fresh prediction array. Internal: only called on rows of an unpublished
+  /// copy.
   void RebuildRow(UserId u, std::span<const Score> predictions);
 
   std::size_t num_users_ = 0;
   double scale_max_ = 1.0;                            // score normalization
   std::vector<ItemId> pool_;                          // key -> universe item
   std::vector<std::uint32_t> pool_position_of_item_;  // item -> key
-  std::vector<ListEntry> entries_;    // num_users × pool_size, row-major
-  std::vector<std::uint32_t> positions_;  // key -> row position, same shape
+  std::vector<std::uint32_t> band_begin_ = {0, 0};  // band b = [b, b+1) keys
+  std::vector<ListEntry> entries_;    // band order; num_users × pool_size
+  std::vector<std::uint32_t> positions_;  // key -> band-order row position
+  // Global-order twin of entries_/positions_, populated only when
+  // num_bands() > 1 — the large-prefix fast path (see UserView).
+  std::vector<ListEntry> flat_entries_;
+  std::vector<std::uint32_t> flat_positions_;
 };
 
 }  // namespace greca

@@ -5,14 +5,34 @@
 // span, optionally restricted to a key-space prefix and filtered by a
 // tombstone bitmap. The restriction mechanism is what makes zero-copy problem
 // assembly possible: the shared PreferenceIndex (src/index/) stores one
-// immutable sorted entry array per user over the full popular-item pool, and
-// a query slices it by prefix (its candidate-pool size) while tombstoning the
-// group's already-rated items — no re-sort, no re-key, no copy.
+// immutable entry array per user over the full popular-item pool, and a query
+// slices it by prefix (its candidate-pool size) while tombstoning the group's
+// already-rated items — no re-sort, no re-key, no copy.
 //
-// Tombstoned entries are transparent: sequential access skips them without
-// counting, random access reads them as absent (0.0), and size() reports only
-// live entries — so access accounting is identical to an owning SortedList
-// that materialized exactly the live entries.
+// Two storage layouts back a view:
+//  * flat — one globally score-sorted span; sequential access is a linear
+//    walk. Exhausting a prefix-restricted flat view skips every out-of-prefix
+//    entry one by one, so a small prefix over a large index row walks the
+//    whole row (the skip-tail pathology);
+//  * banded — the span is partitioned into popularity bands (contiguous key
+//    ranges, each independently score-sorted, boundaries in `band_begin`).
+//    Sequential access is a small k-way merge over the band heads, and a
+//    prefix-restricted view receives only the bands its prefix intersects —
+//    an exhaustive scan walks at most the covered bands, not the full row.
+//    Merged order equals the flat order (both sort by descending score, ties
+//    ascending key), so results and access counts are bit-identical.
+//
+// Tombstoned entries are transparent in both layouts: sequential access skips
+// them without counting, random access reads them as absent (0.0), and size()
+// reports only live entries — so access accounting is identical to an owning
+// SortedList that materialized exactly the live entries.
+//
+// The sequential cursor is opaque: callers initialize it to 0 and hand it
+// back to SkipToLive / ReadSequential / PeekScore unmodified. Banded views
+// keep the per-band merge heads as internal mutable state synchronized with
+// the cursor (rewinding a cursor resets the merge); consequently a single
+// ListView object must not be walked by two threads concurrently — views are
+// per-query/per-worker (ProblemArena) by construction, never shared.
 //
 // A ListView never owns storage. The wrapped SortedList / PreferenceIndex /
 // tombstone buffer must outlive the view; the buffers live either in a
@@ -20,8 +40,10 @@
 #ifndef GRECA_TOPK_LIST_VIEW_H_
 #define GRECA_TOPK_LIST_VIEW_H_
 
+#include <array>
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <span>
 
 #include "topk/access_counter.h"
@@ -31,6 +53,10 @@ namespace greca {
 
 class ListView {
  public:
+  /// Upper bound on popularity bands per view (geometric bands over a
+  /// 2^20-item pool fit comfortably; the merge head array is inline).
+  static constexpr std::size_t kMaxBands = 16;
+
   ListView() = default;
 
   /// Adapter over an owning SortedList: full key space, nothing tombstoned.
@@ -40,7 +66,7 @@ class ListView {
         key_space_(list.key_space()),
         live_entries_(list.size()) {}
 
-  /// General form. `entries` are sorted by descending score (ties ascending
+  /// Flat form. `entries` are sorted by descending score (ties ascending
   /// key) and may contain keys >= `key_space` (a prefix restriction of a
   /// larger index row); those and the keys whose bit is set in `tombstones`
   /// are dead. `live_entries` must equal the number of live entries and
@@ -58,11 +84,46 @@ class ListView {
     assert(tombstones_.empty() || tombstones_.size() >= (key_space_ + 63) / 64);
   }
 
+  /// Banded form. `band_begin` holds the band boundaries as offsets into
+  /// `entries` (band b = [band_begin[b], band_begin[b+1]), front() == 0,
+  /// back() == entries.size()); band b must contain exactly the keys in
+  /// [band_begin[b], band_begin[b+1]) sorted by descending score (ties
+  /// ascending key). `position_of_key` maps keys to positions within the
+  /// same (banded) entry order. The boundary span must outlive the view.
+  ListView(std::span<const ListEntry> entries,
+           std::span<const std::uint32_t> position_of_key,
+           std::size_t key_space, std::size_t live_entries,
+           std::span<const std::uint64_t> tombstones,
+           std::span<const std::uint32_t> band_begin)
+      : ListView(entries, position_of_key, key_space, live_entries,
+                 tombstones) {
+    assert(band_begin.size() >= 2);
+    assert(band_begin.front() == 0);
+    assert(band_begin.back() == entries.size());
+    assert(band_begin.size() - 1 <= kMaxBands);
+    // A single band is already globally sorted — stay on the flat path.
+    if (band_begin.size() > 2) {
+      bands_ = band_begin;
+      ResetMerge();
+    }
+  }
+
   /// Number of live (non-tombstoned, in-prefix) entries.
   std::size_t size() const { return live_entries_; }
   bool empty() const { return live_entries_ == 0; }
   /// Keys run in [0, key_space()).
   std::size_t key_space() const { return key_space_; }
+
+  /// Raw entries an exhaustive sequential scan touches (live reads plus
+  /// uncounted skips): the whole backing span. Banded prefix views receive
+  /// only the covered bands, so this is the access-cost-model probe the
+  /// banded-vs-flat benches and tests compare.
+  std::size_t scan_footprint() const { return entries_.size(); }
+
+  /// Number of popularity bands merged by sequential access (1 = flat walk).
+  std::size_t num_bands() const {
+    return bands_.empty() ? 1 : bands_.size() - 1;
+  }
 
   /// True when `key` lies outside the prefix or is tombstoned.
   bool IsTombstoned(ListKey key) const {
@@ -71,14 +132,17 @@ class ListView {
     return (tombstones_[key >> 6] >> (key & 63u)) & 1u;
   }
 
-  /// Advances `cursor` past dead entries to the next live one; returns false
-  /// when the list is exhausted. Skipping is uncounted — the dead entries do
-  /// not exist as far as access accounting is concerned. Note the cost
-  /// model: exhausting a prefix-restricted view walks the *full* underlying
-  /// row (skipped entries are O(1) each), so a small prefix over a large
-  /// index row trades sort-free assembly for a longer skip tail on
-  /// exhaustive scans (see ROADMAP "prefix-bucketed rows").
+  /// Positions `cursor` on the next live entry; returns false when the list
+  /// is exhausted. Skipping dead entries is uncounted — they do not exist as
+  /// far as access accounting is concerned. Flat views advance the cursor
+  /// past dead entries (it is a raw position); banded views advance their
+  /// internal band heads instead (the cursor counts consumed live entries).
+  /// Either way the cursor stays opaque to the caller.
   bool SkipToLive(std::size_t& cursor) const {
+    if (!bands_.empty()) {
+      SyncMerge(cursor);
+      return MergedBand() >= 0;
+    }
     while (cursor < entries_.size() && IsTombstoned(entries_[cursor].id)) {
       ++cursor;
     }
@@ -89,9 +153,33 @@ class ListView {
   /// it. The caller must have established liveness via SkipToLive.
   const ListEntry& ReadSequential(std::size_t& cursor,
                                   AccessCounter& counter) const {
-    assert(cursor < entries_.size() && !IsTombstoned(entries_[cursor].id));
     ++counter.sequential;
+    if (!bands_.empty()) {
+      SyncMerge(cursor);
+      const int b = MergedBand();
+      assert(b >= 0 && "ReadSequential past the last live entry");
+      const ListEntry& e = entries_[head_[static_cast<std::size_t>(b)]];
+      AdvanceMergedHead(static_cast<std::size_t>(b));
+      ++cursor;
+      return e;
+    }
+    assert(cursor < entries_.size() && !IsTombstoned(entries_[cursor].id));
     return entries_[cursor++];
+  }
+
+  /// Uncounted score of the live entry at `cursor` — the entry the next
+  /// ReadSequential would return. The caller must have established liveness
+  /// via SkipToLive (TA seeds its threshold bounds through this without
+  /// paying a second walk over the dead prefix).
+  double PeekScore(std::size_t cursor) const {
+    if (!bands_.empty()) {
+      SyncMerge(cursor);
+      const int b = MergedBand();
+      assert(b >= 0 && "PeekScore past the last live entry");
+      return entries_[head_[static_cast<std::size_t>(b)]].score;
+    }
+    assert(cursor < entries_.size() && !IsTombstoned(entries_[cursor].id));
+    return entries_[cursor].score;
   }
 
   /// Uncounted exact score of `key`; 0.0 for tombstoned, missing or
@@ -108,18 +196,148 @@ class ListView {
     return ScoreOfKey(key);
   }
 
-  /// Highest live score (0.0 when no live entries).
+  /// Highest live score (0.0 when no live entries). Lazily computed once and
+  /// cached — repeated calls no longer re-walk the dead prefix.
   double MaxScore() const {
-    std::size_t cursor = 0;
-    return SkipToLive(cursor) ? entries_[cursor].score : 0.0;
+    if (max_score_valid_) return max_score_;
+    double best = 0.0;
+    if (bands_.empty()) {
+      std::size_t pos = 0;
+      while (pos < entries_.size() && IsTombstoned(entries_[pos].id)) ++pos;
+      if (pos < entries_.size()) best = entries_[pos].score;
+    } else {
+      // Max over band heads, each advanced (locally, without touching the
+      // merge state) past its dead prefix.
+      for (std::size_t b = 0; b + 1 < bands_.size(); ++b) {
+        std::uint32_t h = bands_[b];
+        const std::uint32_t end = bands_[b + 1];
+        while (h < end && IsTombstoned(entries_[h].id)) ++h;
+        if (h < end && entries_[h].score > best) best = entries_[h].score;
+      }
+    }
+    max_score_ = best;
+    max_score_valid_ = true;
+    return best;
   }
 
  private:
+  static constexpr int kBandUnknown = -2;
+  static constexpr int kBandNone = -1;
+
+  /// Re-establishes the merge invariant for band `b`: head_[b] sits on a
+  /// live entry (head_score_[b] caches its score) or at the band end
+  /// (head_score_[b] = -inf). Dead entries are passed over uncounted, each
+  /// at most once per walk.
+  void SkipBandHead(std::size_t b) const {
+    std::uint32_t h = head_[b];
+    const std::uint32_t end = bands_[b + 1];
+    while (h < end && IsTombstoned(entries_[h].id)) ++h;
+    head_[b] = h;
+    head_score_[b] = h < end ? entries_[h].score
+                             : -std::numeric_limits<double>::infinity();
+  }
+
+  void ResetMerge() const {
+    const std::size_t nb = bands_.size() - 1;
+    for (std::size_t b = 0; b < nb; ++b) {
+      head_[b] = bands_[b];
+      SkipBandHead(b);
+      active_[b] = static_cast<std::uint8_t>(b);
+    }
+    num_active_ = nb;
+    merge_consumed_ = 0;
+    cur_band_ = kBandUnknown;
+    second_score_ = -std::numeric_limits<double>::infinity();
+  }
+
+  /// Band whose head is the next live entry in merged order — descending
+  /// score, ties by ascending key, exactly the flat layout's global sort, so
+  /// banded and flat walks are bit-identical. Heads are live by invariant;
+  /// the argmin runs over the cached head scores of the still-active bands
+  /// (exhausted bands are dropped in passing, so late-walk reads degrade to
+  /// near-flat cost) and records the runner-up score so AdvanceMergedHead
+  /// can keep the winner without re-scanning. kBandNone when exhausted.
+  int MergedBand() const {
+    if (cur_band_ != kBandUnknown) return cur_band_;
+    int best = kBandNone;
+    double best_score = -std::numeric_limits<double>::infinity();
+    double second = -std::numeric_limits<double>::infinity();
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < num_active_; ++k) {
+      const std::size_t b = active_[k];
+      if (head_[b] == bands_[b + 1]) continue;  // exhausted: drop
+      active_[w++] = static_cast<std::uint8_t>(b);
+      const double s = head_score_[b];
+      if (best == kBandNone) {
+        best = static_cast<int>(b);
+        best_score = s;
+        continue;
+      }
+      if (s > best_score ||
+          (s == best_score &&
+           ListEntryOrder{}(entries_[head_[b]],
+                            entries_[head_[static_cast<std::size_t>(best)]]))) {
+        second = best_score;
+        best = static_cast<int>(b);
+        best_score = s;
+      } else if (s > second) {
+        second = s;
+      }
+    }
+    num_active_ = w;
+    second_score_ = second;
+    cur_band_ = best;
+    return best;
+  }
+
+  /// Consumes the merged head entry (band `b` from MergedBand). While the
+  /// band's next head still beats every other band's head score outright,
+  /// the band stays the cached winner and the next read skips the argmin
+  /// (score ties fall back to it for the id tie-break).
+  void AdvanceMergedHead(std::size_t b) const {
+    ++head_[b];
+    SkipBandHead(b);
+    ++merge_consumed_;
+    cur_band_ = head_score_[b] > second_score_ ? static_cast<int>(b)
+                                               : kBandUnknown;
+  }
+
+  /// Brings the merge heads in line with `cursor` (= live entries consumed).
+  /// A rewound cursor — a fresh algorithm run over the same view — resets the
+  /// merge and replays; the steady state (cursor == consumed) is free.
+  void SyncMerge(std::size_t cursor) const {
+    if (cursor == merge_consumed_) return;
+    if (cursor < merge_consumed_) ResetMerge();
+    while (merge_consumed_ < cursor) {
+      const int b = MergedBand();
+      assert(b >= 0 && "cursor points past the last live entry");
+      if (b < 0) break;
+      AdvanceMergedHead(static_cast<std::size_t>(b));
+    }
+  }
+
   std::span<const ListEntry> entries_;
   std::span<const std::uint32_t> position_of_key_;
   std::span<const std::uint64_t> tombstones_;  // empty = nothing tombstoned
+  std::span<const std::uint32_t> bands_;       // empty = flat layout
   std::size_t key_space_ = 0;
   std::size_t live_entries_ = 0;
+
+  // Sequential-access state of the banded merge, synchronized with the
+  // caller's cursor, plus the lazily cached MaxScore. Invariant between
+  // operations: every head_[b] sits on a live entry (score cached in
+  // head_score_[b]) or at its band end (-inf). Mutable because views are
+  // handed to algorithms by const reference; a view instance belongs to one
+  // problem on one thread (see the header comment).
+  mutable std::array<std::uint32_t, kMaxBands> head_{};
+  mutable std::array<double, kMaxBands> head_score_{};
+  mutable std::array<std::uint8_t, kMaxBands> active_{};  // non-exhausted
+  mutable std::size_t num_active_ = 0;
+  mutable double second_score_ = 0.0;  // runner-up head score (see above)
+  mutable std::size_t merge_consumed_ = 0;
+  mutable int cur_band_ = kBandUnknown;
+  mutable double max_score_ = 0.0;
+  mutable bool max_score_valid_ = false;
 };
 
 }  // namespace greca

@@ -11,11 +11,7 @@ namespace {
 std::atomic<std::uint64_t> g_from_unsorted_calls{0};
 
 void SortEntriesDescending(std::span<ListEntry> entries) {
-  std::sort(entries.begin(), entries.end(),
-            [](const ListEntry& a, const ListEntry& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.id < b.id;
-            });
+  std::sort(entries.begin(), entries.end(), ListEntryOrder{});
 }
 
 }  // namespace

@@ -29,6 +29,18 @@ using ListEntry = ScoredEntry<ListKey>;
 /// Sentinel in key→position arrays for keys without an entry.
 inline constexpr std::uint32_t kMissingPosition = 0xFFFFFFFFu;
 
+/// THE list order: descending score, ties by ascending key. Every sorted
+/// structure shares it — owning SortedLists, the PreferenceIndex's flat and
+/// band-local row sorts, and ListView's k-way band merge. The banded-vs-flat
+/// bit-identical guarantee rests on all of them using exactly this functor,
+/// so never re-spell the comparison inline.
+struct ListEntryOrder {
+  constexpr bool operator()(const ListEntry& a, const ListEntry& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  }
+};
+
 class SortedList {
  public:
   SortedList() = default;

@@ -16,9 +16,15 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
   std::vector<bool> scored(problem.num_items(), false);
   std::vector<ListEntry> best;  // maintained sorted descending, size <= k
 
+  // One shared skip pass per list seeds the threshold bound (the first live
+  // score) AND leaves the cursor on that entry for round 1, so the dead
+  // prefix ahead of it is walked once — not once per MaxScore call and again
+  // by the main loop.
+  std::vector<std::size_t> cursor(g, 0);
   std::vector<double> cursor_score(g);
   for (std::size_t u = 0; u < g; ++u) {
-    cursor_score[u] = lists[u].MaxScore();
+    cursor_score[u] =
+        lists[u].SkipToLive(cursor[u]) ? lists[u].PeekScore(cursor[u]) : 0.0;
   }
 
   std::vector<double> apref(g);
@@ -89,9 +95,9 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
     return ConsensusScore(problem.consensus(), prefs);
   };
 
-  // Round-robin over the lists' live entries via per-list cursors (the view
-  // layer skips tombstoned entries transparently).
-  std::vector<std::size_t> cursor(g, 0);
+  // Round-robin over the lists' live entries via the per-list cursors the
+  // init pass already positioned (the view layer skips tombstoned entries
+  // transparently).
   bool any_read = true;
   while (any_read) {
     any_read = false;

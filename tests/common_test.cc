@@ -172,6 +172,35 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25.0);
 }
 
+TEST(StatsTest, PercentileEdgeCases) {
+  // Empty span: defined as 0, never an out-of-bounds read.
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  // n = 1: every percentile is the single sample.
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(Percentile(one, 0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile(one, 99), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile(one, 100), 7.5);
+  // Out-of-range p clamps to the extremes instead of extrapolating.
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -5), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 250), 40.0);
+  // Input order must not matter (the helper sorts a copy).
+  const std::vector<double> shuffled{30, 10, 40, 20};
+  EXPECT_DOUBLE_EQ(Percentile(shuffled, 50), 25.0);
+}
+
+TEST(StatsTest, PercentileSmallSampleP99) {
+  // The small-n p99 shape bench_online's decile buckets rely on: with few
+  // samples the p99 interpolates inside the top gap, never past the max.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const double p99 = Percentile(xs, 99);
+  EXPECT_DOUBLE_EQ(p99, 2.0 + 0.98 * 1.0);  // pos = 0.99 * 2 = 1.98
+  EXPECT_LE(p99, 3.0);
+  const std::vector<double> two{5.0, 15.0};
+  EXPECT_DOUBLE_EQ(Percentile(two, 99), 5.0 + 0.99 * 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(two, 50), 10.0);
+}
+
 TEST(StringUtilTest, SplitPreservesEmptyFields) {
   const auto parts = Split("a::::b", "::");
   ASSERT_EQ(parts.size(), 3u);

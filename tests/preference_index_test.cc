@@ -86,6 +86,94 @@ TEST(PreferenceIndexTest, UserViewSlicesPrefixAndSkipsTombstones) {
   EXPECT_DOUBLE_EQ(view.MaxScore(), 0.6);
 }
 
+TEST(PreferenceIndexTest, BandedRowsSortEachBandIndependently) {
+  const std::vector<std::vector<Score>> predictions = {
+      {1.0, 2.0, 3.0, 4.0, 0.0, 5.0},  // user 0
+  };
+  // Pool 5, 2, 0, 3 with one interior breakpoint at 2: band 0 = keys {0, 1},
+  // band 1 = keys {2, 3}.
+  const std::vector<std::uint32_t> breakpoints{2};
+  const PreferenceIndex index = PreferenceIndex::Build(
+      predictions, /*scale_max=*/5.0, {5, 2, 0, 3}, /*num_universe_items=*/6,
+      breakpoints);
+  EXPECT_EQ(index.num_bands(), 2u);
+  ASSERT_EQ(index.band_boundaries().size(), 3u);
+  EXPECT_EQ(index.band_boundaries()[1], 2u);
+
+  // Key scores: key0=1.0, key1=0.6, key2=0.2, key3=0.8. Band-local order:
+  // band 0 → 0, 1; band 1 → 3, 2 (NOT the global order 0, 3, 1, 2).
+  const auto row = index.UserEntries(0);
+  EXPECT_EQ(row[0].id, 0u);
+  EXPECT_EQ(row[1].id, 1u);
+  EXPECT_EQ(row[2].id, 3u);
+  EXPECT_EQ(row[3].id, 2u);
+
+  // A full-prefix view covers the whole row, where the merge cannot pay for
+  // itself: the flat-order twin serves it (global order, no merge), and
+  // random access resolves through the matching position map.
+  const ListView view = index.UserView(0, 4, {}, 4);
+  EXPECT_EQ(view.num_bands(), 1u);
+  EXPECT_EQ(view.scan_footprint(), 4u);
+  AccessCounter counter;
+  std::size_t cursor = 0;
+  const std::uint32_t expected[] = {0, 3, 1, 2};
+  for (const std::uint32_t id : expected) {
+    ASSERT_TRUE(view.SkipToLive(cursor));
+    EXPECT_EQ(view.ReadSequential(cursor, counter).id, id);
+  }
+  EXPECT_FALSE(view.SkipToLive(cursor));
+  EXPECT_DOUBLE_EQ(view.ScoreOfKey(3), 0.8);
+  EXPECT_DOUBLE_EQ(view.MaxScore(), 1.0);
+
+  // A prefix inside the first band never receives band 1: flat single-band
+  // view whose scan footprint is the band, not the row.
+  const ListView prefix_view = index.UserView(0, 2, {}, 2);
+  EXPECT_EQ(prefix_view.num_bands(), 1u);
+  EXPECT_EQ(prefix_view.scan_footprint(), 2u);
+}
+
+TEST(PreferenceIndexTest, SmallPrefixViewMergesCoveredBands) {
+  // Pool of 8 with bands {0..1}, {2..3}, {4..7}: a prefix of 3 covers two
+  // bands (footprint 4 <= half the row), so the view is a real band merge
+  // that must still read in global score order.
+  const std::vector<std::vector<Score>> predictions = {
+      {4.0, 1.0, 3.5, 2.0, 5.0, 0.5, 4.5, 1.5},
+  };
+  const std::vector<std::uint32_t> breakpoints{2, 4};
+  const PreferenceIndex index = PreferenceIndex::Build(
+      predictions, /*scale_max=*/5.0, {0, 1, 2, 3, 4, 5, 6, 7},
+      /*num_universe_items=*/8, breakpoints);
+  ASSERT_EQ(index.num_bands(), 3u);
+
+  const ListView view = index.UserView(0, /*prefix=*/3, {}, 3);
+  EXPECT_EQ(view.num_bands(), 2u);
+  EXPECT_EQ(view.scan_footprint(), 4u);  // next boundary past the prefix
+  // Key scores: 0→0.8, 1→0.2, 2→0.7 (key 3 is out of prefix).
+  AccessCounter counter;
+  std::size_t cursor = 0;
+  const std::uint32_t expected[] = {0, 2, 1};
+  for (const std::uint32_t id : expected) {
+    ASSERT_TRUE(view.SkipToLive(cursor));
+    EXPECT_EQ(view.ReadSequential(cursor, counter).id, id);
+  }
+  EXPECT_FALSE(view.SkipToLive(cursor));
+  EXPECT_EQ(counter.sequential, 3u);
+  EXPECT_DOUBLE_EQ(view.MaxScore(), 0.8);
+}
+
+TEST(PreferenceIndexTest, GeometricBandBreakpointsDoubleAndCap) {
+  const auto bp = PreferenceIndex::GeometricBandBreakpoints(3'900, 64);
+  const std::vector<std::uint32_t> expected{64, 128, 256, 512, 1024, 2048};
+  EXPECT_EQ(bp, expected);
+  // A prefix P >= 32 walks at most the first boundary >= P, which is < 2P.
+  EXPECT_TRUE(PreferenceIndex::GeometricBandBreakpoints(64, 64).empty());
+  EXPECT_TRUE(PreferenceIndex::GeometricBandBreakpoints(100, 0).empty());
+  // Never more than ListView::kMaxBands bands even for huge pools.
+  const auto huge =
+      PreferenceIndex::GeometricBandBreakpoints(1u << 30, 1);
+  EXPECT_LE(huge.size() + 1, ListView::kMaxBands);
+}
+
 TEST(PreferenceIndexTest, FullPrefixViewMatchesRow) {
   const PreferenceIndex index = MakeIndex();
   const ListView view = index.UserView(1, index.pool_size(), {},
