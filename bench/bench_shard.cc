@@ -1,0 +1,340 @@
+// Shard-per-core scaling bench: the acceptance harness for src/shard/.
+//
+// Builds a ShardedEngine over the SCALE synthetic dataset (millions of
+// users, truncated-Pareto activity, Zipf popularity — dataset/synthetic.h)
+// with a ground-truth-backed PoolPredictor (no CF model is trained at this
+// scale), then drives a mixed read/write workload per shard count and
+// group-locality setting:
+//
+//   round = 1 locality-routed update batch (events for one group's members)
+//         + Q scatter/gather group queries
+//
+// The measured quantity is mixed throughput (queries per second of wall
+// time, updates included) plus per-ApplyUpdates publish p50/p99 and the
+// average scatter width. The scaling mechanism on a single core is BYTE
+// REDUCTION, not parallelism: a shard publish clones 1/N of the
+// population's index rows, so when the locality knob routes each update
+// batch to one shard the per-round publish cost drops by the shard count —
+// while locality 0 scatters every batch across all shards and gives the
+// win back. The bench sweeps shards x locality to show exactly that.
+//
+// Output: a table plus BENCH_shard.json (override with
+// GRECA_BENCH_SHARD_JSON). Env knobs: GRECA_BENCH_SMALL=1 (smoke scale),
+// GRECA_SHARD_USERS, GRECA_SHARD_ITEMS, GRECA_SHARD_POOL,
+// GRECA_SHARD_GROUPS, GRECA_SHARD_ROUNDS, GRECA_SHARD_QUERIES,
+// GRECA_SHARD_EVENTS. GRECA_SHARD_ASSERT=1 exits nonzero unless the
+// 2-shard high-locality configuration reaches 0.9x single-shard throughput
+// (the CI smoke gate; full runs should clear 1.3x at 4+ shards).
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "shard/sharded_engine.h"
+
+namespace {
+
+using namespace greca;
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+    std::cerr << "ignoring " << name << "='" << env
+              << "' (expected a positive integer)\n";
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double>& sorted_in_place, double p) {
+  if (sorted_in_place.empty()) return 0.0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_in_place.size() - 1));
+  return sorted_in_place[idx];
+}
+
+struct WorkloadResult {
+  std::size_t shards = 0;
+  double locality = 0.0;
+  double qps = 0.0;  // queries / total wall time (updates included)
+  double query_p50_us = 0.0;
+  double query_p99_us = 0.0;
+  double publish_p50_ms = 0.0;
+  double publish_p99_ms = 0.0;
+  double avg_shards_touched_query = 0.0;
+  double avg_shards_touched_update = 0.0;
+  std::size_t queries = 0;
+  std::size_t update_batches = 0;
+  std::size_t events_applied = 0;
+};
+
+struct WorkloadConfig {
+  std::size_t rounds = 10;
+  std::size_t queries_per_round = 16;
+  std::size_t events_per_batch = 256;
+  std::size_t num_groups = 400;
+  std::size_t group_size = 5;
+};
+
+/// One mixed read/write run against `engine` with groups generated at
+/// `locality` for THIS engine's router.
+WorkloadResult RunWorkload(ShardedEngine& engine, double locality,
+                           const WorkloadConfig& config, Timestamp* next_ts) {
+  const auto shard_of = [&](UserId u) { return engine.router().ShardOf(u); };
+  ScaleGroupsConfig gc;
+  gc.num_groups = config.num_groups;
+  gc.group_size = config.group_size;
+  gc.locality = locality;
+  const std::vector<std::vector<UserId>> groups = GenerateScaleGroups(
+      gc, engine.num_users(), engine.num_shards(), shard_of);
+
+  QuerySpec spec;
+  spec.k = 10;
+  spec.model = AffinityModelSpec::TimeAgnostic();
+  spec.algorithm = Algorithm::kGreca;
+  spec.num_candidate_items = engine.pool().size();
+  spec.eval_period = 0;
+
+  WorkloadResult result;
+  result.shards = engine.num_shards();
+  result.locality = locality;
+
+  double touched_query = 0.0;
+  for (const auto& group : groups) {
+    touched_query += static_cast<double>(engine.ShardsTouched(group));
+  }
+  result.avg_shards_touched_query =
+      touched_query / static_cast<double>(groups.size());
+
+  // Warm-up outside the window (allocator, first workspace growth).
+  QueryWorkspace ws;
+  for (std::size_t i = 0; i < 2 && i < groups.size(); ++i) {
+    if (!engine.Recommend(groups[i], spec, &ws).ok()) std::abort();
+  }
+
+  Rng rng(90'000 + engine.num_shards() * 10 +
+          static_cast<std::uint64_t>(locality * 2));
+  const std::span<const ItemId> pool = engine.pool();
+  std::vector<double> query_us;
+  std::vector<double> publish_ms;
+  query_us.reserve(config.rounds * config.queries_per_round);
+  publish_ms.reserve(config.rounds);
+  double touched_update = 0.0;
+
+  Stopwatch total_watch;
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    // One update batch, routed where the workload's groups live: events for
+    // the members of one group, rating pool items (so touched rows really
+    // change). At locality 1 the whole batch lands on one shard.
+    const auto& target = groups[rng.NextBounded(groups.size())];
+    std::vector<RatingEvent> events;
+    events.reserve(config.events_per_batch);
+    for (std::size_t i = 0; i < config.events_per_batch; ++i) {
+      RatingEvent e;
+      e.user = target[rng.NextBounded(target.size())];
+      e.item = pool[rng.NextBounded(pool.size())];
+      e.rating = static_cast<Score>(1 + rng.NextBounded(5));
+      e.timestamp = (*next_ts)++;  // monotone: every event is fresh
+      events.push_back(e);
+    }
+    ShardedUpdateReport report;
+    Stopwatch publish_watch;
+    const Status status = engine.ApplyUpdates(events, &report);
+    publish_ms.push_back(publish_watch.ElapsedMillis());
+    if (!status.ok()) {
+      std::cerr << "ERROR: update failed: " << status.ToString() << "\n";
+      std::abort();
+    }
+    touched_update += static_cast<double>(report.shards_touched);
+    result.events_applied += report.total.events_applied;
+
+    for (std::size_t q = 0; q < config.queries_per_round; ++q) {
+      const auto& group = groups[(round * config.queries_per_round + q) %
+                                 groups.size()];
+      Stopwatch query_watch;
+      const auto r = engine.Recommend(group, spec, &ws);
+      query_us.push_back(query_watch.ElapsedSeconds() * 1e6);
+      if (!r.ok()) {
+        std::cerr << "ERROR: query failed: " << r.status().ToString() << "\n";
+        std::abort();
+      }
+    }
+  }
+  const double elapsed = total_watch.ElapsedSeconds();
+
+  result.queries = query_us.size();
+  result.update_batches = publish_ms.size();
+  result.qps = static_cast<double>(result.queries) / elapsed;
+  result.query_p50_us = Percentile(query_us, 0.50);
+  result.query_p99_us = Percentile(query_us, 0.99);
+  result.publish_p50_ms = Percentile(publish_ms, 0.50);
+  result.publish_p99_ms = Percentile(publish_ms, 0.99);
+  result.avg_shards_touched_update =
+      touched_update / static_cast<double>(config.rounds);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bool small = std::getenv("GRECA_BENCH_SMALL") != nullptr;
+  ScaleRatingsConfig sc;
+  sc.num_users = EnvSize("GRECA_SHARD_USERS", small ? 30'000 : 1'000'000);
+  sc.num_items = EnvSize("GRECA_SHARD_ITEMS", small ? 5'000 : 50'000);
+  const std::size_t pool_size =
+      EnvSize("GRECA_SHARD_POOL", small ? 128 : 256);
+  WorkloadConfig wc;
+  wc.rounds = EnvSize("GRECA_SHARD_ROUNDS", small ? 6 : 10);
+  wc.queries_per_round = EnvSize("GRECA_SHARD_QUERIES", small ? 8 : 16);
+  wc.events_per_batch = EnvSize("GRECA_SHARD_EVENTS", small ? 64 : 256);
+  wc.num_groups = EnvSize("GRECA_SHARD_GROUPS", small ? 200 : 400);
+
+  std::cout << "bench_shard: generating " << sc.num_users << " users x "
+            << sc.num_items << " items (scale dataset)...\n";
+  Stopwatch gen_watch;
+  const SyntheticRatings scale = GenerateScaleRatings(sc);
+  const RatingGroundTruth& truth = scale.truth;
+  auto base = std::make_shared<const RatingsDataset>(scale.dataset);
+  std::cout << "  " << base->num_ratings() << " ratings in "
+            << gen_watch.ElapsedSeconds() << "s ("
+            << static_cast<double>(base->num_ratings()) /
+                   static_cast<double>(sc.num_users)
+            << " per user)\n";
+
+  // Ground-truth predictor: the user's own (live-updatable) rating where one
+  // exists, the latent-model preference everywhere else — so rating events
+  // really move the touched rows, like CF predictions would.
+  const PoolPredictor predictor =
+      [&truth](UserId u, std::span<const UserRatingEntry> merged,
+               std::span<const ItemId> pool, std::span<Score> out) {
+        for (std::size_t k = 0; k < pool.size(); ++k) {
+          const ItemId item = pool[k];
+          const auto it = std::lower_bound(
+              merged.begin(), merged.end(), item,
+              [](const UserRatingEntry& e, ItemId i) { return e.item < i; });
+          out[k] = (it != merged.end() && it->item == item)
+                       ? it->rating
+                       : truth.TruePreference(u, item);
+        }
+      };
+  const std::vector<ItemId> pool = base->TopPopularItems(pool_size);
+  const auto affinity = std::make_shared<const ConstantAffinitySource>(
+      sc.num_users, /*num_periods=*/1, /*static_value=*/1.0,
+      /*periodic_value=*/1.0);
+
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  const double localities[] = {0.0, 1.0};
+  std::vector<WorkloadResult> results;
+  Timestamp next_ts = 4'000'000'000;
+
+  for (const std::size_t n : shard_counts) {
+    ShardedEngineOptions options;
+    options.num_shards = n;
+    options.strategy = ShardStrategy::kHash;
+    ShardedEngineInputs inputs;
+    inputs.ratings = base;
+    inputs.affinity = affinity;
+    inputs.predictor = predictor;
+    inputs.pool = pool;
+    inputs.num_universe_items = base->num_items();
+    inputs.num_periods = 1;
+
+    Stopwatch build_watch;
+    ShardedEngine engine(std::move(inputs), options);
+    std::cout << "built " << n << "-shard engine in "
+              << build_watch.ElapsedSeconds() << "s\n";
+    for (const double locality : localities) {
+      results.push_back(RunWorkload(engine, locality, wc, &next_ts));
+      const WorkloadResult& r = results.back();
+      std::cout << "  shards=" << n << " locality=" << locality
+                << "  qps=" << r.qps << "  publish p50=" << r.publish_p50_ms
+                << "ms p99=" << r.publish_p99_ms << "ms\n";
+    }
+  }
+
+  TablePrinter table("Mixed read/write throughput vs shard count (" +
+                     std::to_string(sc.num_users) + " users, " +
+                     std::to_string(wc.events_per_batch) +
+                     " events + " + std::to_string(wc.queries_per_round) +
+                     " queries per round)");
+  table.SetColumns({"shards", "locality", "qps", "query p50 (us)",
+                    "publish p50 (ms)", "publish p99 (ms)",
+                    "scatter/query", "scatter/update"});
+  for (const WorkloadResult& r : results) {
+    table.AddRow({std::to_string(r.shards), TablePrinter::Cell(r.locality, 1),
+                  TablePrinter::Cell(r.qps, 1),
+                  TablePrinter::Cell(r.query_p50_us, 0),
+                  TablePrinter::Cell(r.publish_p50_ms, 2),
+                  TablePrinter::Cell(r.publish_p99_ms, 2),
+                  TablePrinter::Cell(r.avg_shards_touched_query, 2),
+                  TablePrinter::Cell(r.avg_shards_touched_update, 2)});
+  }
+  table.Print(std::cout);
+
+  const auto find = [&](std::size_t shards, double locality) {
+    for (const WorkloadResult& r : results) {
+      if (r.shards == shards && r.locality == locality) return r;
+    }
+    std::abort();
+  };
+  const double base_qps = find(1, 1.0).qps;
+  const double speedup2 = find(2, 1.0).qps / base_qps;
+  const double speedup4 = find(4, 1.0).qps / base_qps;
+  const double speedup8 = find(8, 1.0).qps / base_qps;
+  const double scatter_penalty = find(8, 0.0).qps / find(8, 1.0).qps;
+  std::cout << "high-locality speedup over 1 shard: x2=" << speedup2
+            << " x4=" << speedup4 << " x8=" << speedup8
+            << "\nlocality-0 throughput at 8 shards: " << scatter_penalty
+            << "x of locality-1 (scattered updates give the publish "
+               "reduction back)\nExpected: >= 1.3x at 4+ shards with high "
+               "locality — the per-shard publish clones 1/N of the index\n";
+
+  const char* json_env = std::getenv("GRECA_BENCH_SHARD_JSON");
+  const std::string path =
+      json_env != nullptr ? json_env : "BENCH_shard.json";
+  std::ofstream json(path);
+  json << "{\n"
+       << "  \"num_users\": " << sc.num_users << ",\n"
+       << "  \"num_items\": " << sc.num_items << ",\n"
+       << "  \"num_ratings\": " << base->num_ratings() << ",\n"
+       << "  \"pool_size\": " << pool_size << ",\n"
+       << "  \"rounds\": " << wc.rounds << ",\n"
+       << "  \"queries_per_round\": " << wc.queries_per_round << ",\n"
+       << "  \"events_per_batch\": " << wc.events_per_batch << ",\n"
+       << "  \"group_size\": " << wc.group_size << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    json << "    {\"shards\": " << r.shards << ", \"locality\": " << r.locality
+         << ", \"qps\": " << r.qps << ", \"query_p50_us\": " << r.query_p50_us
+         << ", \"query_p99_us\": " << r.query_p99_us
+         << ", \"publish_p50_ms\": " << r.publish_p50_ms
+         << ", \"publish_p99_ms\": " << r.publish_p99_ms
+         << ", \"avg_shards_touched_query\": " << r.avg_shards_touched_query
+         << ", \"avg_shards_touched_update\": " << r.avg_shards_touched_update
+         << ", \"queries\": " << r.queries
+         << ", \"events_applied\": " << r.events_applied << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"high_locality_speedup_2_shards\": " << speedup2 << ",\n"
+       << "  \"high_locality_speedup_4_shards\": " << speedup4 << ",\n"
+       << "  \"high_locality_speedup_8_shards\": " << speedup8 << ",\n"
+       << "  \"locality0_vs_locality1_8_shards\": " << scatter_penalty << "\n"
+       << "}\n";
+  std::cout << "Wrote " << path << "\n";
+
+  if (std::getenv("GRECA_SHARD_ASSERT") != nullptr && speedup2 < 0.9) {
+    std::cerr << "ASSERT FAILED: 2-shard high-locality qps is " << speedup2
+              << "x of single-shard (expected >= 0.9x)\n";
+    return 1;
+  }
+  return 0;
+}

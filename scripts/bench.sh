@@ -23,14 +23,20 @@
 #   BENCH_online.json — the same, machine-readable (queries/sec under a
 #                       concurrent writer, snapshot-publish latency, the
 #                       per-decile publish_curve with compaction counts)
+#   BENCH_shard.txt / BENCH_shard.json — (with --shards) mixed read/write
+#                       throughput vs shard count (1/2/4/8) x group
+#                       locality over the million-user scale dataset
+#                       (bench_shard; src/shard/)
 #
-# Usage: scripts/bench.sh [--layout banded|flat|both] [build-dir]
+# Usage: scripts/bench.sh [--layout banded|flat|both] [--shards] [build-dir]
 #   --layout restricts bench_batch's index-layout sweep (default: both).
+#   --shards additionally runs the sharded-engine scaling bench.
 # Env:   GRECA_BENCH_SMALL=1 for a smoke-scale run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LAYOUT="both"
+RUN_SHARDS=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --layout)
@@ -39,6 +45,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --layout=*)
       LAYOUT="${1#--layout=}"
+      shift
+      ;;
+    --shards)
+      RUN_SHARDS=1
       shift
       ;;
     *)
@@ -71,9 +81,17 @@ GRECA_BATCH_LAYOUT="$LAYOUT" GRECA_BATCH_JSON="$BATCH_JSON" \
 GRECA_BENCH_ONLINE_JSON=BENCH_online.json \
   "$BUILD_DIR"/bench/bench_online | tee BENCH_online.txt
 
+SHARD_NOTE=""
+if [[ "$RUN_SHARDS" == "1" ]]; then
+  cmake --build "$BUILD_DIR" -j --target bench_shard
+  GRECA_BENCH_SHARD_JSON=BENCH_shard.json \
+    "$BUILD_DIR"/bench/bench_shard | tee BENCH_shard.txt
+  SHARD_NOTE=" BENCH_shard.txt, BENCH_shard.json,"
+fi
+
 EXTRA_JSON=""
 if [[ "$BATCH_JSON" != "BENCH_micro.json" ]]; then
   EXTRA_JSON=" $BATCH_JSON,"
 fi
-echo "Wrote BENCH_micro.json,${EXTRA_JSON} BENCH_fig5.txt, BENCH_batch.txt," \
-     "BENCH_online.txt, BENCH_online.json"
+echo "Wrote BENCH_micro.json,${EXTRA_JSON}${SHARD_NOTE} BENCH_fig5.txt," \
+     "BENCH_batch.txt, BENCH_online.txt, BENCH_online.json"

@@ -120,6 +120,39 @@ class StudyAffinitySource final : public AffinitySource {
   const DynamicAffinityIndex* dynamic_;  // optional O(1) drift backend
 };
 
+/// Degenerate source for populations with no social signal — the
+/// million-user scale harness (src/shard/, bench/bench_shard.cc), where no
+/// study exists and affinity-agnostic models run anyway. Every pair has the
+/// same static and periodic affinity, so the period average equals the
+/// periodic value and every drift is exactly 0; with the default 0/0 values
+/// the affinity terms vanish and group scores are pure preference
+/// aggregation.
+class ConstantAffinitySource final : public AffinitySource {
+ public:
+  ConstantAffinitySource(std::size_t num_users, std::size_t num_periods,
+                         double static_value = 0.0,
+                         double periodic_value = 0.0)
+      : num_users_(num_users),
+        num_periods_(num_periods),
+        static_value_(static_value),
+        periodic_value_(periodic_value) {}
+
+  std::size_t num_users() const override { return num_users_; }
+  std::size_t num_periods() const override { return num_periods_; }
+  double Static(UserId, UserId) const override { return static_value_; }
+  double MaxStatic() const override { return static_value_; }
+  double Periodic(UserId, UserId, PeriodId) const override {
+    return periodic_value_;
+  }
+  double PeriodAverage(PeriodId) const override { return periodic_value_; }
+
+ private:
+  std::size_t num_users_;
+  std::size_t num_periods_;
+  double static_value_;
+  double periodic_value_;
+};
+
 /// Pluggability demonstrator: wraps another source and exponentially
 /// down-weights periodic affinities by age, weight(p) = decay^(P−1−p) for P
 /// available periods — recent togetherness counts more than old

@@ -29,10 +29,13 @@
 // PeriodList() concurrently. Cache hits are allocation-free (heterogeneous
 // key lookup on the group span).
 //
-// The cache is unbounded by design (entries are small — one pair list per
-// distinct (group, period)); workloads with unbounded ad-hoc group churn
-// under a long-lived affinity binding should watch MemoryBytes() — a size
-// cap with eviction is a ROADMAP follow-on.
+// The cache is BOUNDED: at most max_entries (group, period) lists stay
+// resident, evicted least-recently-used once the cap is hit, so a long-lived
+// generation under adversarial ad-hoc group churn cannot grow without bound.
+// Entries are handed out as shared_ptrs — a problem assembled from a list
+// that gets evicted mid-flight keeps its copy alive through the arena's
+// period pins (topk/problem.h), so eviction is never a correctness event.
+// Eviction counters sit next to the hit/miss counters for observability.
 #ifndef GRECA_API_SNAPSHOT_H_
 #define GRECA_API_SNAPSHOT_H_
 
@@ -59,11 +62,32 @@ namespace greca {
 /// the same AffinitySource. Entries are immutable and pointer-stable.
 class PeriodListCache {
  public:
+  /// Default residency cap: generous for real batch workloads (which repeat
+  /// a few hundred groups × a handful of periods) while bounding adversarial
+  /// group churn to a few MB of pair lists.
+  static constexpr std::size_t kDefaultMaxEntries = 8'192;
+
+  /// `max_entries` == 0 means unbounded (no eviction ever).
+  explicit PeriodListCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+
   /// The cached list for (group, p), materialized through `source` on first
   /// use. The group is significant in ORDER (lists are keyed by local pair
   /// index); the validated Query path always presents a canonical order.
+  /// The returned shared_ptr keeps the list alive across eviction — problem
+  /// assembly pins it for the problem's lifetime.
+  std::shared_ptr<const SortedList> GetShared(std::span<const UserId> group,
+                                              PeriodId p,
+                                              const AffinitySource& source);
+
+  /// Reference-returning convenience for tests and single-threaded callers:
+  /// the reference stays valid only while the entry is resident (or while a
+  /// GetShared copy pins it), so code that can churn past max_entries()
+  /// between materialization and last use must hold GetShared instead.
   const SortedList& Get(std::span<const UserId> group, PeriodId p,
-                        const AffinitySource& source);
+                        const AffinitySource& source) {
+    return *GetShared(group, p, source);
+  }
 
   std::uint64_t hits() const {
     return hits_.load(std::memory_order_relaxed);
@@ -71,6 +95,11 @@ class PeriodListCache {
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Entries dropped by the LRU cap (0 while the working set fits).
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::size_t max_entries() const { return max_entries_; }
   std::size_t size() const;
   std::size_t MemoryBytes() const;
 
@@ -122,13 +151,27 @@ class PeriodListCache {
     }
   };
 
-  // unique_ptr values keep list addresses stable across rehashes; built
-  // outside the lock (a lost insert race discards the duplicate build).
+  /// One resident list plus its recency stamp. shared_ptr values keep list
+  /// addresses stable across rehashes AND alive across eviction for holders
+  /// of a GetShared copy; lists are built outside the lock (a lost insert
+  /// race discards the duplicate build).
+  struct Entry {
+    std::shared_ptr<const SortedList> list;
+    std::uint64_t last_used = 0;
+  };
+
+  /// Drops least-recently-used entries until size() <= max_entries_.
+  /// Requires mu_ held. O(size) per eviction — evictions only happen on
+  /// misses, which already pay a full list materialization.
+  void EvictIfNeededLocked();
+
+  const std::size_t max_entries_;
   mutable std::mutex mu_;
-  std::unordered_map<Key, std::unique_ptr<const SortedList>, KeyHash, KeyEqual>
-      cache_;
+  std::unordered_map<Key, Entry, KeyHash, KeyEqual> cache_;
+  std::uint64_t use_clock_ = 0;  // guarded by mu_
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 class Snapshot {
@@ -187,10 +230,19 @@ class Snapshot {
   /// The materialized periodic-affinity list of `group` (ordered; local pair
   /// key order, see LocalPairIndex) at period `p`, served from the shared
   /// PeriodListCache. Thread-safe; the returned list is immutable and valid
-  /// as long as this snapshot lives.
+  /// while it stays resident in the bounded cache (or while a
+  /// PeriodListShared copy pins it) — hot-path consumers pin via
+  /// PeriodListShared, tests may use this convenience.
   const SortedList& PeriodList(std::span<const UserId> group,
                                PeriodId p) const {
     return cache_->Get(group, p, *affinity_);
+  }
+
+  /// Ownership-sharing variant: the returned list stays valid even if the
+  /// cache evicts it (problem assembly pins these for the problem lifetime).
+  std::shared_ptr<const SortedList> PeriodListShared(
+      std::span<const UserId> group, PeriodId p) const {
+    return cache_->GetShared(group, p, *affinity_);
   }
 
   /// Cache observability (counters are cache-lifetime, i.e. shared across
@@ -198,6 +250,9 @@ class Snapshot {
   /// hits + misses == PeriodList() calls.
   std::uint64_t period_cache_hits() const { return cache_->hits(); }
   std::uint64_t period_cache_misses() const { return cache_->misses(); }
+  /// Entries the bounded cache has dropped (LRU; 0 while the working set
+  /// fits max_entries).
+  std::uint64_t period_cache_evictions() const { return cache_->evictions(); }
   /// Number of distinct (group, period) lists currently materialized.
   std::size_t period_cache_size() const { return cache_->size(); }
   /// Resident bytes of the cached period lists (excludes the shared index).

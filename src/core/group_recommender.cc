@@ -1,7 +1,6 @@
 #include "core/group_recommender.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -9,8 +8,7 @@
 #include <utility>
 
 #include "cf/similarity.h"
-#include "topk/naive.h"
-#include "topk/ta.h"
+#include "core/problem_assembly.h"
 
 namespace greca {
 
@@ -23,6 +21,9 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
       knn_(universe, options.knn),
       periodic_(PeriodicAffinity::Compute(study.likes, study.periods)),
       dynamic_(DynamicAffinityIndex::Build(periodic_)) {
+  if (options_.update_threads > 0) {
+    update_pool_ = std::make_unique<ThreadPool>(options_.update_threads);
+  }
   const std::size_t n = study.num_participants();
   auto predictions = std::make_shared<std::vector<std::vector<Score>>>();
   predictions->reserve(n);
@@ -56,7 +57,8 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
   snapshot_ = std::make_shared<const Snapshot>(
       /*generation=*/1,
       std::make_shared<const RatingsOverlay>(std::move(base)),
-      std::move(predictions), std::move(index), std::move(source));
+      std::move(predictions), std::move(index), std::move(source),
+      std::make_shared<PeriodListCache>(options_.period_cache_max_entries));
 }
 
 std::uint64_t GroupRecommender::Publish(
@@ -116,55 +118,12 @@ Status GroupRecommender::ApplyRatingUpdates(
   // way.
   PendingUpdate self;
   self.events = events;
-  {
-    std::unique_lock<std::mutex> qlock(commit_mu_);
-    commit_queue_.push_back(&self);
-    if (commit_leader_active_) {
-      commit_cv_.wait(qlock, [&] { return self.done; });
-      if (report != nullptr) *report = self.report;
-      return self.status;
-    }
-    commit_leader_active_ = true;
-  }
-  for (;;) {
-    std::vector<PendingUpdate*> round;
-    {
-      std::lock_guard<std::mutex> qlock(commit_mu_);
-      round.swap(commit_queue_);
-      if (round.empty()) {
-        commit_leader_active_ = false;
-        break;
-      }
-    }
-    try {
-      PublishUpdateRound(round);
-    } catch (...) {
-      // The leader must never wedge the queue: fail this round AND every
-      // batch still queued (no leader remains to serve them), hand
-      // leadership back, then let the exception reach our own caller — the
-      // same visibility a pre-group-commit writer had.
-      {
-        std::lock_guard<std::mutex> qlock(commit_mu_);
-        round.insert(round.end(), commit_queue_.begin(), commit_queue_.end());
-        commit_queue_.clear();
-        for (PendingUpdate* batch : round) {
-          batch->status = Status::FailedPrecondition(
-              "group-commit publish failed mid-round; retry the batch");
-          batch->done = true;
-        }
-        commit_leader_active_ = false;
-      }
-      commit_cv_.notify_all();
-      throw;
-    }
-    {
-      std::lock_guard<std::mutex> qlock(commit_mu_);
-      for (PendingUpdate* batch : round) batch->done = true;
-    }
-    commit_cv_.notify_all();
-  }
+  const Status status = commit_.Commit(
+      self, [this](std::span<PendingUpdate* const> round) {
+        PublishUpdateRound(round);
+      });
   if (report != nullptr) *report = self.report;
-  return self.status;
+  return status;
 }
 
 void GroupRecommender::PublishUpdateRound(
@@ -224,18 +183,32 @@ void GroupRecommender::PublishUpdateRound(
 
   // Rebuild CF predictions + index rows for the touched users only, reading
   // through the merged view (base + delta) — identical input to a full
-  // re-fold, so the rebuilt rows are bit-identical too.
+  // re-fold, so the rebuilt rows are bit-identical too. With an update pool
+  // the per-row work (CF predict + index re-sort) fans out over the workers;
+  // rows are disjoint, so the parallel result is bit-identical to the serial
+  // fallback (tests/delta_log_test.cc asserts it).
   auto preds = std::make_shared<std::vector<std::vector<Score>>>(
       *cur->predictions_ptr());
-  std::vector<UserRatingEntry> scratch;
+  if (update_pool_ != nullptr && touched.size() > 1) {
+    std::vector<std::vector<UserRatingEntry>> scratch(update_pool_->size());
+    update_pool_->ParallelFor(
+        touched.size(), [&](std::size_t worker, std::size_t i) {
+          const UserId su = touched[i];
+          (*preds)[su] =
+              knn_.PredictAll(overlay->MergedRatingsOfUser(su, scratch[worker]));
+        });
+  } else {
+    std::vector<UserRatingEntry> scratch;
+    for (const UserId su : touched) {
+      (*preds)[su] = knn_.PredictAll(overlay->MergedRatingsOfUser(su, scratch));
+    }
+  }
   std::vector<std::span<const Score>> touched_preds;
   touched_preds.reserve(touched.size());
-  for (const UserId su : touched) {
-    (*preds)[su] = knn_.PredictAll(overlay->MergedRatingsOfUser(su, scratch));
-    touched_preds.emplace_back((*preds)[su]);
-  }
+  for (const UserId su : touched) touched_preds.emplace_back((*preds)[su]);
   auto index = std::make_shared<const PreferenceIndex>(
-      cur->index().CloneWithUpdatedRows(touched, touched_preds));
+      cur->index().CloneWithUpdatedRows(touched, touched_preds,
+                                        update_pool_.get()));
 
   const std::size_t delta_after = overlay->delta_ratings();
   // The affinity binding is unchanged (compaction included), so the
@@ -261,9 +234,11 @@ Status GroupRecommender::UpdateAffinitySource(
   }
   std::lock_guard<std::mutex> lock(update_mutex_);
   const std::shared_ptr<const Snapshot> cur = snapshot();
-  // New affinity binding → the period lists change: start a cold cache.
+  // New affinity binding → the period lists change: start a cold cache
+  // (bounded by the same policy as the construction-time one).
   Publish(cur->ratings_ptr(), cur->predictions_ptr(), cur->index_ptr(),
-          std::move(source), /*cache=*/nullptr);
+          std::move(source),
+          std::make_shared<PeriodListCache>(options_.period_cache_max_entries));
   return Status::Ok();
 }
 
@@ -277,15 +252,7 @@ void GroupRecommender::set_affinity_source(
 
 Result<PeriodId> GroupRecommender::ResolvePeriod(
     std::optional<PeriodId> requested) const {
-  const auto last =
-      static_cast<PeriodId>(study_->periods.num_periods() - 1);
-  if (!requested.has_value()) return last;
-  if (*requested > last) {
-    return Status::OutOfRange("eval_period " + std::to_string(*requested) +
-                              " out of range [0, " + std::to_string(last) +
-                              "]");
-  }
-  return *requested;
+  return ResolveEvalPeriod(requested, study_->periods.num_periods());
 }
 
 Status GroupRecommender::ValidateQuery(std::span<const UserId> group,
@@ -296,45 +263,9 @@ Status GroupRecommender::ValidateQuery(std::span<const UserId> group,
 Status GroupRecommender::ValidateQuery(const Snapshot& snap,
                                        std::span<const UserId> group,
                                        const QuerySpec& spec) const {
-  if (group.empty()) {
-    return Status::InvalidArgument("group must not be empty");
-  }
-  // The seen-bitmask in GRECA's runtime state caps its groups at 32
-  // members; the naive scan and TA have no such limit.
-  if (spec.algorithm == Algorithm::kGreca && group.size() > 32) {
-    return Status::InvalidArgument(
-        "GRECA is limited to 32-member groups (got " +
-        std::to_string(group.size()) + "); use kNaive or kTa");
-  }
-  if (spec.k == 0) {
-    return Status::InvalidArgument("k must be >= 1");
-  }
-  if (spec.num_candidate_items == 0) {
-    return Status::InvalidArgument("candidate pool must not be empty");
-  }
-  const std::size_t n = study_->num_participants();
-  for (std::size_t i = 0; i < group.size(); ++i) {
-    if (group[i] >= n) {
-      return Status::NotFound("unknown study participant " +
-                              std::to_string(group[i]) + " (study has " +
-                              std::to_string(n) + ")");
-    }
-    for (std::size_t j = 0; j < i; ++j) {
-      if (group[j] == group[i]) {
-        return Status::InvalidArgument("duplicate group member " +
-                                       std::to_string(group[i]));
-      }
-    }
-  }
-  const Result<PeriodId> period = ResolvePeriod(spec.eval_period);
-  if (!period.ok()) return period.status();
-  if (spec.model.affinity_aware && spec.model.time_aware &&
-      period.value() >= snap.affinity().num_periods()) {
-    return Status::FailedPrecondition(
-        "affinity source covers only " +
-        std::to_string(snap.affinity().num_periods()) + " periods");
-  }
-  return Status::Ok();
+  return ValidateGroupQuery(group, spec, study_->num_participants(),
+                            study_->periods.num_periods(),
+                            snap.affinity().num_periods());
 }
 
 std::span<const Score> GroupRecommender::Predictions(UserId study_user) const {
@@ -386,89 +317,27 @@ Result<GroupProblem> GroupRecommender::BuildProblem(
   }
   if (Status s = ValidateQuery(*snap, group, spec); !s.ok()) return s;
   const PeriodId eval_period = ResolvePeriod(spec.eval_period).value();
-  const std::size_t g = group.size();
-  const PreferenceIndex& index = snap->index();
-  const AffinitySource& source = snap->affinity();
 
-  // The problem's views point into an arena: the caller's workspace when
-  // given (reused across a batch), otherwise one the problem itself owns.
-  std::unique_ptr<ProblemArena> owned_arena;
-  if (workspace == nullptr) owned_arena = std::make_unique<ProblemArena>();
-  ProblemArena& arena =
-      workspace != nullptr ? workspace->arena : *owned_arena;
-
-  // Candidate pool = keys [0, pool) of the snapshot's index (the popularity
-  // prefix); the group's already-rated items are tombstoned, not re-keyed
-  // (§2.4 exclusion), so no preference list is sorted or copied per query.
-  const std::size_t pool =
-      std::min(spec.num_candidate_items, index.pool_size());
-  arena.tombstones.assign((pool + 63) / 64, 0);
-  if (options_.exclude_group_rated) {
-    // A member's rated items = the immutable base row plus the live delta
-    // row (the folded set is their union — latest-wins replaces ratings but
-    // never un-rates an item), so no merged row is materialized here.
-    const RatingsOverlay& ratings = snap->ratings();
-    const auto mark = [&](ItemId item) {
-      const std::uint32_t key = index.PoolPositionOf(item);
-      if (key < pool) arena.tombstones[key >> 6] |= 1ull << (key & 63u);
-    };
-    for (const UserId su : group) {
-      for (const auto& e : ratings.base().RatingsOfUser(su)) mark(e.item);
-      for (const auto& e : ratings.DeltaOfUser(su)) mark(e.item);
-    }
-  }
-  std::size_t tombstoned = 0;
-  for (const std::uint64_t word : arena.tombstones) {
-    tombstoned += static_cast<std::size_t>(std::popcount(word));
-  }
-  const std::size_t live = pool - tombstoned;
-
-  arena.preference_views.clear();
-  arena.preference_views.reserve(g);
+  // Single-index scatter: every member's rows live in the snapshot's one
+  // index/overlay. The shared assembly (core/problem_assembly.h) does the
+  // rest — the sharded engine feeds it per-shard slices instead and gets
+  // bit-identical problems.
+  std::vector<MemberSlice> local_slices;
+  std::vector<MemberSlice>& slices =
+      workspace != nullptr ? workspace->arena.member_slices : local_slices;
+  slices.clear();
+  slices.reserve(group.size());
   for (const UserId su : group) {
-    arena.preference_views.push_back(
-        index.UserView(su, pool, arena.tombstones, live));
+    slices.push_back({&snap->index(), su, &snap->ratings(), su});
   }
-
-  // Affinity lists come only from the snapshot-bound source: the static list
-  // is group-normalized (paper §4.1.2) and materialized into the arena, plus
-  // one periodic list per period 0..eval_period served from the snapshot's
-  // (group, period) cache — repeated groups in a batch rebuild nothing.
-  // Time- or affinity-agnostic variants read no periodic lists at all.
-  source.MaterializeStaticListInto(group, arena.entry_scratch,
-                                   arena.static_list);
-  arena.period_views.clear();
-  std::vector<double> averages;
-  if (spec.model.time_aware && spec.model.affinity_aware) {
-    const std::size_t periods = static_cast<std::size_t>(eval_period) + 1;
-    arena.period_views.reserve(periods);
-    for (PeriodId p = 0; p <= eval_period; ++p) {
-      arena.period_views.emplace_back(snap->PeriodList(group, p));
-    }
-    averages = source.PeriodAverages(eval_period);
-  }
-
-  // Pair-wise disagreement consensus reads its own agreement list (Lemma 1's
-  // "pair-wise disagreement lists"); since the lists are built per ad-hoc
-  // group anyway, the per-pair components are pre-aggregated into one
-  // group-agreement list — identical scores, tighter bounds, fewer lists.
-  arena.agreement_views.clear();
-  if (spec.consensus.disagreement == DisagreementKind::kPairwise && g >= 2) {
-    BuildGroupAgreementListInto(arena.preference_views, pool,
-                                spec.consensus.disagreement_scale,
-                                arena.entry_scratch, arena.agreement_list);
-    arena.agreement_views.emplace_back(arena.agreement_list);
-  }
-
-  AffinityCombiner combiner(spec.model, std::move(averages));
-  if (candidates_out != nullptr) {
-    const std::span<const ItemId> items = index.pool();
-    candidates_out->assign(items.begin(), items.begin() + pool);
-  }
-  GroupProblem problem(pool, live, arena.preference_views,
-                       ListView(arena.static_list), arena.period_views,
-                       std::move(combiner), spec.consensus,
-                       arena.agreement_views, std::move(owned_arena));
+  AssemblyContext ctx;
+  ctx.key_index = &snap->index();
+  ctx.affinity = &snap->affinity();
+  ctx.period_cache = snap->period_cache_ptr().get();
+  ctx.exclude_group_rated = options_.exclude_group_rated;
+  GroupProblem problem = AssembleGroupProblem(ctx, group, slices, spec,
+                                              eval_period, candidates_out,
+                                              workspace);
   // The problem's views alias the snapshot's index rows and cached period
   // lists: share ownership so they survive a concurrent publish.
   problem.PinLifetime(snap);
@@ -489,31 +358,7 @@ Result<Recommendation> GroupRecommender::Recommend(
   QueryWorkspace& ws = workspace != nullptr ? *workspace : local;
   Result<GroupProblem> problem = BuildProblem(snap, group, spec, nullptr, &ws);
   if (!problem.ok()) return problem.status();
-
-  Recommendation rec;
-  switch (spec.algorithm) {
-    case Algorithm::kGreca: {
-      GrecaConfig config;
-      config.k = spec.k;
-      config.termination = spec.termination;
-      rec.raw = Greca(problem.value(), config, &rec.greca_stats, &ws.greca);
-      break;
-    }
-    case Algorithm::kNaive:
-      rec.raw = NaiveTopK(problem.value(), spec.k);
-      break;
-    case Algorithm::kTa:
-      rec.raw = TaTopK(problem.value(), spec.k);
-      break;
-  }
-  rec.items.reserve(rec.raw.items.size());
-  rec.scores.reserve(rec.raw.items.size());
-  const std::span<const ItemId> pool = snap->index().pool();
-  for (const ListEntry& e : rec.raw.items) {
-    rec.items.push_back(pool[e.id]);  // problem keys are pool positions
-    rec.scores.push_back(e.score);
-  }
-  return rec;
+  return SolveGroupProblem(problem.value(), spec, snap->index().pool(), ws);
 }
 
 }  // namespace greca

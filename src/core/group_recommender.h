@@ -41,7 +41,6 @@
 #define GRECA_CORE_GROUP_RECOMMENDER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -56,7 +55,9 @@
 #include "api/snapshot.h"
 #include "api/update.h"
 #include "cf/user_knn.h"
+#include "common/group_commit.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "consensus/consensus.h"
 #include "core/greca.h"
 #include "dataset/facebook_study.h"
@@ -119,6 +120,20 @@ struct RecommenderOptions {
   /// count (0 = never by size). The default bounds the overlay — and the
   /// per-query merge overhead — to a quarter of the base.
   double compact_delta_fraction = 0.25;
+
+  // --- Update-path parallelism ---
+
+  /// Worker threads for the touched-row rebuild inside ApplyRatingUpdates
+  /// (per-row CF predict + index re-sort fan out over an internal pool;
+  /// rows are independent, so results are bit-identical to the serial
+  /// path — tests/delta_log_test.cc asserts it). 0 = serial fallback (the
+  /// default: rebuild rounds are usually a handful of rows).
+  std::size_t update_threads = 0;
+
+  /// Residency cap of the snapshot-scoped (group, period) list cache; least
+  /// recently used lists are evicted past it (0 = unbounded). See
+  /// PeriodListCache.
+  std::size_t period_cache_max_entries = PeriodListCache::kDefaultMaxEntries;
 };
 
 struct QuerySpec {
@@ -336,7 +351,7 @@ class GroupRecommender {
  private:
   /// One ApplyRatingUpdates call waiting in the group-commit queue. The
   /// caller owns it on its stack and blocks until `done`; the leader fills
-  /// `report`/`status` before flipping `done` (all guarded by commit_mu_).
+  /// `report`/`status` before flipping `done` (GroupCommitQueue contract).
   struct PendingUpdate {
     std::span<const RatingEvent> events;
     UpdateReport report;
@@ -380,15 +395,15 @@ class GroupRecommender {
   std::uint64_t next_generation_ = 2;          // guarded by update_mutex_
   std::size_t publishes_since_compaction_ = 0;  // guarded by update_mutex_
 
-  // Group-commit state: ApplyRatingUpdates callers enqueue here; the first
+  // Group-commit queue: ApplyRatingUpdates callers enqueue here; the first
   // caller to find no leader becomes one and publishes whole rounds (all
-  // queued batches at once) until the queue drains. commit_mu_ guards only
-  // the queue, the leader flag and the done/report handshake — never held
-  // while building.
-  std::mutex commit_mu_;
-  std::condition_variable commit_cv_;
-  std::vector<PendingUpdate*> commit_queue_;
-  bool commit_leader_active_ = false;
+  // queued batches at once) until the queue drains (common/group_commit.h).
+  GroupCommitQueue<PendingUpdate> commit_;
+
+  // Update-path rebuild pool (null when options_.update_threads == 0).
+  // Distinct from any batch-serving pool — the rebuild fan-out runs on the
+  // writer path, so reader batches never contend for its workers.
+  std::unique_ptr<ThreadPool> update_pool_;
 };
 
 }  // namespace greca

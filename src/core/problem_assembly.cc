@@ -1,0 +1,200 @@
+#include "core/problem_assembly.h"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "dataset/ratings_overlay.h"
+#include "topk/naive.h"
+#include "topk/ta.h"
+
+namespace greca {
+
+Result<PeriodId> ResolveEvalPeriod(std::optional<PeriodId> requested,
+                                   std::size_t num_periods) {
+  const auto last = static_cast<PeriodId>(num_periods - 1);
+  if (!requested.has_value()) return last;
+  if (*requested > last) {
+    return Status::OutOfRange("eval_period " + std::to_string(*requested) +
+                              " out of range [0, " + std::to_string(last) +
+                              "]");
+  }
+  return *requested;
+}
+
+Status ValidateGroupQuery(std::span<const UserId> group, const QuerySpec& spec,
+                          std::size_t num_users, std::size_t num_periods,
+                          std::size_t affinity_num_periods) {
+  if (group.empty()) {
+    return Status::InvalidArgument("group must not be empty");
+  }
+  // The seen-bitmask in GRECA's runtime state caps its groups at 32
+  // members; the naive scan and TA have no such limit.
+  if (spec.algorithm == Algorithm::kGreca && group.size() > 32) {
+    return Status::InvalidArgument(
+        "GRECA is limited to 32-member groups (got " +
+        std::to_string(group.size()) + "); use kNaive or kTa");
+  }
+  if (spec.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (spec.num_candidate_items == 0) {
+    return Status::InvalidArgument("candidate pool must not be empty");
+  }
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i] >= num_users) {
+      return Status::NotFound("unknown study participant " +
+                              std::to_string(group[i]) + " (study has " +
+                              std::to_string(num_users) + ")");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (group[j] == group[i]) {
+        return Status::InvalidArgument("duplicate group member " +
+                                       std::to_string(group[i]));
+      }
+    }
+  }
+  const Result<PeriodId> period =
+      ResolveEvalPeriod(spec.eval_period, num_periods);
+  if (!period.ok()) return period.status();
+  if (spec.model.affinity_aware && spec.model.time_aware &&
+      period.value() >= affinity_num_periods) {
+    return Status::FailedPrecondition(
+        "affinity source covers only " +
+        std::to_string(affinity_num_periods) + " periods");
+  }
+  return Status::Ok();
+}
+
+GroupProblem AssembleGroupProblem(const AssemblyContext& ctx,
+                                  std::span<const UserId> group,
+                                  std::span<const MemberSlice> members,
+                                  const QuerySpec& spec, PeriodId eval_period,
+                                  std::vector<ItemId>* candidates_out,
+                                  QueryWorkspace* workspace) {
+  assert(members.size() == group.size());
+  const PreferenceIndex& key_index = *ctx.key_index;
+  const AffinitySource& source = *ctx.affinity;
+
+  // The problem's views point into an arena: the caller's workspace when
+  // given (reused across a batch), otherwise one the problem itself owns.
+  std::unique_ptr<ProblemArena> owned_arena;
+  if (workspace == nullptr) owned_arena = std::make_unique<ProblemArena>();
+  ProblemArena& arena = workspace != nullptr ? workspace->arena : *owned_arena;
+
+  // Candidate pool = keys [0, pool) of the shared popularity pool; the
+  // group's already-rated items are tombstoned, not re-keyed (§2.4
+  // exclusion), so no preference list is sorted or copied per query.
+  const std::size_t pool =
+      std::min(spec.num_candidate_items, key_index.pool_size());
+  arena.tombstones.assign((pool + 63) / 64, 0);
+  if (ctx.exclude_group_rated) {
+    // A member's rated items = the immutable base row plus the live delta
+    // row of the overlay that SERVES that member (the member's own shard on
+    // the sharded path — deltas are partitioned by user, so the union is
+    // identical to the single-overlay fold).
+    const auto mark = [&](ItemId item) {
+      const std::uint32_t key = key_index.PoolPositionOf(item);
+      if (key < pool) arena.tombstones[key >> 6] |= 1ull << (key & 63u);
+    };
+    for (const MemberSlice& m : members) {
+      const RatingsOverlay& ratings = *m.ratings;
+      for (const auto& e : ratings.base().RatingsOfUser(m.ratings_user)) {
+        mark(e.item);
+      }
+      for (const auto& e : ratings.DeltaOfUser(m.ratings_user)) mark(e.item);
+    }
+  }
+  std::size_t tombstoned = 0;
+  for (const std::uint64_t word : arena.tombstones) {
+    tombstoned += static_cast<std::size_t>(std::popcount(word));
+  }
+  const std::size_t live = pool - tombstoned;
+
+  arena.preference_views.clear();
+  arena.preference_views.reserve(members.size());
+  for (const MemberSlice& m : members) {
+    arena.preference_views.push_back(
+        m.index->UserView(m.row, pool, arena.tombstones, live));
+  }
+
+  // Affinity lists come only from the bound source: the static list is
+  // group-normalized (paper §4.1.2) and materialized into the arena, plus
+  // one periodic list per period 0..eval_period served from the shared
+  // (group, period) cache — repeated groups in a batch rebuild nothing, and
+  // each list is pinned so the bounded cache evicting it mid-flight cannot
+  // invalidate this problem. Time- or affinity-agnostic variants read no
+  // periodic lists at all.
+  source.MaterializeStaticListInto(group, arena.entry_scratch,
+                                   arena.static_list);
+  arena.period_views.clear();
+  arena.period_pins.clear();
+  std::vector<double> averages;
+  if (spec.model.time_aware && spec.model.affinity_aware) {
+    assert(ctx.period_cache != nullptr);
+    const std::size_t periods = static_cast<std::size_t>(eval_period) + 1;
+    arena.period_views.reserve(periods);
+    arena.period_pins.reserve(periods);
+    for (PeriodId p = 0; p <= eval_period; ++p) {
+      arena.period_pins.push_back(
+          ctx.period_cache->GetShared(group, p, source));
+      arena.period_views.emplace_back(*arena.period_pins.back());
+    }
+    averages = source.PeriodAverages(eval_period);
+  }
+
+  // Pair-wise disagreement consensus reads its own agreement list (Lemma 1's
+  // "pair-wise disagreement lists"); since the lists are built per ad-hoc
+  // group anyway, the per-pair components are pre-aggregated into one
+  // group-agreement list — identical scores, tighter bounds, fewer lists.
+  arena.agreement_views.clear();
+  if (spec.consensus.disagreement == DisagreementKind::kPairwise &&
+      group.size() >= 2) {
+    BuildGroupAgreementListInto(arena.preference_views, pool,
+                                spec.consensus.disagreement_scale,
+                                arena.entry_scratch, arena.agreement_list);
+    arena.agreement_views.emplace_back(arena.agreement_list);
+  }
+
+  AffinityCombiner combiner(spec.model, std::move(averages));
+  if (candidates_out != nullptr) {
+    const std::span<const ItemId> items = key_index.pool();
+    candidates_out->assign(items.begin(), items.begin() + pool);
+  }
+  return GroupProblem(pool, live, arena.preference_views,
+                      ListView(arena.static_list), arena.period_views,
+                      std::move(combiner), spec.consensus,
+                      arena.agreement_views, std::move(owned_arena));
+}
+
+Recommendation SolveGroupProblem(GroupProblem& problem, const QuerySpec& spec,
+                                 std::span<const ItemId> pool_items,
+                                 QueryWorkspace& workspace) {
+  Recommendation rec;
+  switch (spec.algorithm) {
+    case Algorithm::kGreca: {
+      GrecaConfig config;
+      config.k = spec.k;
+      config.termination = spec.termination;
+      rec.raw = Greca(problem, config, &rec.greca_stats, &workspace.greca);
+      break;
+    }
+    case Algorithm::kNaive:
+      rec.raw = NaiveTopK(problem, spec.k);
+      break;
+    case Algorithm::kTa:
+      rec.raw = TaTopK(problem, spec.k);
+      break;
+  }
+  rec.items.reserve(rec.raw.items.size());
+  rec.scores.reserve(rec.raw.items.size());
+  for (const ListEntry& e : rec.raw.items) {
+    rec.items.push_back(pool_items[e.id]);  // problem keys are pool positions
+    rec.scores.push_back(e.score);
+  }
+  return rec;
+}
+
+}  // namespace greca

@@ -10,6 +10,7 @@
 #define GRECA_DATASET_SYNTHETIC_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -65,6 +66,63 @@ struct SyntheticRatings {
 
 /// Generates the dataset. Deterministic in `config.seed`.
 SyntheticRatings GenerateSyntheticRatings(const SyntheticRatingsConfig& config);
+
+// --- Scale-up generation (the shard-per-core harness, src/shard/) ---
+//
+// The MovieLens twin above targets study-sized experiments; the sharded
+// engine needs MILLIONS of users, where per-user log-normal activity with a
+// 20-rating floor would cost tens of millions of ratings per million users
+// just in floors. The scale generator keeps the same latent-factor truth
+// model but swaps the activity model for a truncated Pareto (few ratings
+// for almost everyone, a heavy tail of power raters) and keeps items
+// Zipf-popular — the canonical web-scale shape on both axes.
+
+struct ScaleRatingsConfig {
+  std::size_t num_users = 1'000'000;
+  std::size_t num_items = 100'000;
+  /// Zipf exponent of item popularity (P(rank r) ∝ 1/(r+1)^s).
+  double popularity_exponent = 1.05;
+  /// Per-user rating counts follow a Pareto with tail index
+  /// `pareto_alpha` − 1, truncated to [min, max]:
+  /// count = clamp(min · U^(−1/(α−1)), min, max) for uniform U in (0, 1].
+  std::size_t min_ratings_per_user = 4;
+  std::size_t max_ratings_per_user = 512;
+  double pareto_alpha = 2.2;
+  /// Latent truth model — same semantics as SyntheticRatingsConfig.
+  std::size_t latent_dim = 4;
+  double taste_weight = 1.8;
+  double noise_sigma = 0.35;
+  Timestamp epoch = 0;
+  Timestamp span_seconds =
+      365 * SyntheticRatingsConfig::kSecondsPerDayForRatings;
+  std::uint64_t seed = 7;
+};
+
+/// Generates the scale dataset. Deterministic in `config.seed`; the truth
+/// factors back the scale harness's PoolPredictor (no CF model is trained
+/// at this scale).
+SyntheticRatings GenerateScaleRatings(const ScaleRatingsConfig& config);
+
+/// Ad-hoc query groups with a tunable shard-locality knob.
+struct ScaleGroupsConfig {
+  std::size_t num_groups = 1'000;
+  std::size_t group_size = 5;
+  /// Probability that a group is drawn entirely from ONE shard (the rest
+  /// are drawn population-uniform). 1.0 models community-local groups that
+  /// touch a single shard; 0.0 models adversarial scatter. Monotone by
+  /// construction: raising it can only lower the expected shards-touched
+  /// per group (tests/synthetic_test.cc).
+  double locality = 1.0;
+  std::uint64_t seed = 11;
+};
+
+/// Generates groups of distinct users. `shard_of` is the router's placement
+/// function (kept as a callback so dataset/ stays independent of shard/);
+/// `num_shards` scopes the local draw. Deterministic in `config.seed`.
+std::vector<std::vector<UserId>> GenerateScaleGroups(
+    const ScaleGroupsConfig& config, std::size_t num_users,
+    std::size_t num_shards,
+    const std::function<std::size_t(UserId)>& shard_of);
 
 }  // namespace greca
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace greca {
 
 std::vector<std::uint32_t> PreferenceIndex::GeometricBandBreakpoints(
@@ -17,21 +19,10 @@ std::vector<std::uint32_t> PreferenceIndex::GeometricBandBreakpoints(
   return breakpoints;
 }
 
-void PreferenceIndex::RebuildRow(UserId u, std::span<const Score> predictions) {
-  assert(scale_max_ > 0.0);
+void PreferenceIndex::SortRow(UserId u) {
   const std::size_t pool_size = pool_.size();
   ListEntry* const out = entries_.data() + u * pool_size;
   std::uint32_t* const pos = positions_.data() + u * pool_size;
-  // Band b holds exactly the keys [band_begin_[b], band_begin_[b+1]), so a
-  // key-order fill already places every entry in its band; each band is then
-  // score-sorted independently. One band (the flat layout) degenerates to
-  // the global sort — same normalization and ordering as the per-query seed
-  // path: keys are pool positions, scores predictions/scale_max in [0, 1].
-  for (std::uint32_t key = 0; key < pool_size; ++key) {
-    assert(pool_[key] < predictions.size());
-    out[key] = {key, std::clamp(predictions[pool_[key]] / scale_max_,
-                                0.0, 1.0)};
-  }
   constexpr ListEntryOrder by_score{};
   if (!flat_entries_.empty()) {
     // Global-order twin for the large-prefix fast path, sorted from the
@@ -52,52 +43,134 @@ void PreferenceIndex::RebuildRow(UserId u, std::span<const Score> predictions) {
   }
 }
 
-PreferenceIndex PreferenceIndex::Build(
-    std::span<const std::vector<Score>> predictions, double scale_max,
-    std::vector<ItemId> pool, std::size_t num_universe_items,
+void PreferenceIndex::RebuildRow(UserId u,
+                                 std::span<const Score> predictions) {
+  assert(scale_max_ > 0.0);
+  const std::size_t pool_size = pool_.size();
+  ListEntry* const out = entries_.data() + u * pool_size;
+  // Band b holds exactly the keys [band_begin_[b], band_begin_[b+1]), so a
+  // key-order fill already places every entry in its band; each band is then
+  // score-sorted independently. One band (the flat layout) degenerates to
+  // the global sort — same normalization and ordering as the per-query seed
+  // path: keys are pool positions, scores predictions/scale_max in [0, 1].
+  for (std::uint32_t key = 0; key < pool_size; ++key) {
+    assert(pool_[key] < predictions.size());
+    out[key] = {key, std::clamp(predictions[pool_[key]] / scale_max_,
+                                0.0, 1.0)};
+  }
+  SortRow(u);
+}
+
+void PreferenceIndex::RebuildRowFromPool(UserId u,
+                                         std::span<const Score> pool_scores) {
+  assert(scale_max_ > 0.0);
+  const std::size_t pool_size = pool_.size();
+  assert(pool_scores.size() == pool_size);
+  ListEntry* const out = entries_.data() + u * pool_size;
+  for (std::uint32_t key = 0; key < pool_size; ++key) {
+    out[key] = {key, std::clamp(pool_scores[key] / scale_max_, 0.0, 1.0)};
+  }
+  SortRow(u);
+}
+
+void PreferenceIndex::InitStorage(
+    std::size_t num_rows, double scale_max, std::vector<ItemId> pool,
+    std::size_t num_universe_items,
     std::span<const std::uint32_t> band_breakpoints) {
-  PreferenceIndex index;
-  index.num_users_ = predictions.size();
-  index.scale_max_ = scale_max;
-  index.pool_ = std::move(pool);
-  const std::size_t pool_size = index.pool_.size();
+  num_users_ = num_rows;
+  scale_max_ = scale_max;
+  pool_ = std::move(pool);
+  const std::size_t pool_size = pool_.size();
 
   // Normalize the breakpoints defensively (not assert-only): out-of-range
   // and non-ascending values are dropped and the band count is clamped to
   // ListView's inline merge arrays — a bad grid degrades to coarser bands,
   // never to out-of-bounds writes in release builds.
-  index.band_begin_.assign(1, 0);
+  band_begin_.assign(1, 0);
   for (const std::uint32_t breakpoint : band_breakpoints) {
     if (breakpoint == 0 || breakpoint >= pool_size) continue;
-    if (breakpoint <= index.band_begin_.back()) continue;
-    if (index.band_begin_.size() >= ListView::kMaxBands) break;
-    index.band_begin_.push_back(breakpoint);
+    if (breakpoint <= band_begin_.back()) continue;
+    if (band_begin_.size() >= ListView::kMaxBands) break;
+    band_begin_.push_back(breakpoint);
   }
-  index.band_begin_.push_back(static_cast<std::uint32_t>(pool_size));
-  assert(index.num_bands() <= ListView::kMaxBands);
+  band_begin_.push_back(static_cast<std::uint32_t>(pool_size));
+  assert(num_bands() <= ListView::kMaxBands);
 
-  index.pool_position_of_item_.assign(num_universe_items, kNotPooled);
+  pool_position_of_item_.assign(num_universe_items, kNotPooled);
   for (std::size_t key = 0; key < pool_size; ++key) {
-    assert(index.pool_[key] < num_universe_items);
-    index.pool_position_of_item_[index.pool_[key]] =
-        static_cast<std::uint32_t>(key);
+    assert(pool_[key] < num_universe_items);
+    pool_position_of_item_[pool_[key]] = static_cast<std::uint32_t>(key);
   }
 
-  index.entries_.resize(index.num_users_ * pool_size);
-  index.positions_.resize(index.num_users_ * pool_size);
-  if (index.num_bands() > 1) {
-    index.flat_entries_.resize(index.num_users_ * pool_size);
-    index.flat_positions_.resize(index.num_users_ * pool_size);
+  entries_.resize(num_users_ * pool_size);
+  positions_.resize(num_users_ * pool_size);
+  if (num_bands() > 1) {
+    flat_entries_.resize(num_users_ * pool_size);
+    flat_positions_.resize(num_users_ * pool_size);
   }
+}
+
+PreferenceIndex PreferenceIndex::Build(
+    std::span<const std::vector<Score>> predictions, double scale_max,
+    std::vector<ItemId> pool, std::size_t num_universe_items,
+    std::span<const std::uint32_t> band_breakpoints) {
+  PreferenceIndex index;
+  index.InitStorage(predictions.size(), scale_max, std::move(pool),
+                    num_universe_items, band_breakpoints);
   for (UserId u = 0; u < index.num_users_; ++u) {
     index.RebuildRow(u, predictions[u]);
   }
   return index;
 }
 
+PreferenceIndex PreferenceIndex::BuildStreaming(
+    std::size_t num_rows, const PoolScoreFiller& fill, double scale_max,
+    std::vector<ItemId> pool, std::size_t num_universe_items,
+    std::span<const std::uint32_t> band_breakpoints, ThreadPool* threads) {
+  PreferenceIndex index;
+  index.InitStorage(num_rows, scale_max, std::move(pool), num_universe_items,
+                    band_breakpoints);
+  const std::size_t pool_size = index.pool_.size();
+  if (threads != nullptr && num_rows > 1) {
+    // One raw-score scratch per worker; rows are disjoint, so concurrent
+    // RebuildRowFromPool calls never touch the same storage.
+    std::vector<std::vector<Score>> scratch(threads->size());
+    for (auto& s : scratch) s.resize(pool_size);
+    threads->ParallelFor(num_rows, [&](std::size_t worker, std::size_t row) {
+      const auto u = static_cast<UserId>(row);
+      fill(u, index.pool_, scratch[worker]);
+      index.RebuildRowFromPool(u, scratch[worker]);
+    });
+    return index;
+  }
+  std::vector<Score> scores(pool_size);
+  for (UserId u = 0; u < num_rows; ++u) {
+    fill(u, index.pool_, scores);
+    index.RebuildRowFromPool(u, scores);
+  }
+  return index;
+}
+
+namespace {
+
+/// Runs `rebuild(i)` for every i in [0, n), optionally fanned out over a
+/// thread pool (touched rows are disjoint — bit-identical to serial order).
+template <typename RebuildFn>
+void RebuildTouchedRows(std::size_t n, ThreadPool* threads,
+                        const RebuildFn& rebuild) {
+  if (threads != nullptr && n > 1) {
+    threads->ParallelFor(n, [&](std::size_t, std::size_t i) { rebuild(i); });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) rebuild(i);
+  }
+}
+
+}  // namespace
+
 PreferenceIndex PreferenceIndex::CloneWithUpdatedRows(
     std::span<const UserId> users,
-    std::span<const std::span<const Score>> predictions) const {
+    std::span<const std::span<const Score>> predictions,
+    ThreadPool* threads) const {
   assert(users.size() == predictions.size());
   PreferenceIndex clone;
   clone.num_users_ = num_users_;
@@ -114,10 +187,32 @@ PreferenceIndex PreferenceIndex::CloneWithUpdatedRows(
   clone.positions_ = positions_;
   clone.flat_entries_ = flat_entries_;
   clone.flat_positions_ = flat_positions_;
-  for (std::size_t i = 0; i < users.size(); ++i) {
+  RebuildTouchedRows(users.size(), threads, [&](std::size_t i) {
     assert(users[i] < num_users_);
     clone.RebuildRow(users[i], predictions[i]);
-  }
+  });
+  return clone;
+}
+
+PreferenceIndex PreferenceIndex::CloneWithUpdatedPoolRows(
+    std::span<const UserId> users,
+    std::span<const std::span<const Score>> pool_scores,
+    ThreadPool* threads) const {
+  assert(users.size() == pool_scores.size());
+  PreferenceIndex clone;
+  clone.num_users_ = num_users_;
+  clone.scale_max_ = scale_max_;
+  clone.pool_ = pool_;
+  clone.pool_position_of_item_ = pool_position_of_item_;
+  clone.band_begin_ = band_begin_;
+  clone.entries_ = entries_;
+  clone.positions_ = positions_;
+  clone.flat_entries_ = flat_entries_;
+  clone.flat_positions_ = flat_positions_;
+  RebuildTouchedRows(users.size(), threads, [&](std::size_t i) {
+    assert(users[i] < num_users_);
+    clone.RebuildRowFromPool(users[i], pool_scores[i]);
+  });
   return clone;
 }
 

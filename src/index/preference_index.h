@@ -47,6 +47,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,8 @@
 #include "topk/list_view.h"
 
 namespace greca {
+
+class ThreadPool;
 
 class PreferenceIndex {
  public:
@@ -74,6 +77,26 @@ class PreferenceIndex {
       std::vector<ItemId> pool, std::size_t num_universe_items,
       std::span<const std::uint32_t> band_breakpoints = {});
 
+  /// Fills raw (universe-scale, un-normalized) scores for one row, one slot
+  /// per POOL POSITION: out[key] is the prediction for pool[key]. The
+  /// contract deliberately skips the per-universe-item indirection of
+  /// Build() so million-row builds never materialize a num_rows ×
+  /// num_universe_items prediction matrix.
+  using PoolScoreFiller = std::function<void(
+      UserId row, std::span<const ItemId> pool, std::span<Score> out)>;
+
+  /// Streaming twin of Build() for populations too large to hold full
+  /// per-item prediction arrays: `fill` produces each row's pool scores on
+  /// demand (called once per row, from multiple threads when `threads` is
+  /// non-null — it must be safe for concurrent calls on distinct rows).
+  /// Rows are bit-identical to Build() fed predictions p with
+  /// p[pool[key]] == filled out[key].
+  static PreferenceIndex BuildStreaming(
+      std::size_t num_rows, const PoolScoreFiller& fill, double scale_max,
+      std::vector<ItemId> pool, std::size_t num_universe_items,
+      std::span<const std::uint32_t> band_breakpoints = {},
+      ThreadPool* threads = nullptr);
+
   /// The default banded grid: geometric (doubling) breakpoints
   /// {first_band, 2·first_band, ...} below `pool_size`, capped at
   /// ListView::kMaxBands bands. Guarantees a prefix P >= first_band / 2 walks
@@ -89,9 +112,23 @@ class PreferenceIndex {
   /// The pool, the item→key map and the score normalization (scale_max) are
   /// inherited. Cost: one O(users × pool) memcpy plus O(pool log pool) per
   /// updated row.
+  /// `threads`, when non-null, fans the per-row rebuilds out over the pool
+  /// (rows are disjoint, so the result is bit-identical to the serial path;
+  /// the caller must not be running on one of the pool's own workers).
   PreferenceIndex CloneWithUpdatedRows(
       std::span<const UserId> users,
-      std::span<const std::span<const Score>> predictions) const;
+      std::span<const std::span<const Score>> predictions,
+      ThreadPool* threads = nullptr) const;
+
+  /// CloneWithUpdatedRows twin fed pool-position scores instead of
+  /// per-universe-item predictions: pool_scores[i][key] is users[i]'s raw
+  /// (universe-scale) score for pool()[key] — the per-shard publish path,
+  /// where full per-item arrays never exist. Same layout, normalization and
+  /// ordering guarantees as CloneWithUpdatedRows.
+  PreferenceIndex CloneWithUpdatedPoolRows(
+      std::span<const UserId> users,
+      std::span<const std::span<const Score>> pool_scores,
+      ThreadPool* threads = nullptr) const;
 
   std::size_t num_users() const { return num_users_; }
   std::size_t pool_size() const { return pool_.size(); }
@@ -174,8 +211,24 @@ class PreferenceIndex {
  private:
   /// Re-sorts user `u`'s row (per band) and its key→position map from a
   /// fresh prediction array. Internal: only called on rows of an unpublished
-  /// copy.
+  /// copy. Safe to call concurrently on DISTINCT rows (each row's storage is
+  /// disjoint) — the parallel build/clone paths rely on that.
   void RebuildRow(UserId u, std::span<const Score> predictions);
+
+  /// RebuildRow twin fed raw scores per pool position (pool_scores[key] is
+  /// the score of pool_[key]); same normalization and ordering.
+  void RebuildRowFromPool(UserId u, std::span<const Score> pool_scores);
+
+  /// The shared sort tail of both fills: sorts u's key-order row per band
+  /// (plus the flat twin) and refreshes the key→position maps.
+  void SortRow(UserId u);
+
+  /// Sizes entries_/positions_ (and the flat twins) and installs the pool,
+  /// the item→key map and the normalized band grid — everything Build and
+  /// BuildStreaming share before the per-row fills.
+  void InitStorage(std::size_t num_rows, double scale_max,
+                   std::vector<ItemId> pool, std::size_t num_universe_items,
+                   std::span<const std::uint32_t> band_breakpoints);
 
   std::size_t num_users_ = 0;
   double scale_max_ = 1.0;                            // score normalization

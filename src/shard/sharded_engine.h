@@ -1,0 +1,225 @@
+// Shard-per-core serving engine: N independent publishers, one scatter/
+// gather query path.
+//
+// ShardedEngine partitions the user population across N Shards with a
+// ShardRouter (hash or range). Each shard owns its slice's PreferenceIndex
+// rows, RatingsOverlay delta log and RCU publish cadence; the engine owns
+// everything population-global — the popularity pool, the AffinitySource,
+// the (group, period) list cache, and the prediction backend behind the
+// shards' shared PoolPredictor.
+//
+// Queries scatter/gather at problem-assembly time, zero-copy: for each
+// group member the engine asks the router for the owning shard and slices
+// that shard's pinned index/overlay into a MemberSlice; the shared assembly
+// (core/problem_assembly.h) then builds EXACTLY the problem a monolithic
+// engine would build — every shard speaks the same pool-position key space
+// and every row is bit-identical to its monolithic counterpart, so
+// recommendations and access counts are bit-identical at any shard count
+// (tests/sharded_equivalence_test.cc). A query pins one generation per
+// touched shard in a ShardedSnapshotSet; shards publishing mid-query cannot
+// perturb it.
+//
+// Updates scatter by ownership: ApplyUpdates validates the whole batch
+// up front (all-or-nothing, like the monolithic path), splits it per shard
+// preserving arrival order, and applies the sub-batches shard by shard —
+// each touched shard publishes independently, cloning only ITS rows. Under
+// locality-routed traffic a batch touches one shard and the publish cost
+// drops by the shard count; that per-publish byte reduction is the
+// multi-shard throughput mechanism measured by bench/bench_shard.cc.
+//
+// Sub-batches publish in shard order, so a concurrent reader can observe
+// shard A post-batch while shard B is still pre-batch; each shard's
+// snapshot is individually consistent, and per-user ordering is preserved
+// (a user's events all land on one shard). Callers needing a cross-shard
+// fence pin a set AFTER ApplyUpdates returns.
+#ifndef GRECA_SHARD_SHARDED_ENGINE_H_
+#define GRECA_SHARD_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "affinity/affinity_source.h"
+#include "affinity/dynamic_affinity.h"
+#include "affinity/periodic_affinity.h"
+#include "affinity/static_affinity.h"
+#include "api/snapshot.h"
+#include "api/update.h"
+#include "cf/user_knn.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/group_recommender.h"
+#include "dataset/facebook_study.h"
+#include "shard/shard.h"
+#include "shard/shard_router.h"
+
+namespace greca {
+
+struct ShardedEngineOptions {
+  std::size_t num_shards = 4;
+  ShardStrategy strategy = ShardStrategy::kHash;
+  /// CF backend config (study-backed construction only).
+  UserKnnConfig knn;
+  /// Popularity-pool size (study-backed construction only; the generic
+  /// constructor takes the pool itself).
+  std::size_t max_candidate_items = 3'900;
+  bool exclude_group_rated = true;
+  IndexLayout index_layout = IndexLayout::kBanded;
+  std::size_t min_band_size = 64;
+  /// Per-shard delta-log compaction policy (see RecommenderOptions).
+  std::size_t compact_every_n_publishes = 0;
+  double compact_delta_fraction = 0.25;
+  std::size_t period_cache_max_entries = PeriodListCache::kDefaultMaxEntries;
+  /// Worker threads fanning out the initial per-row index fills at
+  /// construction (0 = serial; results are bit-identical either way).
+  std::size_t build_threads = 0;
+};
+
+/// The generic (study-free) construction inputs — the million-user scale
+/// path, where predictions come from a caller-supplied PoolPredictor
+/// instead of a CF model over a study.
+struct ShardedEngineInputs {
+  /// The population's own ratings (delta-log base; must cover every user).
+  std::shared_ptr<const RatingsDataset> ratings;
+  /// Population-global affinity backend (ConstantAffinitySource for
+  /// populations with no social signal). Must cover num_users.
+  std::shared_ptr<const AffinitySource> affinity;
+  PoolPredictor predictor;
+  /// Raw predictor scores are divided by this before clamping to [0, 1]
+  /// (the star-scale max).
+  double prediction_scale_max = 5.0;
+  /// The shared popularity pool (universe items, popularity order).
+  std::vector<ItemId> pool;
+  std::size_t num_universe_items = 0;
+  std::size_t num_periods = 1;
+};
+
+/// One pinned generation per shard — what a query (or an explicit caller
+/// fence) holds to keep every touched shard's rows alive and stable.
+/// Individual ShardSnapshots are immutable; the set itself is a plain
+/// vector pinned via shared_ptr.
+class ShardedSnapshotSet {
+ public:
+  explicit ShardedSnapshotSet(
+      std::vector<std::shared_ptr<const ShardSnapshot>> shards)
+      : shards_(std::move(shards)) {}
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const ShardSnapshot& shard(std::size_t s) const { return *shards_[s]; }
+  const std::shared_ptr<const ShardSnapshot>& shard_ptr(std::size_t s) const {
+    return shards_[s];
+  }
+
+ private:
+  std::vector<std::shared_ptr<const ShardSnapshot>> shards_;
+};
+
+/// Cross-shard aggregation of one ApplyUpdates call plus the per-shard
+/// attribution behind it.
+struct ShardedUpdateReport {
+  /// Sums of the per-shard counters (events_applied, events_ignored_stale,
+  /// users_rebuilt, delta_log_ratings); published_generation is the max
+  /// over touched shards, compacted is true when ANY shard compacted,
+  /// batches_coalesced the max over touched shards.
+  UpdateReport total;
+  /// One report per shard, indexed by shard id (untouched shards carry
+  /// their current generation and zero counters).
+  std::vector<UpdateReport> per_shard;
+  /// Shards that received at least one event of this batch.
+  std::size_t shards_touched = 0;
+};
+
+class ShardedEngine {
+ public:
+  /// Study-backed construction: same inputs as GroupRecommender/Engine —
+  /// builds the UserKnn CF backend, the affinity tables and one shard per
+  /// router slot over the study participants. Both references must outlive
+  /// the engine; recommendations are bit-identical to a monolithic Engine
+  /// built from the same inputs, at any shard count.
+  ShardedEngine(const RatingsDataset& universe, const FacebookStudy& study,
+                ShardedEngineOptions options);
+
+  /// Generic construction for populations without a study (the scale
+  /// harness): ratings + predictor + pool are taken as-is. The engine must
+  /// outlive every problem built from it (the affinity source and period
+  /// cache are engine-owned).
+  ShardedEngine(ShardedEngineInputs inputs, ShardedEngineOptions options);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_users() const { return router_.num_users(); }
+  const ShardRouter& router() const { return router_; }
+  const Shard& shard(std::size_t s) const { return *shards_[s]; }
+
+  /// Pins the current generation of EVERY shard (queries pin implicitly;
+  /// explicit pins give cross-call stability). Shards publishing while the
+  /// set is assembled yield a mix of generations — each individually
+  /// consistent, see the header comment.
+  std::shared_ptr<const ShardedSnapshotSet> Pin() const;
+
+  /// Validates the whole batch (all-or-nothing), splits it by owning shard
+  /// preserving arrival order, and applies each non-empty sub-batch to its
+  /// shard (group-committed per shard). Counter semantics match the
+  /// monolithic ApplyRatingUpdates: summed over shards, applied + stale ==
+  /// batch size and users_rebuilt counts distinct users with applied
+  /// events — the partition is by user, so totals are identical to the
+  /// single-engine report for the same events
+  /// (tests/sharded_equivalence_test.cc).
+  Status ApplyUpdates(std::span<const RatingEvent> events,
+                      ShardedUpdateReport* report = nullptr);
+
+  /// Scatter/gather recommendation against a freshly pinned set.
+  Result<Recommendation> Recommend(std::span<const UserId> group,
+                                   const QuerySpec& spec,
+                                   QueryWorkspace* workspace = nullptr) const;
+
+  /// Snapshot-set-explicit variant: runs entirely against `set`.
+  Result<Recommendation> Recommend(
+      const std::shared_ptr<const ShardedSnapshotSet>& set,
+      std::span<const UserId> group, const QuerySpec& spec,
+      QueryWorkspace* workspace = nullptr) const;
+
+  Status ValidateQuery(std::span<const UserId> group,
+                       const QuerySpec& spec) const;
+
+  /// Distinct shards owning at least one member of `group` — the scatter
+  /// width of a query (bench/bench_shard.cc reports its average per
+  /// workload).
+  std::size_t ShardsTouched(std::span<const UserId> group) const;
+
+  const AffinitySource& affinity() const { return *affinity_; }
+  /// The shared popularity pool (identical in every shard's index).
+  std::span<const ItemId> pool() const;
+
+ private:
+  void BuildShards(std::shared_ptr<const RatingsDataset> base,
+                   double scale_max, std::vector<ItemId> pool,
+                   std::size_t num_universe_items);
+
+  ShardedEngineOptions options_;
+  ShardRouter router_;
+  std::size_t num_universe_items_ = 0;
+  std::size_t num_periods_ = 1;
+
+  // Study-backed state (null/empty on the generic path). knn_ backs the
+  // shards' PoolPredictor, so it must outlive them (declaration order).
+  std::unique_ptr<UserKnn> knn_;
+  PairTable static_;
+  std::unique_ptr<PeriodicAffinity> periodic_;
+  std::unique_ptr<DynamicAffinityIndex> dynamic_;
+
+  std::shared_ptr<const AffinitySource> affinity_;
+  PoolPredictor predictor_;
+  std::shared_ptr<PeriodListCache> period_cache_;
+  /// Engine-owned copy of the shared pool (pool() stays valid without
+  /// pinning any shard generation).
+  std::vector<ItemId> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_SHARD_SHARDED_ENGINE_H_

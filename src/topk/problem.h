@@ -39,6 +39,25 @@
 
 namespace greca {
 
+// Owner layers referenced (by pointer only) from the assembly descriptors
+// below; topk never reads through them.
+class PreferenceIndex;
+class RatingsOverlay;
+
+/// Where one group member's serving rows live — the unit of the sharded
+/// scatter/gather assembly (core/problem_assembly.h): the preference index
+/// holding the member's sorted row (`row` is the row id WITHIN that index —
+/// a shard-local id on the sharded path) and the ratings overlay holding the
+/// member's rated items (`ratings_user` is the id within that overlay). On
+/// the single-index path every member shares one index/overlay and both ids
+/// equal the member's user id.
+struct MemberSlice {
+  const PreferenceIndex* index = nullptr;
+  UserId row = 0;
+  const RatingsOverlay* ratings = nullptr;
+  UserId ratings_user = 0;
+};
+
 /// Reusable backing store for one in-flight query's problem: the group's
 /// tombstone bitmap, the assembled preference views, and the materialized
 /// affinity/agreement lists. One arena per worker amortizes every per-query
@@ -49,13 +68,17 @@ struct ProblemArena {
   std::vector<std::uint64_t> tombstones;
   std::vector<ListView> preference_views;
   SortedList static_list;
-  /// Periodic lists themselves live in the query's Snapshot (its
-  /// (group, period) cache); the arena only holds the per-query views.
+  /// Periodic lists themselves live in the snapshot-scoped (group, period)
+  /// cache; the arena holds the per-query views plus one shared_ptr pin per
+  /// list, so a problem survives the bounded cache evicting its lists.
   std::vector<ListView> period_views;
+  std::vector<std::shared_ptr<const SortedList>> period_pins;
   SortedList agreement_list;
   std::vector<ListView> agreement_views;
   /// Unsorted-entry scratch shared by the list materializers.
   std::vector<ListEntry> entry_scratch;
+  /// Per-member slice descriptors (scatter/gather assembly scratch).
+  std::vector<MemberSlice> member_slices;
 };
 
 class GroupProblem {

@@ -330,6 +330,85 @@ TEST_F(SnapshotTest, PeriodCacheHitsOnRepeatedGroups) {
   EXPECT_EQ(swapped->PeriodCacheMemoryBytes(), 0u);
 }
 
+// The period-list cache is bounded: entries past the cap evict least
+// recently used, the eviction counter sits next to hit/miss, and a
+// GetShared/PeriodListShared copy held by a query survives its own eviction.
+TEST_F(SnapshotTest, PeriodCacheEvictsLeastRecentlyUsedPastCap) {
+  const auto last_period =
+      static_cast<PeriodId>(study_->periods.num_periods() - 1);
+  const std::size_t periods = static_cast<std::size_t>(last_period) + 1;
+
+  RecommenderOptions options;
+  options.max_candidate_items = 400;
+  options.period_cache_max_entries = periods;  // exactly one group fits
+  EngineOptions eopts;
+  eopts.num_threads = 2;
+  auto engine = std::make_unique<Engine>(*universe_, *study_, options, eopts);
+  const auto snap = engine->snapshot();
+
+  Query query;
+  query.group = {4, 17, 29};
+  query.spec.k = 5;
+  query.spec.num_candidate_items = 400;
+  query.spec.eval_period = last_period;  // touches every period list
+
+  // Group A fills the cache to the cap without evicting.
+  ASSERT_TRUE(engine->Recommend(query, snap).ok());
+  const auto first = engine->Recommend(query, snap);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(snap->period_cache_size(), periods);
+  EXPECT_EQ(snap->period_cache_evictions(), 0u);
+  EXPECT_EQ(snap->period_cache_hits(), periods) << "repeat was all hits";
+
+  // Hold one of A's lists across the churn below.
+  const std::shared_ptr<const SortedList> pinned =
+      snap->PeriodListShared(query.group, 0);
+
+  // Group B displaces A entry by entry; the size never passes the cap.
+  Query other = query;
+  other.group = {3, 11};
+  ASSERT_TRUE(engine->Recommend(other, snap).ok());
+  EXPECT_EQ(snap->period_cache_size(), periods);
+  EXPECT_EQ(snap->period_cache_evictions(), periods);
+
+  // B is resident (all hits), A was evicted (all misses again) — LRU, not
+  // random or insertion-order eviction.
+  const auto hits_before = snap->period_cache_hits();
+  const auto misses_before = snap->period_cache_misses();
+  ASSERT_TRUE(engine->Recommend(other, snap).ok());
+  EXPECT_EQ(snap->period_cache_hits(), hits_before + periods);
+  EXPECT_EQ(snap->period_cache_misses(), misses_before);
+  const auto replay = engine->Recommend(query, snap);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(snap->period_cache_misses(), misses_before + periods)
+      << "evicted lists rebuild from scratch";
+
+  // Eviction is invisible to results: the rebuilt lists answer identically.
+  EXPECT_EQ(first.value().items, replay.value().items);
+  EXPECT_EQ(first.value().scores, replay.value().scores);
+
+  // The held copy outlived its eviction and still matches a direct
+  // materialization.
+  const SortedList direct =
+      snap->affinity().MaterializePeriodList(query.group, 0);
+  ASSERT_EQ(pinned->size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(pinned->entry(i).id, direct.entry(i).id);
+    EXPECT_EQ(pinned->entry(i).score, direct.entry(i).score);
+  }
+
+  // An unbounded cache (cap 0) never evicts under the same workload.
+  RecommenderOptions unbounded = options;
+  unbounded.period_cache_max_entries = 0;
+  auto engine2 =
+      std::make_unique<Engine>(*universe_, *study_, unbounded, eopts);
+  const auto snap2 = engine2->snapshot();
+  ASSERT_TRUE(engine2->Recommend(query, snap2).ok());
+  ASSERT_TRUE(engine2->Recommend(other, snap2).ok());
+  EXPECT_EQ(snap2->period_cache_size(), 2 * periods);
+  EXPECT_EQ(snap2->period_cache_evictions(), 0u);
+}
+
 // Cached lists must be identical to freshly materialized ones (the cache is
 // a pure memoization, not an approximation).
 TEST_F(SnapshotTest, CachedPeriodListsMatchDirectMaterialization) {
