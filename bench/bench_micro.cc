@@ -1,12 +1,21 @@
 // google-benchmark microbenchmarks for the core building blocks: end-to-end
 // top-k latency per algorithm, CF prediction, affinity table construction and
-// incremental maintenance, and the periodic-affinity closed form.
+// incremental maintenance, the periodic-affinity closed form, and the index
+// row-layout primitives (SoA-vs-AoS tombstone-skip scan, loser-tree-vs-argmin
+// band merge).
 #include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <vector>
 
 #include "affinity/dynamic_affinity.h"
 #include "bench_common.h"
 #include "core/greca.h"
+#include "topk/list_view.h"
 #include "topk/naive.h"
+#include "topk/sorted_list.h"
 #include "topk/ta.h"
 
 namespace {
@@ -191,6 +200,200 @@ void BM_ClosedFormPopulationAverage(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClosedFormPopulationAverage);
+
+// ---- Row-layout primitives: SoA-vs-AoS scan, loser-tree-vs-argmin merge ---
+// Synthetic rows isolate the two data-structure changes of the SoA rewrite
+// from the rest of the serving stack. The row length is deliberately not a
+// multiple of the 8-lane vector width (the SIMD scan's scalar tail stays on
+// the measured path) and large enough that the scan is bandwidth-bound like
+// a real index row — in-L1 rows would hide the 4-vs-16 bytes/entry gap the
+// key-only liveness scan exists for.
+
+constexpr std::size_t kLayoutRowLength = 65573;
+
+struct SyntheticRow {
+  std::vector<ListKey> keys;
+  std::vector<Score> scores;
+  std::vector<std::uint32_t> positions;
+  std::vector<ListEntry> entries;  // AoS mirror, identical order
+  std::vector<std::uint32_t> band_begin;
+  std::vector<std::uint64_t> tombstones;
+  std::size_t live = 0;
+};
+
+SyntheticRow MakeSyntheticRow(std::size_t n, std::size_t num_bands,
+                              unsigned tombstone_percent) {
+  SyntheticRow row;
+  std::mt19937 rng(static_cast<unsigned>(2015 + n + num_bands * 131 +
+                                         tombstone_percent * 65537));
+  std::uniform_real_distribution<double> score(0.0, 1.0);
+  std::vector<ListEntry> entries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entries[i] = {static_cast<ListKey>(i), score(rng)};
+  }
+  // Bands = contiguous key ranges (the popularity-band contract), each
+  // independently score-sorted; num_bands == 1 yields a flat sorted row.
+  row.band_begin.push_back(0);
+  for (std::size_t b = 0; b < num_bands; ++b) {
+    const std::size_t begin = b * n / num_bands;
+    const std::size_t end = (b + 1) * n / num_bands;
+    std::sort(entries.begin() + static_cast<std::ptrdiff_t>(begin),
+              entries.begin() + static_cast<std::ptrdiff_t>(end),
+              ListEntryOrder{});
+    row.band_begin.push_back(static_cast<std::uint32_t>(end));
+  }
+  row.entries = entries;
+  row.keys.resize(n);
+  row.scores.resize(n);
+  row.positions.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    row.keys[i] = entries[i].id;
+    row.scores[i] = entries[i].score;
+    row.positions[entries[i].id] = static_cast<std::uint32_t>(i);
+  }
+  row.tombstones.assign((n + 63) / 64, 0);
+  std::uniform_int_distribution<unsigned> pct(0, 99);
+  std::size_t dead = 0;
+  for (std::size_t key = 0; key < n; ++key) {
+    if (pct(rng) < tombstone_percent) {
+      row.tombstones[key >> 6] |= 1ull << (key & 63u);
+      ++dead;
+    }
+  }
+  row.live = n - dead;
+  return row;
+}
+
+double ExhaustView(const ListView& view) {
+  AccessCounter counter;
+  std::size_t cursor = 0;
+  double sum = 0.0;
+  while (view.SkipToLive(cursor)) {
+    sum += view.ReadSequential(cursor, counter).score;
+  }
+  return sum;
+}
+
+// The pre-SoA flat ListView scan, reconstructed: interleaved ListEntry
+// storage with the per-entry liveness test loading the full 16-byte entry,
+// behind the same cursor/counter interface — so the A/B isolates the storage
+// layout, not the call structure around it.
+class AosRefView {
+ public:
+  AosRefView(std::span<const ListEntry> entries, std::size_t key_space,
+             std::span<const std::uint64_t> tombstones)
+      : entries_(entries), key_space_(key_space), tombstones_(tombstones) {}
+
+  bool SkipToLive(std::size_t& cursor) const {
+    while (cursor < entries_.size() && Dead(entries_[cursor].id)) ++cursor;
+    return cursor < entries_.size();
+  }
+
+  ListEntry ReadSequential(std::size_t& cursor, AccessCounter& counter) const {
+    ++counter.sequential;
+    return entries_[cursor++];
+  }
+
+ private:
+  bool Dead(ListKey key) const {
+    if (key >= key_space_) return true;
+    return (tombstones_[key >> 6] >> (key & 63u)) & 1u;
+  }
+
+  std::span<const ListEntry> entries_;
+  std::size_t key_space_;
+  std::span<const std::uint64_t> tombstones_;
+};
+
+// Arg = tombstone density in percent. The SoA path scans the 4-byte key
+// array (vectorized under GRECA_SIMD) and touches scores only for live
+// entries; the AoS reference below walks the interleaved 16-byte entries.
+void BM_TombstoneSkipScanSoA(benchmark::State& state) {
+  const SyntheticRow row = MakeSyntheticRow(
+      kLayoutRowLength, 1, static_cast<unsigned>(state.range(0)));
+  const ListView view(row.keys, row.scores, row.positions, row.keys.size(),
+                      row.live, row.tombstones);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExhaustView(view));
+  }
+  state.counters["live_entries"] = static_cast<double>(row.live);
+}
+BENCHMARK(BM_TombstoneSkipScanSoA)->Arg(0)->Arg(25)->Arg(75);
+
+void BM_TombstoneSkipScanAoS(benchmark::State& state) {
+  // The pre-SoA layout: liveness testing loads each full ListEntry, so one
+  // cache line covers 4 entries instead of 16 and nothing vectorizes.
+  const SyntheticRow row = MakeSyntheticRow(
+      kLayoutRowLength, 1, static_cast<unsigned>(state.range(0)));
+  const AosRefView view(row.entries, row.entries.size(), row.tombstones);
+  for (auto _ : state) {
+    AccessCounter counter;
+    std::size_t cursor = 0;
+    double sum = 0.0;
+    while (view.SkipToLive(cursor)) {
+      sum += view.ReadSequential(cursor, counter).score;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["live_entries"] = static_cast<double>(row.live);
+}
+BENCHMARK(BM_TombstoneSkipScanAoS)->Arg(0)->Arg(25)->Arg(75);
+
+// Arg = band count. Each iteration rewinds the cursor, so the loser-tree
+// timing includes the per-query merge reset — the cost a real query pays.
+void BM_BandMergeLoserTree(benchmark::State& state) {
+  const SyntheticRow row = MakeSyntheticRow(
+      kLayoutRowLength, static_cast<std::size_t>(state.range(0)), 25);
+  const ListView view(row.keys, row.scores, row.positions, row.keys.size(),
+                      row.live, row.tombstones, row.band_begin);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExhaustView(view));
+  }
+}
+BENCHMARK(BM_BandMergeLoserTree)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BandMergeArgmin(benchmark::State& state) {
+  // The pre-loser-tree merge: one linear argmin over every band head per
+  // consumed entry, same (score desc, key asc) order and tombstone skipping.
+  const std::size_t nb = static_cast<std::size_t>(state.range(0));
+  const SyntheticRow row = MakeSyntheticRow(kLayoutRowLength, nb, 25);
+  const auto live_at = [&](std::uint32_t pos) {
+    const ListKey key = row.keys[pos];
+    return ((row.tombstones[key >> 6] >> (key & 63u)) & 1u) == 0;
+  };
+  for (auto _ : state) {
+    std::array<std::uint32_t, ListView::kMaxBands> head{};
+    for (std::size_t b = 0; b < nb; ++b) {
+      std::uint32_t h = row.band_begin[b];
+      while (h < row.band_begin[b + 1] && !live_at(h)) ++h;
+      head[b] = h;
+    }
+    double sum = 0.0;
+    for (;;) {
+      std::size_t best = nb;
+      for (std::size_t b = 0; b < nb; ++b) {
+        if (head[b] == row.band_begin[b + 1]) continue;
+        if (best == nb) {
+          best = b;
+          continue;
+        }
+        const double sb = row.scores[head[b]];
+        const double sw = row.scores[head[best]];
+        if (sb > sw ||
+            (sb == sw && row.keys[head[b]] < row.keys[head[best]])) {
+          best = b;
+        }
+      }
+      if (best == nb) break;
+      sum += row.scores[head[best]];
+      std::uint32_t h = head[best] + 1;
+      while (h < row.band_begin[best + 1] && !live_at(h)) ++h;
+      head[best] = h;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BandMergeArgmin)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_NaivePopulationAverage(benchmark::State& state) {
   const auto& ctx = BenchContext::Get();

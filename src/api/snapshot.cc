@@ -5,66 +5,29 @@
 
 namespace greca {
 
-void PeriodListCache::EvictIfNeededLocked() {
-  while (max_entries_ > 0 && cache_.size() > max_entries_) {
-    auto victim = cache_.begin();
-    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-      if (it->second.last_used < victim->second.last_used) victim = it;
-    }
-    cache_.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
 std::shared_ptr<const SortedList> PeriodListCache::GetShared(
     std::span<const UserId> group, PeriodId p, const AffinitySource& source) {
-  const KeyView probe{group, p};
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = cache_.find(probe);  // heterogeneous: no key allocation
-    if (it != cache_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      it->second.last_used = ++use_clock_;
-      return it->second.list;
-    }
-  }
-  // Materialize outside the lock so a slow build never stalls other readers'
-  // cache hits; concurrent builders of the same key race benignly (the loser
-  // drops its copy).
-  auto list = std::make_shared<SortedList>();
-  std::vector<ListEntry> scratch;
-  source.MaterializePeriodListInto(group, p, scratch, *list);
-  Key key{std::vector<UserId>(group.begin(), group.end()), p};
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = cache_.try_emplace(std::move(key));
-  if (inserted) {
-    it->second.list = std::move(list);
-    misses_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-  }
-  it->second.last_used = ++use_clock_;
-  std::shared_ptr<const SortedList> result = it->second.list;
-  // Evict AFTER grabbing the result: even a cap of 1 under heavy churn hands
-  // every caller a live list (the shared_ptr outlives residency).
-  EvictIfNeededLocked();
-  return result;
-}
-
-std::size_t PeriodListCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_.size();
+  return cache_.GetOrBuild(
+      group, static_cast<std::uint64_t>(p),
+      [&]() -> std::shared_ptr<const SortedList> {
+        // Materialized outside the cache lock (see BoundedGroupCache);
+        // concurrent builders of the same key race benignly (the loser
+        // drops its copy).
+        auto list = std::make_shared<SortedList>();
+        std::vector<ListEntry> scratch;
+        source.MaterializePeriodListInto(group, p, scratch, *list);
+        return list;
+      });
 }
 
 std::size_t PeriodListCache::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::size_t bytes = 0;
-  for (const auto& [key, entry] : cache_) {
-    bytes += key.group.size() * sizeof(UserId) + sizeof(Key) + sizeof(Entry);
-    bytes += sizeof(SortedList) + entry.list->size() * sizeof(ListEntry) +
-             entry.list->key_space() * sizeof(std::uint32_t);
-  }
-  return bytes;
+  return cache_.MemoryBytes([](const SortedList& list) {
+    // SoA rows: 4-byte keys + 8-byte scores per entry, 4-byte positions per
+    // key-space slot.
+    return sizeof(SortedList) +
+           list.size() * (sizeof(ListKey) + sizeof(Score)) +
+           list.key_space() * sizeof(std::uint32_t);
+  });
 }
 
 Snapshot::Snapshot(
@@ -73,14 +36,17 @@ Snapshot::Snapshot(
     std::shared_ptr<const std::vector<std::vector<Score>>> predictions,
     std::shared_ptr<const PreferenceIndex> index,
     std::shared_ptr<const AffinitySource> affinity,
-    std::shared_ptr<PeriodListCache> cache)
+    std::shared_ptr<PeriodListCache> cache,
+    std::size_t tombstone_cache_max_entries)
     : generation_(generation),
       ratings_(std::move(ratings)),
       predictions_(std::move(predictions)),
       index_(std::move(index)),
       affinity_(std::move(affinity)),
       cache_(cache != nullptr ? std::move(cache)
-                              : std::make_shared<PeriodListCache>()) {
+                              : std::make_shared<PeriodListCache>()),
+      tombstone_cache_(
+          std::make_shared<TombstoneCache>(tombstone_cache_max_entries)) {
   assert(ratings_ != nullptr);
   assert(predictions_ != nullptr);
   assert(index_ != nullptr);

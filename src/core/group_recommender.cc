@@ -47,7 +47,7 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
           : std::vector<std::uint32_t>{};
   auto index = std::make_shared<const PreferenceIndex>(PreferenceIndex::Build(
       *predictions, /*scale_max=*/5.0, std::move(pool), universe.num_items(),
-      breakpoints));
+      breakpoints, options_.build_flat_twin));
   // Generation 1 aliases the study-owned ratings (non-owning shared_ptr —
   // the study outlives the recommender by contract) under an empty delta
   // log; live updates accumulate in later generations' logs until a
@@ -58,7 +58,8 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
       /*generation=*/1,
       std::make_shared<const RatingsOverlay>(std::move(base)),
       std::move(predictions), std::move(index), std::move(source),
-      std::make_shared<PeriodListCache>(options_.period_cache_max_entries));
+      std::make_shared<PeriodListCache>(options_.period_cache_max_entries),
+      options_.tombstone_cache_max_entries);
 }
 
 std::uint64_t GroupRecommender::Publish(
@@ -71,7 +72,8 @@ std::uint64_t GroupRecommender::Publish(
   const std::uint64_t generation = next_generation_++;
   auto next = std::make_shared<const Snapshot>(
       generation, std::move(ratings), std::move(preds), std::move(index),
-      std::move(source), std::move(cache));
+      std::move(source), std::move(cache),
+      options_.tombstone_cache_max_entries);
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(next);
   return generation;
@@ -334,6 +336,7 @@ Result<GroupProblem> GroupRecommender::BuildProblem(
   ctx.key_index = &snap->index();
   ctx.affinity = &snap->affinity();
   ctx.period_cache = snap->period_cache_ptr().get();
+  ctx.tombstone_cache = snap->tombstone_cache_ptr().get();
   ctx.exclude_group_rated = options_.exclude_group_rated;
   GroupProblem problem = AssembleGroupProblem(ctx, group, slices, spec,
                                               eval_period, candidates_out,

@@ -104,6 +104,12 @@ struct RecommenderOptions {
   /// bands double from here up to the pool size). Pool prefixes of at least
   /// half this size keep exhaustive scans within 2× the prefix.
   std::size_t min_band_size = 64;
+  /// Whether banded rows also keep a global-order twin — the wide-prefix
+  /// fast path (served when a prefix covers more than half the row). False
+  /// halves index row storage; wide prefixes then pay the banded merge.
+  /// Results are bit-identical either way. Ignored on kFlat (no twin
+  /// exists). See PreferenceIndex::MemoryBreakdownBytes for the split.
+  bool build_flat_twin = true;
 
   // --- Delta-log compaction policy (live updates) ---
   // Live ratings accumulate in a per-user delta log (keeping publishes
@@ -134,6 +140,10 @@ struct RecommenderOptions {
   /// recently used lists are evicted past it (0 = unbounded). See
   /// PeriodListCache.
   std::size_t period_cache_max_entries = PeriodListCache::kDefaultMaxEntries;
+
+  /// Residency cap of the generation-scoped (group, pool) tombstone-bitmap
+  /// cache (0 = unbounded). See TombstoneCache.
+  std::size_t tombstone_cache_max_entries = TombstoneCache::kDefaultMaxEntries;
 };
 
 struct QuerySpec {

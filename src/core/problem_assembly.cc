@@ -89,15 +89,14 @@ GroupProblem AssembleGroupProblem(const AssemblyContext& ctx,
   // exclusion), so no preference list is sorted or copied per query.
   const std::size_t pool =
       std::min(spec.num_candidate_items, key_index.pool_size());
-  arena.tombstones.assign((pool + 63) / 64, 0);
-  if (ctx.exclude_group_rated) {
-    // A member's rated items = the immutable base row plus the live delta
-    // row of the overlay that SERVES that member (the member's own shard on
-    // the sharded path — deltas are partitioned by user, so the union is
-    // identical to the single-overlay fold).
+  // A member's rated items = the immutable base row plus the live delta
+  // row of the overlay that SERVES that member (the member's own shard on
+  // the sharded path — deltas are partitioned by user, so the union is
+  // identical to the single-overlay fold).
+  const auto mark_group_rated = [&](std::vector<std::uint64_t>& words) {
     const auto mark = [&](ItemId item) {
       const std::uint32_t key = key_index.PoolPositionOf(item);
-      if (key < pool) arena.tombstones[key >> 6] |= 1ull << (key & 63u);
+      if (key < pool) words[key >> 6] |= 1ull << (key & 63u);
     };
     for (const MemberSlice& m : members) {
       const RatingsOverlay& ratings = *m.ratings;
@@ -106,18 +105,48 @@ GroupProblem AssembleGroupProblem(const AssemblyContext& ctx,
       }
       for (const auto& e : ratings.DeltaOfUser(m.ratings_user)) mark(e.item);
     }
+  };
+  const auto count_live = [pool](std::span<const std::uint64_t> words) {
+    std::size_t tombstoned = 0;
+    for (const std::uint64_t word : words) {
+      tombstoned += static_cast<std::size_t>(std::popcount(word));
+    }
+    return pool - tombstoned;
+  };
+
+  std::span<const std::uint64_t> tombstones;
+  std::size_t live = pool;
+  arena.tombstone_pin.reset();
+  if (ctx.exclude_group_rated && ctx.tombstone_cache != nullptr) {
+    // Memoized path: bitmaps depend only on (group, pool) within one
+    // snapshot generation — repeated groups skip the per-member rated-item
+    // walk entirely. The pin keeps an evicted bitmap alive for the
+    // problem's lifetime (the arena outlives the problem by contract).
+    std::shared_ptr<const TombstoneSet> set = ctx.tombstone_cache->GetShared(
+        group, pool, [&]() -> std::shared_ptr<const TombstoneSet> {
+          auto fresh = std::make_shared<TombstoneSet>();
+          fresh->words.assign((pool + 63) / 64, 0);
+          mark_group_rated(fresh->words);
+          fresh->live = count_live(fresh->words);
+          return fresh;
+        });
+    tombstones = set->words;
+    live = set->live;
+    arena.tombstone_pin = std::move(set);
+  } else {
+    arena.tombstones.assign((pool + 63) / 64, 0);
+    if (ctx.exclude_group_rated) {
+      mark_group_rated(arena.tombstones);
+      live = count_live(arena.tombstones);
+    }
+    tombstones = arena.tombstones;
   }
-  std::size_t tombstoned = 0;
-  for (const std::uint64_t word : arena.tombstones) {
-    tombstoned += static_cast<std::size_t>(std::popcount(word));
-  }
-  const std::size_t live = pool - tombstoned;
 
   arena.preference_views.clear();
   arena.preference_views.reserve(members.size());
   for (const MemberSlice& m : members) {
     arena.preference_views.push_back(
-        m.index->UserView(m.row, pool, arena.tombstones, live));
+        m.index->UserView(m.row, pool, tombstones, live));
   }
 
   // Affinity lists come only from the bound source: the static list is

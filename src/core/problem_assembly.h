@@ -45,6 +45,10 @@ struct AssemblyContext {
   /// The (group, period) list cache; may be null only for models that read
   /// no period lists (!time_aware or !affinity_aware).
   PeriodListCache* period_cache = nullptr;
+  /// The generation-scoped (group, pool) tombstone-bitmap memo; null = build
+  /// the bitmap per call (the sharded path, where members pin a MIX of shard
+  /// generations and no single generation can scope a cache).
+  TombstoneCache* tombstone_cache = nullptr;
   bool exclude_group_rated = true;
 };
 

@@ -8,6 +8,25 @@
 
 namespace greca {
 
+namespace {
+
+/// AoS fill/sort scratch, one per thread: rows are filled and sorted as
+/// interleaved (key, score) entries — exactly the pre-SoA semantics, under
+/// the one canonical ListEntryOrder — then scattered into the parallel
+/// arrays. Thread-local so the parallel build/clone fan-outs stay
+/// allocation-free after warm-up without sharing buffers across workers.
+std::vector<ListEntry>& RowScratch() {
+  thread_local std::vector<ListEntry> scratch;
+  return scratch;
+}
+
+std::vector<ListEntry>& FlatScratch() {
+  thread_local std::vector<ListEntry> scratch;
+  return scratch;
+}
+
+}  // namespace
+
 std::vector<std::uint32_t> PreferenceIndex::GeometricBandBreakpoints(
     std::size_t pool_size, std::size_t first_band) {
   std::vector<std::uint32_t> breakpoints;
@@ -19,27 +38,36 @@ std::vector<std::uint32_t> PreferenceIndex::GeometricBandBreakpoints(
   return breakpoints;
 }
 
-void PreferenceIndex::SortRow(UserId u) {
+void PreferenceIndex::SortRow(UserId u, std::span<ListEntry> row) {
   const std::size_t pool_size = pool_.size();
-  ListEntry* const out = entries_.data() + u * pool_size;
-  std::uint32_t* const pos = positions_.data() + u * pool_size;
+  assert(row.size() == pool_size);
   constexpr ListEntryOrder by_score{};
-  if (!flat_entries_.empty()) {
+  if (!flat_keys_.empty()) {
     // Global-order twin for the large-prefix fast path, sorted from the
     // key-order fill before the bands scramble it.
-    ListEntry* const flat = flat_entries_.data() + u * pool_size;
-    std::uint32_t* const flat_pos = flat_positions_.data() + u * pool_size;
-    std::copy(out, out + pool_size, flat);
-    std::sort(flat, flat + pool_size, by_score);
+    std::vector<ListEntry>& flat = FlatScratch();
+    flat.assign(row.begin(), row.end());
+    std::sort(flat.begin(), flat.end(), by_score);
+    ListKey* const fk = flat_keys_.data() + u * pool_size;
+    Score* const fs = flat_scores_.data() + u * pool_size;
+    std::uint32_t* const fpos = flat_positions_.data() + u * pool_size;
     for (std::size_t p = 0; p < pool_size; ++p) {
-      flat_pos[flat[p].id] = static_cast<std::uint32_t>(p);
+      fk[p] = flat[p].id;
+      fs[p] = flat[p].score;
+      fpos[flat[p].id] = static_cast<std::uint32_t>(p);
     }
   }
   for (std::size_t b = 0; b + 1 < band_begin_.size(); ++b) {
-    std::sort(out + band_begin_[b], out + band_begin_[b + 1], by_score);
+    std::sort(row.begin() + band_begin_[b], row.begin() + band_begin_[b + 1],
+              by_score);
   }
+  ListKey* const keys = keys_.data() + u * pool_size;
+  Score* const scores = scores_.data() + u * pool_size;
+  std::uint32_t* const pos = positions_.data() + u * pool_size;
   for (std::size_t p = 0; p < pool_size; ++p) {
-    pos[out[p].id] = static_cast<std::uint32_t>(p);
+    keys[p] = row[p].id;
+    scores[p] = row[p].score;
+    pos[row[p].id] = static_cast<std::uint32_t>(p);
   }
 }
 
@@ -47,7 +75,8 @@ void PreferenceIndex::RebuildRow(UserId u,
                                  std::span<const Score> predictions) {
   assert(scale_max_ > 0.0);
   const std::size_t pool_size = pool_.size();
-  ListEntry* const out = entries_.data() + u * pool_size;
+  std::vector<ListEntry>& row = RowScratch();
+  row.resize(pool_size);
   // Band b holds exactly the keys [band_begin_[b], band_begin_[b+1]), so a
   // key-order fill already places every entry in its band; each band is then
   // score-sorted independently. One band (the flat layout) degenerates to
@@ -55,10 +84,10 @@ void PreferenceIndex::RebuildRow(UserId u,
   // path: keys are pool positions, scores predictions/scale_max in [0, 1].
   for (std::uint32_t key = 0; key < pool_size; ++key) {
     assert(pool_[key] < predictions.size());
-    out[key] = {key, std::clamp(predictions[pool_[key]] / scale_max_,
+    row[key] = {key, std::clamp(predictions[pool_[key]] / scale_max_,
                                 0.0, 1.0)};
   }
-  SortRow(u);
+  SortRow(u, row);
 }
 
 void PreferenceIndex::RebuildRowFromPool(UserId u,
@@ -66,17 +95,18 @@ void PreferenceIndex::RebuildRowFromPool(UserId u,
   assert(scale_max_ > 0.0);
   const std::size_t pool_size = pool_.size();
   assert(pool_scores.size() == pool_size);
-  ListEntry* const out = entries_.data() + u * pool_size;
+  std::vector<ListEntry>& row = RowScratch();
+  row.resize(pool_size);
   for (std::uint32_t key = 0; key < pool_size; ++key) {
-    out[key] = {key, std::clamp(pool_scores[key] / scale_max_, 0.0, 1.0)};
+    row[key] = {key, std::clamp(pool_scores[key] / scale_max_, 0.0, 1.0)};
   }
-  SortRow(u);
+  SortRow(u, row);
 }
 
 void PreferenceIndex::InitStorage(
     std::size_t num_rows, double scale_max, std::vector<ItemId> pool,
     std::size_t num_universe_items,
-    std::span<const std::uint32_t> band_breakpoints) {
+    std::span<const std::uint32_t> band_breakpoints, bool build_flat_twin) {
   num_users_ = num_rows;
   scale_max_ = scale_max;
   pool_ = std::move(pool);
@@ -102,10 +132,12 @@ void PreferenceIndex::InitStorage(
     pool_position_of_item_[pool_[key]] = static_cast<std::uint32_t>(key);
   }
 
-  entries_.resize(num_users_ * pool_size);
+  keys_.resize(num_users_ * pool_size);
+  scores_.resize(num_users_ * pool_size);
   positions_.resize(num_users_ * pool_size);
-  if (num_bands() > 1) {
-    flat_entries_.resize(num_users_ * pool_size);
+  if (num_bands() > 1 && build_flat_twin) {
+    flat_keys_.resize(num_users_ * pool_size);
+    flat_scores_.resize(num_users_ * pool_size);
     flat_positions_.resize(num_users_ * pool_size);
   }
 }
@@ -113,10 +145,10 @@ void PreferenceIndex::InitStorage(
 PreferenceIndex PreferenceIndex::Build(
     std::span<const std::vector<Score>> predictions, double scale_max,
     std::vector<ItemId> pool, std::size_t num_universe_items,
-    std::span<const std::uint32_t> band_breakpoints) {
+    std::span<const std::uint32_t> band_breakpoints, bool build_flat_twin) {
   PreferenceIndex index;
   index.InitStorage(predictions.size(), scale_max, std::move(pool),
-                    num_universe_items, band_breakpoints);
+                    num_universe_items, band_breakpoints, build_flat_twin);
   for (UserId u = 0; u < index.num_users_; ++u) {
     index.RebuildRow(u, predictions[u]);
   }
@@ -126,10 +158,11 @@ PreferenceIndex PreferenceIndex::Build(
 PreferenceIndex PreferenceIndex::BuildStreaming(
     std::size_t num_rows, const PoolScoreFiller& fill, double scale_max,
     std::vector<ItemId> pool, std::size_t num_universe_items,
-    std::span<const std::uint32_t> band_breakpoints, ThreadPool* threads) {
+    std::span<const std::uint32_t> band_breakpoints, bool build_flat_twin,
+    ThreadPool* threads) {
   PreferenceIndex index;
   index.InitStorage(num_rows, scale_max, std::move(pool), num_universe_items,
-                    band_breakpoints);
+                    band_breakpoints, build_flat_twin);
   const std::size_t pool_size = index.pool_.size();
   if (threads != nullptr && num_rows > 1) {
     // One raw-score scratch per worker; rows are disjoint, so concurrent
@@ -183,9 +216,11 @@ PreferenceIndex PreferenceIndex::CloneWithUpdatedRows(
   // full array, while any skip-the-touched-rows scheme pays a full
   // value-initializing resize first — double the memory traffic of this
   // single copy.
-  clone.entries_ = entries_;
+  clone.keys_ = keys_;
+  clone.scores_ = scores_;
   clone.positions_ = positions_;
-  clone.flat_entries_ = flat_entries_;
+  clone.flat_keys_ = flat_keys_;
+  clone.flat_scores_ = flat_scores_;
   clone.flat_positions_ = flat_positions_;
   RebuildTouchedRows(users.size(), threads, [&](std::size_t i) {
     assert(users[i] < num_users_);
@@ -205,9 +240,11 @@ PreferenceIndex PreferenceIndex::CloneWithUpdatedPoolRows(
   clone.pool_ = pool_;
   clone.pool_position_of_item_ = pool_position_of_item_;
   clone.band_begin_ = band_begin_;
-  clone.entries_ = entries_;
+  clone.keys_ = keys_;
+  clone.scores_ = scores_;
   clone.positions_ = positions_;
-  clone.flat_entries_ = flat_entries_;
+  clone.flat_keys_ = flat_keys_;
+  clone.flat_scores_ = flat_scores_;
   clone.flat_positions_ = flat_positions_;
   RebuildTouchedRows(users.size(), threads, [&](std::size_t i) {
     assert(users[i] < num_users_);

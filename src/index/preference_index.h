@@ -5,15 +5,23 @@
 // inside every BuildProblem call — the dominant per-query cost at scale
 // (§4.2's candidate-pool sweep exists precisely because list preparation
 // dominates). This index moves that work to construction time: for every
-// study participant it stores one entry array over the popular-item pool,
-// sorted by descending predicted preference, plus a key→position array for
-// random access.
+// study participant it stores one row over the popular-item pool, sorted by
+// descending predicted preference, plus a key→position array for random
+// access.
 //
 // Keys are pool positions (popularity ranks), so a query's candidate pool of
 // size C is simply the key prefix [0, C): UserView() restricts a stored row
 // to that prefix and tombstones the group's already-rated items via a bitmap
 // — no per-query sort, copy, or re-keying. One index snapshot is shared
 // read-only by every batch worker (src/api/engine.h).
+//
+// Row storage is structure-of-arrays: parallel key (uint32) and score
+// (double) arrays per row instead of interleaved (key, score) structs. The
+// serving hot loops — tombstone-skip scans, band-head skips — test liveness
+// from keys alone, so they read 4 bytes per entry (vs 16 padded) and
+// vectorize over the bare key array (topk/simd.h); scores are only touched
+// for entries actually consumed. 12 bytes/entry of row payload (key + score)
+// plus 4 bytes/entry of position map, per stored order.
 //
 // Row layout. A row is partitioned into popularity bands: band b holds
 // exactly the keys [band_begin[b], band_begin[b+1]), each band sorted
@@ -22,19 +30,21 @@
 // sequential scan walks at most the next band boundary past the prefix
 // (≤ 2× the prefix under the geometric grid) instead of the full row — the
 // fix for the prefix-slice skip-tail pathology. ListView merges the band
-// heads on the fly; merged order equals a global sort, so results and access
-// counts are bit-identical across layouts. With a single band (the flat
-// layout, band_begin = {0, pool}) the row is globally sorted and views
-// degenerate to the plain linear walk — kept as an equivalence and bench
-// baseline (RecommenderOptions::index_layout).
+// heads through a loser tree; merged order equals a global sort, so results
+// and access counts are bit-identical across layouts. With a single band
+// (the flat layout, band_begin = {0, pool}) the row is globally sorted and
+// views degenerate to the plain linear walk — kept as an equivalence and
+// bench baseline (RecommenderOptions::index_layout).
 //
 // A banded index additionally keeps each row in global (flat) order: when a
 // prefix covers most of the row the band merge cannot pay for itself (few
-// skipped entries, per-read argmin over the band heads), so UserView serves
-// the flat copy whenever the covered footprint exceeds half the row —
-// large-prefix queries keep the exact pre-banding fast path. The dual order
-// doubles per-row storage, but rows exist only for study participants
-// (72 × pool ≈ a few MB), not universe users.
+// skipped entries, per-read head comparisons), so UserView serves the flat
+// copy whenever the covered footprint exceeds half the row — large-prefix
+// queries keep the exact pre-banding fast path. The dual order doubles
+// per-row storage (MemoryBreakdownBytes() reports the split); callers that
+// never serve wide prefixes can skip the twin at build time
+// (build_flat_twin = false), in which case wide prefixes take the banded
+// merge — same results, no twin bytes.
 //
 // Live updates never mutate a published index. When ratings change, the
 // writer calls CloneWithUpdatedRows() with the affected users' fresh CF
@@ -63,6 +73,20 @@ class PreferenceIndex {
   /// PoolPositionOf() marker for items outside the popular-item pool.
   static constexpr std::uint32_t kNotPooled = 0xFFFFFFFFu;
 
+  /// Resident-size split of one index (MemoryBreakdownBytes): the banded SoA
+  /// rows, the global-order twin rows, and the pool/key maps.
+  struct MemoryBreakdown {
+    /// Band-order rows: keys + scores + key→position maps.
+    std::size_t banded_bytes = 0;
+    /// Global-order twin rows (0 on flat layouts or build_flat_twin=false).
+    std::size_t flat_twin_bytes = 0;
+    /// Pool vector, item→key map and the band grid.
+    std::size_t map_bytes = 0;
+    std::size_t total() const {
+      return banded_bytes + flat_twin_bytes + map_bytes;
+    }
+  };
+
   /// Builds the index: one sorted row per user in `predictions` (each a
   /// per-ItemId prediction array covering every universe item) over `pool`
   /// (universe items in popularity order). Scores are predictions / scale_max
@@ -71,11 +95,14 @@ class PreferenceIndex {
   /// the banded row layout; out-of-range or non-ascending values are
   /// dropped and the count is clamped to ListView::kMaxBands bands (a bad
   /// grid degrades to coarser bands, never to UB). Empty means one band —
-  /// the flat, globally sorted layout.
+  /// the flat, globally sorted layout. `build_flat_twin` = false skips the
+  /// global-order twin of banded rows (halves row storage; wide prefixes
+  /// then use the banded merge).
   static PreferenceIndex Build(
       std::span<const std::vector<Score>> predictions, double scale_max,
       std::vector<ItemId> pool, std::size_t num_universe_items,
-      std::span<const std::uint32_t> band_breakpoints = {});
+      std::span<const std::uint32_t> band_breakpoints = {},
+      bool build_flat_twin = true);
 
   /// Fills raw (universe-scale, un-normalized) scores for one row, one slot
   /// per POOL POSITION: out[key] is the prediction for pool[key]. The
@@ -95,7 +122,7 @@ class PreferenceIndex {
       std::size_t num_rows, const PoolScoreFiller& fill, double scale_max,
       std::vector<ItemId> pool, std::size_t num_universe_items,
       std::span<const std::uint32_t> band_breakpoints = {},
-      ThreadPool* threads = nullptr);
+      bool build_flat_twin = true, ThreadPool* threads = nullptr);
 
   /// The default banded grid: geometric (doubling) breakpoints
   /// {first_band, 2·first_band, ...} below `pool_size`, capped at
@@ -139,6 +166,9 @@ class PreferenceIndex {
   std::span<const std::uint32_t> band_boundaries() const {
     return band_begin_;
   }
+  /// True when banded rows also carry the global-order twin (the wide-prefix
+  /// fast path).
+  bool has_flat_twin() const { return !flat_keys_.empty(); }
 
   /// The popular-item pool in key order: pool()[key] is the universe item of
   /// candidate key `key` for every prefix slice.
@@ -151,9 +181,13 @@ class PreferenceIndex {
   }
 
   /// User `u`'s full row in band order (per-band descending score, ties by
-  /// ascending key; globally sorted when num_bands() == 1).
-  std::span<const ListEntry> UserEntries(UserId u) const {
-    return {entries_.data() + u * pool_.size(), pool_.size()};
+  /// ascending key; globally sorted when num_bands() == 1): parallel
+  /// key/score arrays, UserKeys(u)[p] scored UserScores(u)[p].
+  std::span<const ListKey> UserKeys(UserId u) const {
+    return {keys_.data() + u * pool_.size(), pool_.size()};
+  }
+  std::span<const Score> UserScores(UserId u) const {
+    return {scores_.data() + u * pool_.size(), pool_.size()};
   }
 
   /// Non-owning preference list of user `u` restricted to the candidate-pool
@@ -162,9 +196,9 @@ class PreferenceIndex {
   /// all members share both). Only the bands the prefix intersects back the
   /// view, so exhausting it never walks past the first band boundary >=
   /// prefix; a prefix whose covered footprint exceeds half the row serves
-  /// the flat-order copy instead (see the header comment — the merge cannot
-  /// pay for itself there). The view is valid as long as this index and the
-  /// tombstone buffer live.
+  /// the flat-order copy instead when the twin exists (see the header
+  /// comment — the merge cannot pay for itself there). The view is valid as
+  /// long as this index and the tombstone buffer live.
   ListView UserView(UserId u, std::size_t prefix,
                     std::span<const std::uint64_t> tombstones,
                     std::size_t live_entries) const {
@@ -172,74 +206,95 @@ class PreferenceIndex {
     assert(prefix <= pool_size);
     if (num_bands() == 1) {
       // Flat layout: the banded arrays ARE the globally sorted row.
-      return ListView(UserEntries(u),
+      return ListView(UserKeys(u), UserScores(u),
                       {positions_.data() + u * pool_size, pool_size}, prefix,
                       live_entries, tombstones);
     }
     std::size_t nb = 1;  // covered bands: band_begin_[nb - 1] < prefix
     while (band_begin_[nb] < prefix) ++nb;
     const std::size_t footprint = band_begin_[nb];
-    if (2 * footprint > pool_size) {
+    if (2 * footprint > pool_size && has_flat_twin()) {
       // Cost-model guard: the merge must at least halve the walk, otherwise
       // the flat copy (no merge, pre-banding behavior) is the better lens.
-      return ListView({flat_entries_.data() + u * pool_size, pool_size},
+      return ListView({flat_keys_.data() + u * pool_size, pool_size},
+                      {flat_scores_.data() + u * pool_size, pool_size},
                       {flat_positions_.data() + u * pool_size, pool_size},
                       prefix, live_entries, tombstones);
     }
-    const std::span<const ListEntry> entries{entries_.data() + u * pool_size,
-                                             footprint};
+    const std::span<const ListKey> keys{keys_.data() + u * pool_size,
+                                        footprint};
+    const std::span<const Score> scores{scores_.data() + u * pool_size,
+                                        footprint};
     const std::span<const std::uint32_t> positions{
         positions_.data() + u * pool_size, pool_size};
     if (nb == 1) {
       // One covered band is already sorted — plain flat view, no merge.
-      return ListView(entries, positions, prefix, live_entries, tombstones);
+      return ListView(keys, scores, positions, prefix, live_entries,
+                      tombstones);
     }
-    return ListView(entries, positions, prefix, live_entries, tombstones,
+    return ListView(keys, scores, positions, prefix, live_entries, tombstones,
                     std::span<const std::uint32_t>(band_begin_.data(), nb + 1));
   }
 
-  /// Approximate resident size, for capacity planning.
-  std::size_t MemoryBytes() const {
-    return (entries_.size() + flat_entries_.size()) * sizeof(ListEntry) +
-           (positions_.size() + flat_positions_.size()) *
-               sizeof(std::uint32_t) +
-           pool_.size() * sizeof(ItemId) +
-           pool_position_of_item_.size() * sizeof(std::uint32_t) +
-           band_begin_.size() * sizeof(std::uint32_t);
+  /// Resident size split by component, for capacity planning and the bench
+  /// JSON (BENCH_batch.json index_memory).
+  MemoryBreakdown MemoryBreakdownBytes() const {
+    MemoryBreakdown b;
+    b.banded_bytes = keys_.size() * sizeof(ListKey) +
+                     scores_.size() * sizeof(Score) +
+                     positions_.size() * sizeof(std::uint32_t);
+    b.flat_twin_bytes = flat_keys_.size() * sizeof(ListKey) +
+                        flat_scores_.size() * sizeof(Score) +
+                        flat_positions_.size() * sizeof(std::uint32_t);
+    b.map_bytes = pool_.size() * sizeof(ItemId) +
+                  pool_position_of_item_.size() * sizeof(std::uint32_t) +
+                  band_begin_.size() * sizeof(std::uint32_t);
+    return b;
   }
+
+  /// Approximate total resident size (the breakdown summed).
+  std::size_t MemoryBytes() const { return MemoryBreakdownBytes().total(); }
 
  private:
   /// Re-sorts user `u`'s row (per band) and its key→position map from a
   /// fresh prediction array. Internal: only called on rows of an unpublished
   /// copy. Safe to call concurrently on DISTINCT rows (each row's storage is
-  /// disjoint) — the parallel build/clone paths rely on that.
+  /// disjoint; the sort scratch is thread-local) — the parallel build/clone
+  /// paths rely on that.
   void RebuildRow(UserId u, std::span<const Score> predictions);
 
   /// RebuildRow twin fed raw scores per pool position (pool_scores[key] is
   /// the score of pool_[key]); same normalization and ordering.
   void RebuildRowFromPool(UserId u, std::span<const Score> pool_scores);
 
-  /// The shared sort tail of both fills: sorts u's key-order row per band
-  /// (plus the flat twin) and refreshes the key→position maps.
-  void SortRow(UserId u);
+  /// The shared sort tail of both fills: `row` is the key-order AoS fill
+  /// (row[key] = {key, score}); sorts it per band (plus globally for the
+  /// flat twin) with ListEntryOrder and scatters into the SoA arrays and
+  /// key→position maps.
+  void SortRow(UserId u, std::span<ListEntry> row);
 
-  /// Sizes entries_/positions_ (and the flat twins) and installs the pool,
-  /// the item→key map and the normalized band grid — everything Build and
+  /// Sizes the SoA arrays (and the flat twins) and installs the pool, the
+  /// item→key map and the normalized band grid — everything Build and
   /// BuildStreaming share before the per-row fills.
   void InitStorage(std::size_t num_rows, double scale_max,
                    std::vector<ItemId> pool, std::size_t num_universe_items,
-                   std::span<const std::uint32_t> band_breakpoints);
+                   std::span<const std::uint32_t> band_breakpoints,
+                   bool build_flat_twin);
 
   std::size_t num_users_ = 0;
   double scale_max_ = 1.0;                            // score normalization
   std::vector<ItemId> pool_;                          // key -> universe item
   std::vector<std::uint32_t> pool_position_of_item_;  // item -> key
   std::vector<std::uint32_t> band_begin_ = {0, 0};  // band b = [b, b+1) keys
-  std::vector<ListEntry> entries_;    // band order; num_users × pool_size
+  // Band-order SoA rows, num_users × pool_size each: keys_[u·P + p] is the
+  // key at row position p, scores_ its score, positions_ the inverse map.
+  std::vector<ListKey> keys_;
+  std::vector<Score> scores_;
   std::vector<std::uint32_t> positions_;  // key -> band-order row position
-  // Global-order twin of entries_/positions_, populated only when
-  // num_bands() > 1 — the large-prefix fast path (see UserView).
-  std::vector<ListEntry> flat_entries_;
+  // Global-order twin of the row arrays, populated only when num_bands() > 1
+  // and build_flat_twin — the large-prefix fast path (see UserView).
+  std::vector<ListKey> flat_keys_;
+  std::vector<Score> flat_scores_;
   std::vector<std::uint32_t> flat_positions_;
 };
 

@@ -32,6 +32,22 @@ void AllMemberPreferences(std::span<const double> apref,
                           std::span<const double> pair_aff,
                           std::span<double> out);
 
+/// Expands the packed upper-triangular pair affinities into a dense row-major
+/// g×g weight matrix with a zero diagonal: `w[u*g + v] = pair_aff[q(u, v)]`
+/// for u ≠ v. Exhaustive scorers call AllMemberPreferences once per candidate
+/// item with the same pair affinities; pre-expanding turns the per-item pair
+/// indexing into a straight-line mat-vec. `w.size()` must be g·g.
+void ExpandPairWeights(std::span<const double> pair_aff, std::size_t g,
+                       std::span<double> w);
+
+/// AllMemberPreferences against a pre-expanded dense weight matrix. The inner
+/// loop is branchless: the zero diagonal contributes an exact `0.0 · apref[u]`
+/// term, so results are bit-identical to the packed form for the model's
+/// finite non-negative inputs (the summation order is unchanged).
+void AllMemberPreferencesDense(std::span<const double> apref,
+                               std::span<const double> w,
+                               std::span<double> out);
+
 /// Sound interval propagation of the same formula: all components are
 /// non-negative, so interval endpoints multiply/add directly.
 void AllMemberPreferenceIntervals(std::span<const Interval> apref,

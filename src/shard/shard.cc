@@ -31,7 +31,7 @@ Shard::Shard(std::size_t shard_id, std::vector<UserId> users,
             predictor_(global, ratings.RatingsOfUser(global), p, out);
           },
           scale_max, std::move(pool), num_universe_items, band_breakpoints,
-          build_threads));
+          options_.build_flat_twin, build_threads));
   snapshot_ = MakeSnapshot(/*generation=*/1, std::move(overlay),
                            std::move(index));
 }

@@ -73,6 +73,9 @@ struct ShardSnapshot {
 struct ShardOptions {
   std::size_t compact_every_n_publishes = 0;
   double compact_delta_fraction = 0.25;
+  /// Keep the global-order twin of banded rows (see
+  /// RecommenderOptions::build_flat_twin).
+  bool build_flat_twin = true;
 };
 
 class Shard {

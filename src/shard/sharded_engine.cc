@@ -78,6 +78,7 @@ void ShardedEngine::BuildShards(std::shared_ptr<const RatingsDataset> base,
   ShardOptions shard_options;
   shard_options.compact_every_n_publishes = options_.compact_every_n_publishes;
   shard_options.compact_delta_fraction = options_.compact_delta_fraction;
+  shard_options.build_flat_twin = options_.build_flat_twin;
   std::vector<std::vector<UserId>> owned = router_.PartitionUsers();
   shards_.reserve(owned.size());
   for (std::size_t s = 0; s < owned.size(); ++s) {
@@ -217,6 +218,9 @@ Result<Recommendation> ShardedEngine::Recommend(
   ctx.key_index = set->shard(0).index.get();
   ctx.affinity = affinity_.get();
   ctx.period_cache = period_cache_.get();
+  // No tombstone memo here: members pin a MIX of per-shard generations, so
+  // no single generation can scope a cache (ctx.tombstone_cache stays null
+  // and the bitmap is built per query, exactly the pre-memo behavior).
   ctx.exclude_group_rated = options_.exclude_group_rated;
   GroupProblem problem = AssembleGroupProblem(ctx, group, slices, spec,
                                               eval_period, nullptr, &ws);

@@ -67,6 +67,9 @@ struct ShardedEngineOptions {
   bool exclude_group_rated = true;
   IndexLayout index_layout = IndexLayout::kBanded;
   std::size_t min_band_size = 64;
+  /// Keep the global-order twin of banded rows (see
+  /// RecommenderOptions::build_flat_twin).
+  bool build_flat_twin = true;
   /// Per-shard delta-log compaction policy (see RecommenderOptions).
   std::size_t compact_every_n_publishes = 0;
   double compact_delta_fraction = 0.25;

@@ -1,13 +1,18 @@
 // Non-owning view over a score-sorted list — the access layer every top-k
 // algorithm (Naive, TA, GRECA) consumes.
 //
-// A ListView is a span over sorted (key, score) entries plus a key→position
-// span, optionally restricted to a key-space prefix and filtered by a
-// tombstone bitmap. The restriction mechanism is what makes zero-copy problem
-// assembly possible: the shared PreferenceIndex (src/index/) stores one
-// immutable entry array per user over the full popular-item pool, and a query
-// slices it by prefix (its candidate-pool size) while tombstoning the group's
-// already-rated items — no re-sort, no re-key, no copy.
+// A ListView is a pair of parallel spans (keys, scores — the SoA layout of
+// sorted_list.h / index/preference_index.h) plus a key→position span,
+// optionally restricted to a key-space prefix and filtered by a tombstone
+// bitmap. The restriction mechanism is what makes zero-copy problem assembly
+// possible: the shared PreferenceIndex stores one immutable row per user
+// over the full popular-item pool, and a query slices it by prefix (its
+// candidate-pool size) while tombstoning the group's already-rated items —
+// no re-sort, no re-key, no copy. Liveness of an entry depends only on its
+// key, so the skip scans read the 4-byte key array alone — one cache line
+// covers 16 entries, and the scan vectorizes (topk/simd.h: 8 lanes per
+// iteration under AVX2, scalar under -DGRECA_SIMD=OFF, bit-identical
+// positions either way).
 //
 // Two storage layouts back a view:
 //  * flat — one globally score-sorted span; sequential access is a linear
@@ -16,11 +21,22 @@
 //    whole row (the skip-tail pathology);
 //  * banded — the span is partitioned into popularity bands (contiguous key
 //    ranges, each independently score-sorted, boundaries in `band_begin`).
-//    Sequential access is a small k-way merge over the band heads, and a
-//    prefix-restricted view receives only the bands its prefix intersects —
-//    an exhaustive scan walks at most the covered bands, not the full row.
-//    Merged order equals the flat order (both sort by descending score, ties
-//    ascending key), so results and access counts are bit-identical.
+//    Sequential access merges the band heads through a loser tree (below),
+//    and a prefix-restricted view receives only the bands its prefix
+//    intersects — an exhaustive scan walks at most the covered bands, not the
+//    full row. Merged order equals the flat order (both sort by descending
+//    score, ties ascending key), so results and access counts are
+//    bit-identical.
+//
+// The band merge is a loser tree over the band heads: tree_[0] names the
+// winning band, internal nodes store the loser of their match, and consuming
+// the winner replays only its leaf-to-root path — O(log B) comparisons
+// against the per-step argmin over all B heads it replaces. Band scores are
+// mirrored in SoA head arrays (head_score_ / head_key_), so a replay touches
+// no entry storage at all. A consumed winner whose next head score strictly
+// beats the best loser on its own path (runner_score_, refreshed by every
+// replay) stays the winner with zero comparisons — the common case on
+// popularity-skewed rows, where one band leads for long stretches.
 //
 // Tombstoned entries are transparent in both layouts: sequential access skips
 // them without counting, random access reads them as absent (0.0), and size()
@@ -29,8 +45,8 @@
 //
 // The sequential cursor is opaque: callers initialize it to 0 and hand it
 // back to SkipToLive / ReadSequential / PeekScore unmodified. Banded views
-// keep the per-band merge heads as internal mutable state synchronized with
-// the cursor (rewinding a cursor resets the merge); consequently a single
+// keep the merge state as internal mutable state synchronized with the
+// cursor (rewinding a cursor resets the merge); consequently a single
 // ListView object must not be walked by two threads concurrently — views are
 // per-query/per-worker (ProblemArena) by construction, never shared.
 //
@@ -40,6 +56,7 @@
 #ifndef GRECA_TOPK_LIST_VIEW_H_
 #define GRECA_TOPK_LIST_VIEW_H_
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
@@ -47,6 +64,7 @@
 #include <span>
 
 #include "topk/access_counter.h"
+#include "topk/simd.h"
 #include "topk/sorted_list.h"
 
 namespace greca {
@@ -54,52 +72,56 @@ namespace greca {
 class ListView {
  public:
   /// Upper bound on popularity bands per view (geometric bands over a
-  /// 2^20-item pool fit comfortably; the merge head array is inline).
+  /// 2^20-item pool fit comfortably; the loser tree is inline).
   static constexpr std::size_t kMaxBands = 16;
 
   ListView() = default;
 
   /// Adapter over an owning SortedList: full key space, nothing tombstoned.
   explicit ListView(const SortedList& list)
-      : entries_(list.entries()),
+      : keys_(list.keys()),
+        scores_(list.scores()),
         position_of_key_(list.key_positions()),
         key_space_(list.key_space()),
         live_entries_(list.size()) {}
 
-  /// Flat form. `entries` are sorted by descending score (ties ascending
-  /// key) and may contain keys >= `key_space` (a prefix restriction of a
-  /// larger index row); those and the keys whose bit is set in `tombstones`
-  /// are dead. `live_entries` must equal the number of live entries and
-  /// `tombstones` (when non-empty) must cover keys [0, key_space).
-  ListView(std::span<const ListEntry> entries,
+  /// Flat form. `keys`/`scores` are parallel arrays sorted by descending
+  /// score (ties ascending key) and may contain keys >= `key_space` (a
+  /// prefix restriction of a larger index row); those and the keys whose bit
+  /// is set in `tombstones` are dead. `live_entries` must equal the number
+  /// of live entries and `tombstones` (when non-empty) must cover keys
+  /// [0, key_space).
+  ListView(std::span<const ListKey> keys, std::span<const Score> scores,
            std::span<const std::uint32_t> position_of_key,
            std::size_t key_space, std::size_t live_entries,
            std::span<const std::uint64_t> tombstones = {})
-      : entries_(entries),
+      : keys_(keys),
+        scores_(scores),
         position_of_key_(position_of_key),
         tombstones_(tombstones),
         key_space_(key_space),
         live_entries_(live_entries) {
+    assert(keys_.size() == scores_.size());
     assert(position_of_key_.size() >= key_space_);
     assert(tombstones_.empty() || tombstones_.size() >= (key_space_ + 63) / 64);
   }
 
-  /// Banded form. `band_begin` holds the band boundaries as offsets into
-  /// `entries` (band b = [band_begin[b], band_begin[b+1]), front() == 0,
-  /// back() == entries.size()); band b must contain exactly the keys in
+  /// Banded form. `band_begin` holds the band boundaries as offsets into the
+  /// key/score arrays (band b = [band_begin[b], band_begin[b+1]), front() ==
+  /// 0, back() == keys.size()); band b must contain exactly the keys in
   /// [band_begin[b], band_begin[b+1]) sorted by descending score (ties
   /// ascending key). `position_of_key` maps keys to positions within the
   /// same (banded) entry order. The boundary span must outlive the view.
-  ListView(std::span<const ListEntry> entries,
+  ListView(std::span<const ListKey> keys, std::span<const Score> scores,
            std::span<const std::uint32_t> position_of_key,
            std::size_t key_space, std::size_t live_entries,
            std::span<const std::uint64_t> tombstones,
            std::span<const std::uint32_t> band_begin)
-      : ListView(entries, position_of_key, key_space, live_entries,
+      : ListView(keys, scores, position_of_key, key_space, live_entries,
                  tombstones) {
     assert(band_begin.size() >= 2);
     assert(band_begin.front() == 0);
-    assert(band_begin.back() == entries.size());
+    assert(band_begin.back() == keys.size());
     assert(band_begin.size() - 1 <= kMaxBands);
     // A single band is already globally sorted — stay on the flat path.
     if (band_begin.size() > 2) {
@@ -118,7 +140,7 @@ class ListView {
   /// uncounted skips): the whole backing span. Banded prefix views receive
   /// only the covered bands, so this is the access-cost-model probe the
   /// banded-vs-flat benches and tests compare.
-  std::size_t scan_footprint() const { return entries_.size(); }
+  std::size_t scan_footprint() const { return keys_.size(); }
 
   /// Number of popularity bands merged by sequential access (1 = flat walk).
   std::size_t num_bands() const {
@@ -127,9 +149,8 @@ class ListView {
 
   /// True when `key` lies outside the prefix or is tombstoned.
   bool IsTombstoned(ListKey key) const {
-    if (key >= key_space_) return true;
-    if (tombstones_.empty()) return false;
-    return (tombstones_[key >> 6] >> (key & 63u)) & 1u;
+    return simd::IsDeadKey(key, key_space_,
+                           tombstones_.empty() ? nullptr : tombstones_.data());
   }
 
   /// Positions `cursor` on the next live entry; returns false when the list
@@ -141,30 +162,28 @@ class ListView {
   bool SkipToLive(std::size_t& cursor) const {
     if (!bands_.empty()) {
       SyncMerge(cursor);
-      return MergedBand() >= 0;
+      return !WinnerExhausted();
     }
-    while (cursor < entries_.size() && IsTombstoned(entries_[cursor].id)) {
-      ++cursor;
-    }
-    return cursor < entries_.size();
+    cursor = FindFirstLive(cursor, keys_.size());
+    return cursor < keys_.size();
   }
 
   /// Counted sequential access: reads the live entry at `cursor` and advances
   /// it. The caller must have established liveness via SkipToLive.
-  const ListEntry& ReadSequential(std::size_t& cursor,
-                                  AccessCounter& counter) const {
+  ListEntry ReadSequential(std::size_t& cursor, AccessCounter& counter) const {
     ++counter.sequential;
     if (!bands_.empty()) {
       SyncMerge(cursor);
-      const int b = MergedBand();
-      assert(b >= 0 && "ReadSequential past the last live entry");
-      const ListEntry& e = entries_[head_[static_cast<std::size_t>(b)]];
-      AdvanceMergedHead(static_cast<std::size_t>(b));
+      assert(!WinnerExhausted() && "ReadSequential past the last live entry");
+      const std::uint32_t h = head_[tree_[0]];
+      const ListEntry e{keys_[h], scores_[h]};
+      AdvanceWinner();
       ++cursor;
       return e;
     }
-    assert(cursor < entries_.size() && !IsTombstoned(entries_[cursor].id));
-    return entries_[cursor++];
+    assert(cursor < keys_.size() && !IsTombstoned(keys_[cursor]));
+    const std::size_t pos = cursor++;
+    return {keys_[pos], scores_[pos]};
   }
 
   /// Uncounted score of the live entry at `cursor` — the entry the next
@@ -174,12 +193,11 @@ class ListView {
   double PeekScore(std::size_t cursor) const {
     if (!bands_.empty()) {
       SyncMerge(cursor);
-      const int b = MergedBand();
-      assert(b >= 0 && "PeekScore past the last live entry");
-      return entries_[head_[static_cast<std::size_t>(b)]].score;
+      assert(!WinnerExhausted() && "PeekScore past the last live entry");
+      return head_score_[tree_[0]];
     }
-    assert(cursor < entries_.size() && !IsTombstoned(entries_[cursor].id));
-    return entries_[cursor].score;
+    assert(cursor < keys_.size() && !IsTombstoned(keys_[cursor]));
+    return scores_[cursor];
   }
 
   /// Uncounted exact score of `key`; 0.0 for tombstoned, missing or
@@ -187,7 +205,7 @@ class ListView {
   double ScoreOfKey(ListKey key) const {
     if (IsTombstoned(key)) return 0.0;
     const std::uint32_t pos = position_of_key_[key];
-    return pos == kMissingPosition ? 0.0 : entries_[pos].score;
+    return pos == kMissingPosition ? 0.0 : scores_[pos];
   }
 
   /// Counted random access by key.
@@ -202,17 +220,14 @@ class ListView {
     if (max_score_valid_) return max_score_;
     double best = 0.0;
     if (bands_.empty()) {
-      std::size_t pos = 0;
-      while (pos < entries_.size() && IsTombstoned(entries_[pos].id)) ++pos;
-      if (pos < entries_.size()) best = entries_[pos].score;
+      const std::size_t pos = FindFirstLive(0, keys_.size());
+      if (pos < keys_.size()) best = scores_[pos];
     } else {
       // Max over band heads, each advanced (locally, without touching the
       // merge state) past its dead prefix.
       for (std::size_t b = 0; b + 1 < bands_.size(); ++b) {
-        std::uint32_t h = bands_[b];
-        const std::uint32_t end = bands_[b + 1];
-        while (h < end && IsTombstoned(entries_[h].id)) ++h;
-        if (h < end && entries_[h].score > best) best = entries_[h].score;
+        const std::size_t h = FindFirstLive(bands_[b], bands_[b + 1]);
+        if (h < bands_[b + 1] && scores_[h] > best) best = scores_[h];
       }
     }
     max_score_ = best;
@@ -221,20 +236,99 @@ class ListView {
   }
 
  private:
-  static constexpr int kBandUnknown = -2;
-  static constexpr int kBandNone = -1;
+  /// The one scan primitive: first live position in [begin, end) of the key
+  /// array (vectorized under GRECA_SIMD; pure, so MaxScore may call it
+  /// without perturbing the merge).
+  std::size_t FindFirstLive(std::size_t begin, std::size_t end) const {
+    return simd::FindFirstLive(
+        keys_.data(), begin, end, key_space_,
+        tombstones_.empty() ? nullptr : tombstones_.data());
+  }
 
-  /// Re-establishes the merge invariant for band `b`: head_[b] sits on a
-  /// live entry (head_score_[b] caches its score) or at the band end
-  /// (head_score_[b] = -inf). Dead entries are passed over uncounted, each
-  /// at most once per walk.
+  /// Re-establishes the head invariant for band `b`: head_[b] sits on a live
+  /// entry (score/key mirrored in the SoA head arrays) or at the band end
+  /// (-inf / max-key sentinels, which lose every match). Dead entries are
+  /// passed over uncounted, each at most once per walk.
   void SkipBandHead(std::size_t b) const {
-    std::uint32_t h = head_[b];
     const std::uint32_t end = bands_[b + 1];
-    while (h < end && IsTombstoned(entries_[h].id)) ++h;
-    head_[b] = h;
-    head_score_[b] = h < end ? entries_[h].score
-                             : -std::numeric_limits<double>::infinity();
+    const std::size_t h = FindFirstLive(head_[b], end);
+    head_[b] = static_cast<std::uint32_t>(h);
+    if (h < end) {
+      head_score_[b] = scores_[h];
+      head_key_[b] = keys_[h];
+    } else {
+      head_score_[b] = -std::numeric_limits<double>::infinity();
+      head_key_[b] = 0xFFFFFFFFu;
+    }
+  }
+
+  /// Match order of the tree: band a beats band b when a's head precedes b's
+  /// in merged order — descending score, ties by ascending key (exactly
+  /// ListEntryOrder over the heads; live heads never share a key, bands
+  /// partition the key space). Exhausted heads carry -inf/max-key and lose
+  /// to every live head; the final band-id tiebreak only ever decides
+  /// exhausted-vs-exhausted matches, where the winner is irrelevant.
+  bool Beats(std::uint32_t a, std::uint32_t b) const {
+    if (head_score_[a] != head_score_[b]) {
+      return head_score_[a] > head_score_[b];
+    }
+    if (head_key_[a] != head_key_[b]) return head_key_[a] < head_key_[b];
+    return a < b;
+  }
+
+  bool WinnerExhausted() const {
+    const std::uint32_t w = tree_[0];
+    return head_[w] == bands_[w + 1];
+  }
+
+  /// Full tournament rebuild: leaves (bands) at implicit nodes [nb, 2nb),
+  /// internal nodes [1, nb) each store the LOSER of their match, tree_[0]
+  /// the overall winner. O(nb) — only on reset/rewind.
+  void InitLoserTree() const {
+    // min() restates the ctor's nb <= kMaxBands invariant where the
+    // optimizer can see it (asserts compile out of Release).
+    const std::size_t nb = std::min(bands_.size() - 1, kMaxBands);
+    std::array<std::uint8_t, 2 * kMaxBands> win;
+    for (std::size_t b = 0; b < nb; ++b) {
+      win[nb + b] = static_cast<std::uint8_t>(b);
+    }
+    for (std::size_t node = nb - 1; node >= 1; --node) {
+      const std::uint8_t l = win[2 * node];
+      const std::uint8_t r = win[2 * node + 1];
+      const bool left_wins = Beats(l, r);
+      win[node] = left_wins ? l : r;
+      tree_[node] = left_wins ? r : l;
+    }
+    tree_[0] = win[1];
+    RefreshRunner();
+  }
+
+  /// runner_score_ = best loser score on the current winner's leaf-to-root
+  /// path — the only heads that can dethrone it. Kept fresh by Replay; the
+  /// O(1) consecutive-win fast path in AdvanceWinner compares against it.
+  void RefreshRunner() const {
+    const std::size_t nb = bands_.size() - 1;
+    double runner = -std::numeric_limits<double>::infinity();
+    for (std::size_t t = (nb + tree_[0]) >> 1; t >= 1; t >>= 1) {
+      runner = std::max(runner, head_score_[tree_[t]]);
+    }
+    runner_score_ = runner;
+  }
+
+  /// Replays band `b`'s leaf-to-root path after its head changed: at each
+  /// node the winner moves up and the loser stays, re-establishing the tree
+  /// invariant in O(log nb) — every other path is untouched, so its stored
+  /// losers remain correct. The runner must then be refreshed from the NEW
+  /// winner's own path: when `b` loses mid-path the winner entered from a
+  /// side branch whose lower path segment this replay never visited.
+  void Replay(std::size_t b) const {
+    const std::size_t nb = bands_.size() - 1;
+    std::uint8_t cur = static_cast<std::uint8_t>(b);
+    for (std::size_t t = (nb + b) >> 1; t >= 1; t >>= 1) {
+      if (Beats(tree_[t], cur)) std::swap(cur, tree_[t]);
+    }
+    tree_[0] = cur;
+    RefreshRunner();
   }
 
   void ResetMerge() const {
@@ -242,64 +336,22 @@ class ListView {
     for (std::size_t b = 0; b < nb; ++b) {
       head_[b] = bands_[b];
       SkipBandHead(b);
-      active_[b] = static_cast<std::uint8_t>(b);
     }
-    num_active_ = nb;
+    InitLoserTree();
     merge_consumed_ = 0;
-    cur_band_ = kBandUnknown;
-    second_score_ = -std::numeric_limits<double>::infinity();
   }
 
-  /// Band whose head is the next live entry in merged order — descending
-  /// score, ties by ascending key, exactly the flat layout's global sort, so
-  /// banded and flat walks are bit-identical. Heads are live by invariant;
-  /// the argmin runs over the cached head scores of the still-active bands
-  /// (exhausted bands are dropped in passing, so late-walk reads degrade to
-  /// near-flat cost) and records the runner-up score so AdvanceMergedHead
-  /// can keep the winner without re-scanning. kBandNone when exhausted.
-  int MergedBand() const {
-    if (cur_band_ != kBandUnknown) return cur_band_;
-    int best = kBandNone;
-    double best_score = -std::numeric_limits<double>::infinity();
-    double second = -std::numeric_limits<double>::infinity();
-    std::size_t w = 0;
-    for (std::size_t k = 0; k < num_active_; ++k) {
-      const std::size_t b = active_[k];
-      if (head_[b] == bands_[b + 1]) continue;  // exhausted: drop
-      active_[w++] = static_cast<std::uint8_t>(b);
-      const double s = head_score_[b];
-      if (best == kBandNone) {
-        best = static_cast<int>(b);
-        best_score = s;
-        continue;
-      }
-      if (s > best_score ||
-          (s == best_score &&
-           ListEntryOrder{}(entries_[head_[b]],
-                            entries_[head_[static_cast<std::size_t>(best)]]))) {
-        second = best_score;
-        best = static_cast<int>(b);
-        best_score = s;
-      } else if (s > second) {
-        second = s;
-      }
-    }
-    num_active_ = w;
-    second_score_ = second;
-    cur_band_ = best;
-    return best;
-  }
-
-  /// Consumes the merged head entry (band `b` from MergedBand). While the
-  /// band's next head still beats every other band's head score outright,
-  /// the band stays the cached winner and the next read skips the argmin
-  /// (score ties fall back to it for the id tie-break).
-  void AdvanceMergedHead(std::size_t b) const {
+  /// Consumes the winning band's head entry. If the band's next head
+  /// strictly out-scores every loser on its own path it stays the winner
+  /// outright — tree and runner unchanged, zero comparisons (score ties
+  /// must replay for the key tiebreak).
+  void AdvanceWinner() const {
+    const std::size_t b = tree_[0];
     ++head_[b];
     SkipBandHead(b);
     ++merge_consumed_;
-    cur_band_ = head_score_[b] > second_score_ ? static_cast<int>(b)
-                                               : kBandUnknown;
+    if (head_score_[b] > runner_score_) return;
+    Replay(b);
   }
 
   /// Brings the merge heads in line with `cursor` (= live entries consumed).
@@ -309,14 +361,13 @@ class ListView {
     if (cursor == merge_consumed_) return;
     if (cursor < merge_consumed_) ResetMerge();
     while (merge_consumed_ < cursor) {
-      const int b = MergedBand();
-      assert(b >= 0 && "cursor points past the last live entry");
-      if (b < 0) break;
-      AdvanceMergedHead(static_cast<std::size_t>(b));
+      assert(!WinnerExhausted() && "cursor points past the last live entry");
+      AdvanceWinner();
     }
   }
 
-  std::span<const ListEntry> entries_;
+  std::span<const ListKey> keys_;    // sorted order, parallel to scores_
+  std::span<const Score> scores_;
   std::span<const std::uint32_t> position_of_key_;
   std::span<const std::uint64_t> tombstones_;  // empty = nothing tombstoned
   std::span<const std::uint32_t> bands_;       // empty = flat layout
@@ -325,17 +376,17 @@ class ListView {
 
   // Sequential-access state of the banded merge, synchronized with the
   // caller's cursor, plus the lazily cached MaxScore. Invariant between
-  // operations: every head_[b] sits on a live entry (score cached in
-  // head_score_[b]) or at its band end (-inf). Mutable because views are
-  // handed to algorithms by const reference; a view instance belongs to one
-  // problem on one thread (see the header comment).
+  // operations: every head_[b] sits on a live entry (score/key mirrored in
+  // head_score_/head_key_) or at its band end (sentinels), and tree_ is a
+  // valid loser tree over the heads. Mutable because views are handed to
+  // algorithms by const reference; a view instance belongs to one problem on
+  // one thread (see the header comment).
   mutable std::array<std::uint32_t, kMaxBands> head_{};
   mutable std::array<double, kMaxBands> head_score_{};
-  mutable std::array<std::uint8_t, kMaxBands> active_{};  // non-exhausted
-  mutable std::size_t num_active_ = 0;
-  mutable double second_score_ = 0.0;  // runner-up head score (see above)
+  mutable std::array<std::uint32_t, kMaxBands> head_key_{};
+  mutable std::array<std::uint8_t, kMaxBands> tree_{};  // [0]=winner, rest=losers
+  mutable double runner_score_ = 0.0;  // best loser on the winner's path
   mutable std::size_t merge_consumed_ = 0;
-  mutable int cur_band_ = kBandUnknown;
   mutable double max_score_ = 0.0;
   mutable bool max_score_valid_ = false;
 };

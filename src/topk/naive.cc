@@ -1,6 +1,7 @@
 #include "topk/naive.h"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 namespace greca {
@@ -22,23 +23,31 @@ TopKResult NaiveTopK(const GroupProblem& problem, std::size_t k) {
   for (const ListView& list : problem.period_affinity()) scan(list);
   for (const ListView& list : problem.agreement_lists()) scan(list);
 
-  // Score every candidate item exactly.
+  // Score every candidate item exactly. The pair affinities are problem
+  // constants, so expand them into a dense weight matrix once and score each
+  // candidate with the branchless mat-vec (bit-identical to the packed form).
   const std::vector<double> pair_aff = problem.ExactPairAffinities();
+  std::vector<double> pair_weights(g * g);
+  problem.ExpandPairWeights(pair_aff, pair_weights);
+  const std::span<const ListView> preference_lists =
+      problem.preference_lists();
+  const std::span<const ListView> agreement_lists = problem.agreement_lists();
+  const bool uses_agreements = problem.uses_agreement_lists();
   std::vector<double> apref(g);
   std::vector<double> prefs(g);
-  std::vector<double> agreements(problem.agreement_lists().size());
+  std::vector<double> agreements(agreement_lists.size());
   std::vector<ListEntry> scored;
   scored.reserve(problem.num_candidates());
   for (ListKey key = 0; key < problem.num_items(); ++key) {
     if (!problem.IsCandidate(key)) continue;
     for (std::size_t u = 0; u < g; ++u) {
-      apref[u] = problem.preference_lists()[u].ScoreOfKey(key);
+      apref[u] = preference_lists[u].ScoreOfKey(key);
     }
-    problem.MemberPreferences(apref, pair_aff, prefs);
+    problem.MemberPreferencesDense(apref, pair_weights, prefs);
     double score;
-    if (problem.uses_agreement_lists()) {
+    if (uses_agreements) {
       for (std::size_t q = 0; q < agreements.size(); ++q) {
-        agreements[q] = problem.agreement_lists()[q].ScoreOfKey(key);
+        agreements[q] = agreement_lists[q].ScoreOfKey(key);
       }
       score = ConsensusScoreWithAgreements(problem.consensus(), prefs,
                                            agreements);

@@ -117,6 +117,21 @@ void GroupProblem::MemberPreferences(std::span<const double> apref,
   AllMemberPreferences(apref, pair_aff, out);
 }
 
+void GroupProblem::ExpandPairWeights(std::span<const double> pair_aff,
+                                     std::span<double> w) const {
+  assert(pair_aff.size() == num_pairs());
+  assert(w.size() == group_size() * group_size());
+  greca::ExpandPairWeights(pair_aff, group_size(), w);
+}
+
+void GroupProblem::MemberPreferencesDense(std::span<const double> apref,
+                                          std::span<const double> w,
+                                          std::span<double> out) const {
+  assert(apref.size() == group_size());
+  assert(w.size() == group_size() * group_size());
+  AllMemberPreferencesDense(apref, w, out);
+}
+
 void GroupProblem::MemberPreferenceIntervals(std::span<const Interval> apref,
                                              std::span<const Interval> pair_aff,
                                              std::span<Interval> out) const {

@@ -66,6 +66,11 @@ struct MemberSlice {
 struct ProblemArena {
   /// 1 bit per candidate-pool key; set = excluded (group-rated) item.
   std::vector<std::uint64_t> tombstones;
+  /// Keep-alive for a CACHED tombstone bitmap the preference views alias
+  /// instead of `tombstones` (api/snapshot.h's TombstoneCache; type-erased
+  /// so topk stays independent of the api layer). Null when the bitmap was
+  /// built into `tombstones`.
+  std::shared_ptr<const void> tombstone_pin;
   std::vector<ListView> preference_views;
   SortedList static_list;
   /// Periodic lists themselves live in the snapshot-scoped (group, period)
@@ -175,6 +180,19 @@ class GroupProblem {
   void MemberPreferences(std::span<const double> apref,
                          std::span<const double> pair_aff,
                          std::span<double> out) const;
+
+  /// Expands `pair_aff` (local pair order) into a dense g×g zero-diagonal
+  /// weight matrix for MemberPreferencesDense. `w` must have group_size()²
+  /// entries. Exhaustive scorers expand once per problem and drop the
+  /// per-candidate pair indexing from the scoring loop.
+  void ExpandPairWeights(std::span<const double> pair_aff,
+                         std::span<double> w) const;
+
+  /// MemberPreferences against a pre-expanded weight matrix — bit-identical
+  /// to the packed form (see preference_model.h).
+  void MemberPreferencesDense(std::span<const double> apref,
+                              std::span<const double> w,
+                              std::span<double> out) const;
 
   /// Interval version used for GRECA's bounds.
   void MemberPreferenceIntervals(std::span<const Interval> apref,

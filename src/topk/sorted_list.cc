@@ -10,37 +10,45 @@ namespace {
 
 std::atomic<std::uint64_t> g_from_unsorted_calls{0};
 
-void SortEntriesDescending(std::span<ListEntry> entries) {
-  std::sort(entries.begin(), entries.end(), ListEntryOrder{});
+/// AoS scratch for AssignUnsorted: the sort runs on interleaved entries
+/// (exactly the pre-SoA semantics, ListEntryOrder and all) and only the
+/// result is scattered to the parallel arrays. One buffer per thread keeps
+/// the steady-state rebuild allocation-free without sharing across workers.
+std::vector<ListEntry>& SortScratch() {
+  thread_local std::vector<ListEntry> scratch;
+  return scratch;
 }
 
 }  // namespace
+
+void SortedList::FillFromSorted(std::span<ListEntry> entries,
+                                ListKey key_space) {
+  std::sort(entries.begin(), entries.end(), ListEntryOrder{});
+  keys_.resize(entries.size());
+  scores_.resize(entries.size());
+  position_of_key_.assign(key_space, kMissingPosition);
+  for (std::size_t pos = 0; pos < entries.size(); ++pos) {
+    assert(entries[pos].id < key_space);
+    assert(position_of_key_[entries[pos].id] == kMissingPosition);
+    keys_[pos] = entries[pos].id;
+    scores_[pos] = entries[pos].score;
+    position_of_key_[entries[pos].id] = static_cast<std::uint32_t>(pos);
+  }
+}
 
 SortedList SortedList::FromUnsorted(std::vector<ListEntry> entries,
                                     ListKey key_space) {
   g_from_unsorted_calls.fetch_add(1, std::memory_order_relaxed);
   SortedList list;
-  SortEntriesDescending(entries);
-  list.position_of_key_.assign(key_space, kMissingPosition);
-  for (std::size_t pos = 0; pos < entries.size(); ++pos) {
-    assert(entries[pos].id < key_space);
-    assert(list.position_of_key_[entries[pos].id] == kMissingPosition);
-    list.position_of_key_[entries[pos].id] = static_cast<std::uint32_t>(pos);
-  }
-  list.entries_ = std::move(entries);
+  list.FillFromSorted(entries, key_space);
   return list;
 }
 
 void SortedList::AssignUnsorted(std::span<const ListEntry> entries,
                                 ListKey key_space) {
-  entries_.assign(entries.begin(), entries.end());
-  SortEntriesDescending(entries_);
-  position_of_key_.assign(key_space, kMissingPosition);
-  for (std::size_t pos = 0; pos < entries_.size(); ++pos) {
-    assert(entries_[pos].id < key_space);
-    assert(position_of_key_[entries_[pos].id] == kMissingPosition);
-    position_of_key_[entries_[pos].id] = static_cast<std::uint32_t>(pos);
-  }
+  std::vector<ListEntry>& scratch = SortScratch();
+  scratch.assign(entries.begin(), entries.end());
+  FillFromSorted(scratch, key_space);
 }
 
 std::uint64_t SortedList::FromUnsortedCalls() {

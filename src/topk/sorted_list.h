@@ -6,6 +6,14 @@
 // (RA) by key. Keys form a dense space [0, key_space); preference lists use
 // candidate-item keys, affinity lists use local pair indices.
 //
+// Storage is structure-of-arrays: parallel key (uint32) and score (double)
+// arrays instead of interleaved (key, score) structs. Key-only operations —
+// the tombstone-skip scans of the ListView layer — then read 4 bytes per
+// entry instead of a 16-byte padded struct, and the key array is directly
+// vectorizable (topk/simd.h). Entry-shaped values still cross the API
+// (ListEntry by value); ListEntryOrder below stays THE comparator for every
+// sort in the system.
+//
 // SortedList owns its storage. The algorithms themselves consume the
 // non-owning ListView (list_view.h), which either wraps a SortedList or
 // slices the shared PreferenceIndex; SortedList remains the owning building
@@ -60,26 +68,29 @@ class SortedList {
   /// assembly path performs no per-query preference-list sort/copy.
   static std::uint64_t FromUnsortedCalls();
 
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
   ListKey key_space() const {
     return static_cast<ListKey>(position_of_key_.size());
   }
 
-  /// Raw storage views consumed by the ListView adapter.
-  std::span<const ListEntry> entries() const { return entries_; }
+  /// Raw SoA storage views consumed by the ListView adapter. keys()[p] and
+  /// scores()[p] are the p-th entry in sorted order.
+  std::span<const ListKey> keys() const { return keys_; }
+  std::span<const Score> scores() const { return scores_; }
   std::span<const std::uint32_t> key_positions() const {
     return position_of_key_;
   }
 
   /// Uncounted positional peek (internal bookkeeping, tests, exact scoring).
-  const ListEntry& entry(std::size_t pos) const { return entries_[pos]; }
+  ListEntry entry(std::size_t pos) const {
+    return {keys_[pos], scores_[pos]};
+  }
 
   /// Counted sequential access at `pos` (callers advance their own cursor).
-  const ListEntry& ReadSequential(std::size_t pos,
-                                  AccessCounter& counter) const {
+  ListEntry ReadSequential(std::size_t pos, AccessCounter& counter) const {
     ++counter.sequential;
-    return entries_[pos];
+    return {keys_[pos], scores_[pos]};
   }
 
   /// Uncounted exact score of `key`; 0.0 when the key has no entry. Keys
@@ -88,7 +99,7 @@ class SortedList {
   double ScoreOfKey(ListKey key) const {
     if (key >= position_of_key_.size()) return 0.0;
     const std::uint32_t pos = position_of_key_[key];
-    return pos == kMissingPosition ? 0.0 : entries_[pos].score;
+    return pos == kMissingPosition ? 0.0 : scores_[pos];
   }
 
   /// Counted random access by key.
@@ -98,10 +109,15 @@ class SortedList {
   }
 
   /// Highest score in the list (0.0 for empty lists).
-  double MaxScore() const { return entries_.empty() ? 0.0 : entries_[0].score; }
+  double MaxScore() const { return scores_.empty() ? 0.0 : scores_[0]; }
 
  private:
-  std::vector<ListEntry> entries_;
+  /// Sorts `entries` with ListEntryOrder and scatters them into the SoA
+  /// arrays + the key→position map.
+  void FillFromSorted(std::span<ListEntry> entries, ListKey key_space);
+
+  std::vector<ListKey> keys_;     // sorted order, parallel to scores_
+  std::vector<Score> scores_;
   std::vector<std::uint32_t> position_of_key_;  // key -> position or missing
 };
 

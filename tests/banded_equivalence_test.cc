@@ -26,6 +26,7 @@
 #include "index/preference_index.h"
 #include "topk/list_view.h"
 #include "topk/naive.h"
+#include "topk/simd.h"
 #include "topk/ta.h"
 
 namespace greca {
@@ -33,11 +34,12 @@ namespace {
 
 // ---- View-level equivalence ----------------------------------------------
 
-/// One user row realized in a given band layout: entries in band order
-/// (per-band descending score, ties ascending key), key→position map, and
-/// the band boundary array. Empty `breakpoints` = flat (one band).
+/// One user row realized in a given band layout: SoA keys/scores in band
+/// order (per-band descending score, ties ascending key), key→position map,
+/// and the band boundary array. Empty `breakpoints` = flat (one band).
 struct LayoutRow {
-  std::vector<ListEntry> entries;
+  std::vector<ListKey> keys;
+  std::vector<Score> scores;
   std::vector<std::uint32_t> positions;
   std::vector<std::uint32_t> bounds;
 };
@@ -52,16 +54,23 @@ LayoutRow MakeRow(const std::vector<double>& scores,
   }
   row.bounds.push_back(n);
 
-  row.entries.reserve(n);
+  std::vector<ListEntry> entries;
+  entries.reserve(n);
   for (std::uint32_t key = 0; key < n; ++key) {
-    row.entries.push_back({key, scores[key]});
+    entries.push_back({key, scores[key]});
   }
   for (std::size_t b = 0; b + 1 < row.bounds.size(); ++b) {
-    std::sort(row.entries.begin() + row.bounds[b],
-              row.entries.begin() + row.bounds[b + 1], ListEntryOrder{});
+    std::sort(entries.begin() + row.bounds[b],
+              entries.begin() + row.bounds[b + 1], ListEntryOrder{});
   }
+  row.keys.resize(n);
+  row.scores.resize(n);
   row.positions.resize(n);
-  for (std::uint32_t p = 0; p < n; ++p) row.positions[row.entries[p].id] = p;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    row.keys[p] = entries[p].id;
+    row.scores[p] = entries[p].score;
+    row.positions[entries[p].id] = p;
+  }
   return row;
 }
 
@@ -72,9 +81,12 @@ ListView BandedView(const LayoutRow& row, std::size_t prefix,
                     std::size_t live) {
   std::size_t nb = 1;
   while (row.bounds[nb] < prefix) ++nb;
-  const std::span<const ListEntry> entries{row.entries.data(), row.bounds[nb]};
-  if (nb == 1) return ListView(entries, row.positions, prefix, live, tombstones);
-  return ListView(entries, row.positions, prefix, live, tombstones,
+  const std::span<const ListKey> keys{row.keys.data(), row.bounds[nb]};
+  const std::span<const Score> scores{row.scores.data(), row.bounds[nb]};
+  if (nb == 1) {
+    return ListView(keys, scores, row.positions, prefix, live, tombstones);
+  }
+  return ListView(keys, scores, row.positions, prefix, live, tombstones,
                   std::span<const std::uint32_t>(row.bounds.data(), nb + 1));
 }
 
@@ -106,7 +118,8 @@ TEST(BandedListViewTest, MergedWalkMatchesFlatWalkOnRandomRows) {
         ++live;
       }
     }
-    const ListView fv(std::span<const ListEntry>(flat.entries), flat.positions,
+    const ListView fv(std::span<const ListKey>(flat.keys),
+                      std::span<const Score>(flat.scores), flat.positions,
                       prefix, live, tombstones);
     const ListView bv = BandedView(banded, prefix, tombstones, live);
     const std::string label = "trial " + std::to_string(trial) + " pool=" +
@@ -160,6 +173,131 @@ TEST(BandedListViewTest, MergedWalkMatchesFlatWalkOnRandomRows) {
       }
     }
     EXPECT_EQ(bv.scan_footprint(), bound) << label;
+  }
+}
+
+// ---- SoA-vs-AoS oracle ---------------------------------------------------
+
+/// Walks `view` to exhaustion and asserts it yields exactly `expected` (the
+/// AoS oracle's live entries in merged order) with one counted sequential
+/// access per live entry. `passes` > 1 rewinds the cursor between passes.
+void ExpectWalkMatchesOracle(const ListView& view,
+                             const std::vector<ListEntry>& expected,
+                             int passes, const std::string& label) {
+  const std::size_t live = expected.size();
+  EXPECT_EQ(view.size(), live) << label;
+  EXPECT_EQ(view.empty(), live == 0) << label;
+  EXPECT_DOUBLE_EQ(view.MaxScore(), live == 0 ? 0.0 : expected[0].score)
+      << label;
+  for (int pass = 0; pass < passes; ++pass) {
+    AccessCounter counter;
+    std::size_t cursor = 0;
+    std::size_t read = 0;
+    while (view.SkipToLive(cursor)) {
+      ASSERT_LT(read, live) << label << " pass " << pass;
+      EXPECT_DOUBLE_EQ(view.PeekScore(cursor), expected[read].score)
+          << label << " pass " << pass << " read " << read;
+      const ListEntry e = view.ReadSequential(cursor, counter);
+      ASSERT_EQ(e.id, expected[read].id)
+          << label << " pass " << pass << " read " << read;
+      EXPECT_DOUBLE_EQ(e.score, expected[read].score) << label;
+      ++read;
+    }
+    EXPECT_EQ(read, live) << label << " pass " << pass;
+    EXPECT_EQ(counter.sequential, live) << label << " pass " << pass;
+  }
+}
+
+TEST(BandedListViewTest, SoAWalkMatchesAoSOracle) {
+  // Independent AoS model: the row mirrored as interleaved entries, liveness
+  // decided by plain scalar code (no ListView, no simd.h), merged order =
+  // one global ListEntryOrder sort of the live entries. Pool lengths cover
+  // every tail residue of the vector width (plus 37, coprime to any lane
+  // count), so the SIMD kernel's scalar tail and partial final blocks are on
+  // the tested path; density 1.0 is the fully-tombstoned prefix (live = 0).
+  Rng rng(20'270'101);
+  std::vector<std::size_t> pools;
+  for (std::size_t p = 1; p <= 2 * simd::kLanes + 1; ++p) pools.push_back(p);
+  pools.push_back(37);
+  pools.push_back(4 * simd::kLanes + 5);
+  const double densities[] = {0.0, 0.35, 1.0};
+
+  for (const std::size_t pool : pools) {
+    for (const double density : densities) {
+      for (const bool banded : {false, true}) {
+        std::vector<double> scores(pool);
+        for (double& s : scores) {
+          s = static_cast<double>(rng.NextBounded(6)) / 6.0;  // force ties
+        }
+        const std::vector<std::uint32_t> breakpoints =
+            banded ? PreferenceIndex::GeometricBandBreakpoints(pool, 2)
+                   : std::vector<std::uint32_t>{};
+        const LayoutRow row = MakeRow(scores, breakpoints);
+        const auto prefix = static_cast<std::size_t>(
+            rng.NextInt(1, static_cast<std::int64_t>(pool)));
+        std::vector<std::uint64_t> tombstones((prefix + 63) / 64, 0);
+        for (std::uint32_t key = 0; key < prefix; ++key) {
+          if (density == 1.0 || rng.NextBool(density)) {
+            tombstones[key >> 6] |= 1ull << (key & 63u);
+          }
+        }
+
+        std::vector<ListEntry> expected;
+        for (std::size_t p = 0; p < row.keys.size(); ++p) {
+          const ListKey key = row.keys[p];
+          const bool dead =
+              key >= prefix ||
+              ((tombstones[key >> 6] >> (key & 63u)) & 1u) != 0;
+          if (!dead) expected.push_back({key, row.scores[p]});
+        }
+        std::sort(expected.begin(), expected.end(), ListEntryOrder{});
+
+        const ListView view =
+            banded ? BandedView(row, prefix, tombstones, expected.size())
+                   : ListView(std::span<const ListKey>(row.keys),
+                              std::span<const Score>(row.scores),
+                              row.positions, prefix, expected.size(),
+                              tombstones);
+        ExpectWalkMatchesOracle(
+            view, expected, /*passes=*/1,
+            "pool=" + std::to_string(pool) + " density=" +
+                std::to_string(density) + (banded ? " banded" : " flat") +
+                " prefix=" + std::to_string(prefix));
+      }
+    }
+  }
+}
+
+TEST(BandedListViewTest, SingleEntryBandsMergeAndRewind) {
+  // Every band holds exactly one entry (the kMaxBands-wide degenerate grid):
+  // each consumed head immediately exhausts its band, so the merge runs on
+  // sentinel heads almost from the start — the hardest case for the loser
+  // tree's exhausted-head handling. Scores are coarsely quantized so the
+  // ascending-key tiebreak decides most of the merged order.
+  const std::size_t n = ListView::kMaxBands;
+  Rng rng(4242);
+  std::vector<double> scores(n);
+  for (double& s : scores) s = static_cast<double>(rng.NextBounded(4)) / 4.0;
+  std::vector<std::uint32_t> breakpoints;
+  for (std::uint32_t b = 1; b < n; ++b) breakpoints.push_back(b);
+  const LayoutRow row = MakeRow(scores, breakpoints);
+  ASSERT_EQ(row.bounds.size(), n + 1);
+
+  for (const std::size_t prefix : {n, n / 2 + 1, std::size_t{1}}) {
+    std::vector<std::uint64_t> tombstones(1, 0);
+    std::vector<ListEntry> expected;
+    for (std::uint32_t key = 0; key < n; ++key) {
+      if (key < prefix && key % 3 != 1) {
+        expected.push_back({key, scores[key]});
+      } else if (key < prefix) {
+        tombstones[0] |= 1ull << key;
+      }
+    }
+    std::sort(expected.begin(), expected.end(), ListEntryOrder{});
+    const ListView view = BandedView(row, prefix, tombstones, expected.size());
+    ExpectWalkMatchesOracle(view, expected, /*passes=*/2,
+                            "single-entry bands prefix=" +
+                                std::to_string(prefix));
   }
 }
 

@@ -80,7 +80,7 @@ EquivalenceCase MakeCase(Rng& rng, std::size_t g, std::size_t pool,
   const std::size_t live = c.live_keys.size();
 
   for (std::size_t u = 0; u < g; ++u) {
-    c.pref_views.emplace_back(c.full_pref[u].entries(),
+    c.pref_views.emplace_back(c.full_pref[u].keys(), c.full_pref[u].scores(),
                               c.full_pref[u].key_positions(), prefix, live,
                               c.tombstones);
   }

@@ -11,6 +11,18 @@
 namespace greca {
 namespace {
 
+/// Zips a row's SoA key/score arrays back into entry order for assertions.
+std::vector<ListEntry> RowEntries(const PreferenceIndex& index, UserId u) {
+  const auto keys = index.UserKeys(u);
+  const auto scores = index.UserScores(u);
+  std::vector<ListEntry> row;
+  row.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    row.push_back({keys[i], scores[i]});
+  }
+  return row;
+}
+
 PreferenceIndex MakeIndex() {
   // Two users over a 6-item universe; the pool keeps 4 items in "popularity"
   // order 5, 2, 0, 3 (universe item ids).
@@ -41,7 +53,7 @@ TEST(PreferenceIndexTest, RowsAreSortedDescendingWithPoolKeyTies) {
   const PreferenceIndex index = MakeIndex();
   // User 0 pool scores (key order): item5=1.0, item2=0.6, item0=0.2,
   // item3=0.8 → sorted keys 0, 3, 1, 2.
-  const auto row0 = index.UserEntries(0);
+  const auto row0 = RowEntries(index, 0);
   ASSERT_EQ(row0.size(), 4u);
   EXPECT_EQ(row0[0].id, 0u);
   EXPECT_DOUBLE_EQ(row0[0].score, 1.0);
@@ -51,7 +63,7 @@ TEST(PreferenceIndexTest, RowsAreSortedDescendingWithPoolKeyTies) {
   EXPECT_EQ(row0[3].id, 2u);
   // User 1 pool scores: item5=0.4, item2=0.8, item0=0.8, item3=0.2 — the
   // 0.8 tie breaks by ascending pool key (1 before 2).
-  const auto row1 = index.UserEntries(1);
+  const auto row1 = RowEntries(index, 1);
   EXPECT_EQ(row1[0].id, 1u);
   EXPECT_EQ(row1[1].id, 2u);
   EXPECT_EQ(row1[2].id, 0u);
@@ -102,7 +114,7 @@ TEST(PreferenceIndexTest, BandedRowsSortEachBandIndependently) {
 
   // Key scores: key0=1.0, key1=0.6, key2=0.2, key3=0.8. Band-local order:
   // band 0 → 0, 1; band 1 → 3, 2 (NOT the global order 0, 3, 1, 2).
-  const auto row = index.UserEntries(0);
+  const auto row = RowEntries(index, 0);
   EXPECT_EQ(row[0].id, 0u);
   EXPECT_EQ(row[1].id, 1u);
   EXPECT_EQ(row[2].id, 3u);
@@ -181,7 +193,7 @@ TEST(PreferenceIndexTest, FullPrefixViewMatchesRow) {
   EXPECT_EQ(view.size(), 4u);
   std::size_t cursor = 0;
   AccessCounter counter;
-  const auto row = index.UserEntries(1);
+  const auto row = RowEntries(index, 1);
   for (std::size_t i = 0; i < row.size(); ++i) {
     ASSERT_TRUE(view.SkipToLive(cursor));
     const ListEntry& e = view.ReadSequential(cursor, counter);

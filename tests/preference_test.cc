@@ -69,6 +69,32 @@ TEST(PreferenceModelTest, OutputStaysInUnitInterval) {
   }
 }
 
+TEST(PreferenceModelTest, DenseWeightsBitIdenticalToPacked) {
+  // The exhaustive scorer expands the packed pair affinities once and scores
+  // every candidate through the dense mat-vec; the two forms must agree
+  // bit-for-bit (EXPECT_EQ, not NEAR) or banded/flat equivalence breaks.
+  Rng rng(117);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t g = 1 + rng.NextBounded(8);
+    std::vector<double> apref(g), packed_out(g), dense_out(g);
+    std::vector<double> aff(NumUserPairs(g));
+    for (auto& a : apref) a = rng.NextDouble();
+    for (auto& a : aff) a = rng.NextDouble();
+    // Exercise exact zeros too — the zero diagonal must stay exact.
+    if (trial % 5 == 0) {
+      apref[rng.NextBounded(g)] = 0.0;
+      if (!aff.empty()) aff[rng.NextBounded(aff.size())] = 0.0;
+    }
+    std::vector<double> w(g * g);
+    ExpandPairWeights(aff, g, w);
+    AllMemberPreferences(apref, aff, packed_out);
+    AllMemberPreferencesDense(apref, w, dense_out);
+    for (std::size_t u = 0; u < g; ++u) {
+      EXPECT_EQ(packed_out[u], dense_out[u]) << "g=" << g << " u=" << u;
+    }
+  }
+}
+
 TEST(PreferenceModelTest, IntervalEnclosesExactRealizations) {
   Rng rng(113);
   for (int trial = 0; trial < 300; ++trial) {

@@ -527,5 +527,102 @@ TEST_F(SnapshotTest, ProblemOutlivesRetiredGeneration) {
   EXPECT_EQ(affinities.size(), NumUserPairs(group.size()));
 }
 
+// Tombstone cache: the first assembly for a (group, pool) builds the
+// group-rated bitmap, repeats within the same generation hit (bit-identical
+// recs and access counts), a different pool prefix misses again, and a
+// rating update starts a FRESH cache whose bitmaps see the new delta log.
+TEST_F(SnapshotTest, TombstoneCacheHitsRepeatsAndResetsPerGeneration) {
+  auto engine = MakeEngine();
+  const auto snap = engine->snapshot();
+
+  Query query;
+  query.group = {4, 17, 29};
+  query.spec.k = 5;
+  query.spec.num_candidate_items = 400;
+
+  EXPECT_EQ(snap->tombstone_cache_hits(), 0u);
+  EXPECT_EQ(snap->tombstone_cache_misses(), 0u);
+
+  const auto first = engine->Recommend(query, snap);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(snap->tombstone_cache_misses(), 1u);
+  EXPECT_EQ(snap->tombstone_cache_hits(), 0u);
+  EXPECT_EQ(snap->tombstone_cache_size(), 1u);
+
+  // Identical repeat: the bitmap is served from the memo and nothing about
+  // the answer changes — items, scores AND access counts.
+  const auto repeat = engine->Recommend(query, snap);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(snap->tombstone_cache_misses(), 1u);
+  EXPECT_EQ(snap->tombstone_cache_hits(), 1u);
+  EXPECT_EQ(repeat.value().items, first.value().items);
+  EXPECT_EQ(repeat.value().scores, first.value().scores);
+  EXPECT_EQ(repeat.value().raw.accesses.sequential,
+            first.value().raw.accesses.sequential);
+  EXPECT_EQ(repeat.value().raw.accesses.random,
+            first.value().raw.accesses.random);
+
+  // A different pool prefix is a different bitmap (keyed by (group, pool)).
+  Query narrower = query;
+  narrower.spec.num_candidate_items = 100;
+  ASSERT_TRUE(engine->Recommend(narrower, snap).ok());
+  EXPECT_EQ(snap->tombstone_cache_misses(), 2u);
+  EXPECT_EQ(snap->tombstone_cache_size(), 2u);
+  EXPECT_GT(snap->TombstoneCacheMemoryBytes(), 0u);
+
+  // Rate the group's current top pick: the next generation's FRESH cache
+  // must tombstone it (a carried-over bitmap would keep recommending it).
+  ASSERT_FALSE(first.value().items.empty());
+  const ItemId top = first.value().items[0];
+  RatingEvent e;
+  e.user = 4;
+  e.item = top;
+  e.rating = 5.0;
+  e.timestamp = 2'000'000'000;
+  ASSERT_TRUE(engine->ApplyUpdates({&e, 1}).ok());
+  const auto next = engine->snapshot();
+  EXPECT_EQ(next->tombstone_cache_size(), 0u) << "fresh per generation";
+  EXPECT_EQ(next->tombstone_cache_misses(), 0u);
+  const auto after = engine->Recommend(query, next);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(next->tombstone_cache_misses(), 1u);
+  for (const ItemId item : after.value().items) {
+    EXPECT_NE(item, top) << "newly rated item must be excluded";
+  }
+}
+
+// The tombstone cache is bounded: a cap of 1 evicts the older group's
+// bitmap, the eviction counter records it, and the evicted group still
+// answers identically when it misses back in.
+TEST_F(SnapshotTest, TombstoneCacheEvictsLeastRecentlyUsedPastCap) {
+  RecommenderOptions options;
+  options.max_candidate_items = 400;
+  options.tombstone_cache_max_entries = 1;
+  EngineOptions eopts;
+  eopts.num_threads = 2;
+  auto engine = std::make_unique<Engine>(*universe_, *study_, options, eopts);
+  const auto snap = engine->snapshot();
+
+  Query a;
+  a.group = {4, 17, 29};
+  a.spec.k = 5;
+  a.spec.num_candidate_items = 400;
+  Query b = a;
+  b.group = {3, 11};
+
+  const auto a1 = engine->Recommend(a, snap);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(engine->Recommend(b, snap).ok());  // evicts A's bitmap
+  EXPECT_EQ(snap->tombstone_cache_size(), 1u);
+  EXPECT_EQ(snap->tombstone_cache_evictions(), 1u);
+
+  const auto a2 = engine->Recommend(a, snap);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(snap->tombstone_cache_misses(), 3u);
+  EXPECT_EQ(snap->tombstone_cache_evictions(), 2u);
+  EXPECT_EQ(a2.value().items, a1.value().items);
+  EXPECT_EQ(a2.value().scores, a1.value().scores);
+}
+
 }  // namespace
 }  // namespace greca
