@@ -14,10 +14,17 @@
 // qps plus the per-list scan footprint. Machine-readable results go to the
 // path in GRECA_BATCH_JSON (scripts/bench.sh wires this up).
 //
+// The planner sweep replays a Zipf-repeated duplicate-heavy batch at
+// duplicate factors 1/4/16 through a planning engine vs the unplanned
+// reference path (EngineOptions::plan_batches), verifying bit-identical
+// results and reporting the planned/unplanned qps ratio per factor.
+//
 // Set GRECA_BENCH_SMALL=1 for a smoke-scale run, GRECA_BATCH_QUERIES to
 // change the batch size, GRECA_BATCH_LAYOUT=banded|flat|both to restrict the
-// layout sweep, and GRECA_BATCH_ASSERT_BANDED=1 (CI) to fail the run when
-// the banded layout regresses the smallest-pool workload against flat.
+// layout sweep, GRECA_BATCH_ASSERT_BANDED=1 (CI) to fail the run when the
+// banded layout regresses the smallest-pool workload against flat, and
+// GRECA_BATCH_ASSERT_PLANNER=1 (CI) to fail it when planning regresses
+// duplicate-free batches or undershoots 1.5x at duplicate factor 16.
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -28,6 +35,8 @@
 
 #include "api/engine.h"
 #include "bench_common.h"
+#include "common/distributions.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 
@@ -318,6 +327,153 @@ int main() {
             << mem.flat_twin_bytes << " B, maps " << mem.map_bytes
             << " B, total " << mem.total() << " B\n";
 
+  // ---- Batch-planner sweep: duplicate-heavy traffic ----------------------
+  // Production batch traffic repeats popular groups; the planner buckets
+  // duplicate (group, spec-signature) queries so each distinct signature is
+  // assembled and solved once, results fanned back out (plan/
+  // batch_planner.h). The sweep replays a Zipf-repeated batch at duplicate
+  // factors 1/4/16 through a planning engine and the unplanned reference
+  // engine — same recommender, same thread count, so the ratio isolates
+  // planning — verifying bit-identical results. With duplicate factor d the
+  // planned path solves batch/d problems, so planned qps should approach d×
+  // unplanned and hold parity at d = 1; GRECA_BATCH_ASSERT_PLANNER=1 (CI)
+  // hard-fails when either end of that contract slips.
+  struct PlannerRow {
+    std::size_t dup = 1;
+    std::size_t buckets = 0;
+    double dedup = 1.0;
+    double planned_qps = 0.0;
+    double unplanned_qps = 0.0;
+    std::size_t agreement_materialized = 0;
+    std::uint64_t tombstone_hits = 0;
+    std::uint64_t tombstone_misses = 0;
+  };
+  std::vector<PlannerRow> planner_sweep;
+  {
+    EngineOptions planned_opts;
+    planned_opts.num_threads = 4;
+    const Engine planned_engine(recommender, planned_opts);
+    EngineOptions unplanned_opts;
+    unplanned_opts.num_threads = 4;
+    unplanned_opts.plan_batches = false;
+    const Engine unplanned_engine(recommender, unplanned_opts);
+
+    Rng rng(4242);
+    const ConsensusSpec consensus_mix[] = {
+        ConsensusSpec::AveragePreference(),
+        ConsensusSpec::PairwiseDisagreement(), ConsensusSpec::LeastMisery()};
+    for (const std::size_t dup : {1u, 4u, 16u}) {
+      const std::size_t distinct =
+          std::max<std::size_t>(1, num_queries / dup);
+      // Distinct base queries over random groups, cycling the consensus
+      // function (pairwise included, so the lazy-agreement path runs).
+      const PerformanceHarness dup_perf(recommender, /*seed=*/77 + dup);
+      std::vector<Query> base;
+      for (const Group& group : dup_perf.RandomGroups(distinct, 6)) {
+        Query q;
+        q.group = group;
+        q.spec = spec;
+        q.spec.consensus = consensus_mix[base.size() % 3];
+        base.push_back(std::move(q));
+      }
+      // Every base appears once; the rest of the batch repeats bases with
+      // Zipf-weighted popularity (heavy traffic concentrates on few groups),
+      // then the whole batch is shuffled.
+      std::vector<Query> dup_batch = base;
+      const ZipfSampler zipf(base.size(), 1.0);
+      while (dup_batch.size() < num_queries) {
+        dup_batch.push_back(base[zipf.Sample(rng)]);
+      }
+      Shuffle(rng, dup_batch);
+
+      // One warm-up pass per engine, then best-of-3 timed runs.
+      BatchReport report;
+      auto planned_results = planned_engine.RecommendBatch(dup_batch);
+      auto unplanned_results = unplanned_engine.RecommendBatch(dup_batch);
+      double planned_best = 0.0, unplanned_best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        Stopwatch planned_watch;
+        planned_results = planned_engine.RecommendBatch(dup_batch, &report);
+        const double planned_seconds = planned_watch.ElapsedSeconds();
+        Stopwatch unplanned_watch;
+        unplanned_results = unplanned_engine.RecommendBatch(dup_batch);
+        const double unplanned_seconds = unplanned_watch.ElapsedSeconds();
+        if (rep == 0 || planned_seconds < planned_best) {
+          planned_best = planned_seconds;
+        }
+        if (rep == 0 || unplanned_seconds < unplanned_best) {
+          unplanned_best = unplanned_seconds;
+        }
+      }
+      for (std::size_t i = 0; i < dup_batch.size(); ++i) {
+        if (!planned_results[i].ok() || !unplanned_results[i].ok() ||
+            planned_results[i].value().items !=
+                unplanned_results[i].value().items ||
+            planned_results[i].value().scores !=
+                unplanned_results[i].value().scores) {
+          std::cerr << "ERROR: planned batch differs from unplanned at dup "
+                    << dup << " query " << i << "\n";
+          return 1;
+        }
+      }
+
+      PlannerRow row;
+      row.dup = dup;
+      row.buckets = report.num_buckets;
+      row.dedup = report.dedup_ratio;
+      row.planned_qps =
+          static_cast<double>(dup_batch.size()) / planned_best;
+      row.unplanned_qps =
+          static_cast<double>(dup_batch.size()) / unplanned_best;
+      row.agreement_materialized = report.agreement_lists_materialized;
+      row.tombstone_hits = report.tombstone_cache_hits;
+      row.tombstone_misses = report.tombstone_cache_misses;
+      planner_sweep.push_back(row);
+    }
+
+    TablePrinter planner_table(
+        "Batch planner, Zipf-repeated groups (" +
+        std::to_string(num_queries) + " queries, 4 threads)");
+    planner_table.SetColumns({"dup", "buckets", "dedup", "planned q/s",
+                              "unplanned q/s", "speedup"});
+    for (const PlannerRow& row : planner_sweep) {
+      planner_table.AddRow(
+          {std::to_string(row.dup), std::to_string(row.buckets),
+           TablePrinter::Cell(row.dedup, 2),
+           TablePrinter::Cell(row.planned_qps, 1),
+           TablePrinter::Cell(row.unplanned_qps, 1),
+           TablePrinter::Cell(row.planned_qps / row.unplanned_qps, 2)});
+    }
+    planner_table.Print(std::cout);
+    std::cout << "All planned batches identical to unplanned execution.\n";
+
+    const double parity_ratio =
+        planner_sweep.front().planned_qps / planner_sweep.front().unplanned_qps;
+    const double dup16_ratio =
+        planner_sweep.back().planned_qps / planner_sweep.back().unplanned_qps;
+    std::cout << "planner speedup: " << parity_ratio << "x at dup 1, "
+              << dup16_ratio
+              << "x at dup 16 (target: >= 1.0 parity at dup 1, >= 1.5 at "
+                 "dup 16)\n";
+    const char* assert_planner = std::getenv("GRECA_BATCH_ASSERT_PLANNER");
+    if (assert_planner != nullptr && assert_planner[0] == '1') {
+      // 0.95 is the repo's noise floor for parity gates (the target is 1.0;
+      // see the banded small-pool gate above).
+      if (parity_ratio < 0.95) {
+        std::cerr << "ERROR: planning regresses duplicate-free batches "
+                     "(ratio "
+                  << parity_ratio << " < 0.95 at dup 1)\n";
+        return 1;
+      }
+      if (dup16_ratio < 1.5) {
+        std::cerr << "ERROR: planner speedup below 1.5x on duplicate-heavy "
+                     "traffic (ratio "
+                  << dup16_ratio << " at dup 16)\n";
+        return 1;
+      }
+    }
+  }
+
   if (const char* json_path = std::getenv("GRECA_BATCH_JSON");
       json_path != nullptr && json_path[0] != '\0' && !sweep.empty()) {
     std::ofstream json(json_path);
@@ -328,6 +484,20 @@ int main() {
            << ", \"qps\": " << sweep[i].qps
            << ", \"entries_walked_per_scan\": " << sweep[i].footprint << "}"
            << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"planner_sweep\": [\n";
+    for (std::size_t i = 0; i < planner_sweep.size(); ++i) {
+      const PlannerRow& row = planner_sweep[i];
+      json << "    {\"dup\": " << row.dup << ", \"buckets\": " << row.buckets
+           << ", \"dedup_ratio\": " << row.dedup
+           << ", \"planned_qps\": " << row.planned_qps
+           << ", \"unplanned_qps\": " << row.unplanned_qps
+           << ", \"speedup\": " << (row.planned_qps / row.unplanned_qps)
+           << ", \"agreement_lists_materialized\": "
+           << row.agreement_materialized
+           << ", \"tombstone_cache_hits\": " << row.tombstone_hits
+           << ", \"tombstone_cache_misses\": " << row.tombstone_misses << "}"
+           << (i + 1 < planner_sweep.size() ? "," : "") << "\n";
     }
     json << "  ],\n  \"index_memory\": {\"banded_bytes\": " << mem.banded_bytes
          << ", \"flat_twin_bytes\": " << mem.flat_twin_bytes

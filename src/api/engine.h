@@ -43,20 +43,20 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/group_recommender.h"
+#include "plan/batch_planner.h"
 
 namespace greca {
-
-/// One group recommendation request: an ad-hoc group of study participants
-/// plus the full query configuration.
-struct Query {
-  std::vector<UserId> group;
-  QuerySpec spec;
-};
 
 struct EngineOptions {
   /// Worker threads for RecommendBatch. 0 picks
   /// max(2, std::thread::hardware_concurrency()).
   std::size_t num_threads = 0;
+  /// Plan batches before solving them (plan/batch_planner.h): duplicate
+  /// (group, spec-signature) queries share one assembled and solved problem,
+  /// with results fanned back out per query. Bit-identical to the unplanned
+  /// path (the algorithms are deterministic); disable to force the
+  /// one-problem-per-query reference path.
+  bool plan_batches = true;
 };
 
 class Engine {
@@ -130,15 +130,22 @@ class Engine {
   /// sequentially against that snapshot (the algorithms are deterministic
   /// and workspaces only amortize allocations). Thread-safe; concurrent
   /// batches are serialized internally.
+  ///
+  /// With EngineOptions::plan_batches (the default) the batch is PLANNED
+  /// first: duplicate (group, spec-signature) queries share one assembled
+  /// and solved problem and the result is fanned back out — bit-identical
+  /// results at a fraction of the work on duplicate-heavy traffic (see
+  /// plan/batch_planner.h). `report`, when non-null, receives the planner's
+  /// stats and per-query attribution.
   std::vector<Result<Recommendation>> RecommendBatch(
-      std::span<const Query> queries) const;
+      std::span<const Query> queries, BatchReport* report = nullptr) const;
 
   /// Batch execution against an explicitly pinned snapshot — e.g. to replay
   /// a batch on a retired generation, or to split one logical workload
   /// across several RecommendBatch calls that must all see the same data.
   std::vector<Result<Recommendation>> RecommendBatch(
-      std::span<const Query> queries,
-      std::shared_ptr<const Snapshot> snap) const;
+      std::span<const Query> queries, std::shared_ptr<const Snapshot> snap,
+      BatchReport* report = nullptr) const;
 
   const GroupRecommender& recommender() const { return *recommender_; }
   std::size_t num_threads() const { return pool_->size(); }
@@ -152,9 +159,15 @@ class Engine {
   }
 
  private:
+  /// The planned execution path behind RecommendBatch (plan_batches = true).
+  std::vector<Result<Recommendation>> RecommendBatchPlanned(
+      std::span<const Query> queries,
+      const std::shared_ptr<const Snapshot>& snap, BatchReport* report) const;
+
   std::unique_ptr<GroupRecommender> owned_;  // null when wrapping
   const GroupRecommender* recommender_;
   std::unique_ptr<ThreadPool> pool_;
+  const bool plan_batches_;
   mutable std::vector<QueryWorkspace> workspaces_;  // one per worker
   mutable std::mutex batch_mutex_;
 };

@@ -44,7 +44,7 @@ class GrecaRun {
         num_pairs_(problem.num_pairs()),
         num_periods_(problem.num_periods()),
         m_(problem.num_items()),
-        num_ag_(problem.agreement_lists().size()),
+        num_ag_(problem.num_agreement_lists()),
         ag_floor_(1.0 - problem.consensus().disagreement_scale),
         uses_agreements_(problem.uses_agreement_lists()) {
     pref_pos_.assign(g_, 0);

@@ -159,6 +159,19 @@ struct QuerySpec {
   TerminationPolicy termination = TerminationPolicy::kBufferCondition;
   /// Candidate pool size for this query (<= RecommenderOptions limit).
   std::size_t num_candidate_items = 3'900;
+
+  /// Field-wise equality. Note the batch planner (plan/batch_planner.h)
+  /// buckets on RESOLVED periods, so specs differing only in "nullopt vs
+  /// explicit last period" compare unequal here but still share a bucket.
+  friend bool operator==(const QuerySpec&, const QuerySpec&) = default;
+};
+
+/// One group recommendation request: an ad-hoc group of study participants
+/// plus the full query configuration. The unit of Engine::RecommendBatch and
+/// of the batch planner's bucketing.
+struct Query {
+  std::vector<UserId> group;
+  QuerySpec spec;
 };
 
 struct Recommendation {

@@ -45,9 +45,10 @@ struct AssemblyContext {
   /// The (group, period) list cache; may be null only for models that read
   /// no period lists (!time_aware or !affinity_aware).
   PeriodListCache* period_cache = nullptr;
-  /// The generation-scoped (group, pool) tombstone-bitmap memo; null = build
-  /// the bitmap per call (the sharded path, where members pin a MIX of shard
-  /// generations and no single generation can scope a cache).
+  /// The (group, pool) tombstone-bitmap memo — scoped to whatever pins the
+  /// members' rated-item state (the Snapshot's generation on the monolithic
+  /// path, the ShardedSnapshotSet's generation vector on the sharded path);
+  /// null = build the bitmap per call.
   TombstoneCache* tombstone_cache = nullptr;
   bool exclude_group_rated = true;
 };

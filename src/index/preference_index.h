@@ -55,6 +55,7 @@
 #ifndef GRECA_INDEX_PREFERENCE_INDEX_H_
 #define GRECA_INDEX_PREFERENCE_INDEX_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -210,8 +211,25 @@ class PreferenceIndex {
                       {positions_.data() + u * pool_size, pool_size}, prefix,
                       live_entries, tombstones);
     }
-    std::size_t nb = 1;  // covered bands: band_begin_[nb - 1] < prefix
-    while (band_begin_[nb] < prefix) ++nb;
+    // Covered-band span: smallest nb with band_begin_[nb] >= prefix. The
+    // grid is shared by every row, so the walk depends on the prefix alone;
+    // batch traffic repeats a handful of pool sizes, so a single-entry memo
+    // (packed (prefix+1, nb), 0 = cold) short-circuits it. Relaxed atomics:
+    // a stale or torn-away entry only means a recompute from the immutable
+    // grid, never a wrong span.
+    std::size_t nb;
+    const std::uint64_t memo =
+        band_span_memo_.packed.load(std::memory_order_relaxed);
+    if ((memo >> 32) == prefix + 1) {
+      nb = static_cast<std::size_t>(memo & 0xFFFFFFFFull);
+    } else {
+      nb = 1;  // covered bands: band_begin_[nb - 1] < prefix
+      while (band_begin_[nb] < prefix) ++nb;
+      band_span_memo_.packed.store(
+          (static_cast<std::uint64_t>(prefix + 1) << 32) |
+              static_cast<std::uint64_t>(nb),
+          std::memory_order_relaxed);
+    }
     const std::size_t footprint = band_begin_[nb];
     if (2 * footprint > pool_size && has_flat_twin()) {
       // Cost-model guard: the merge must at least halve the walk, otherwise
@@ -281,6 +299,27 @@ class PreferenceIndex {
                    std::span<const std::uint32_t> band_breakpoints,
                    bool build_flat_twin);
 
+  /// The UserView band-span memo: one packed (prefix+1) << 32 | nb entry
+  /// (0 = cold), atomic so concurrent batch workers share it without racing.
+  /// All special members reset to cold — an index copied or moved (the
+  /// CloneWithUpdatedRows/CloneWithUpdatedPoolRows publish path) starts
+  /// invalidated, and PreferenceIndex keeps its implicit value semantics
+  /// despite the atomic.
+  struct BandSpanMemo {
+    BandSpanMemo() = default;
+    BandSpanMemo(const BandSpanMemo&) noexcept {}
+    BandSpanMemo(BandSpanMemo&&) noexcept {}
+    BandSpanMemo& operator=(const BandSpanMemo&) noexcept {
+      packed.store(0, std::memory_order_relaxed);
+      return *this;
+    }
+    BandSpanMemo& operator=(BandSpanMemo&&) noexcept {
+      packed.store(0, std::memory_order_relaxed);
+      return *this;
+    }
+    mutable std::atomic<std::uint64_t> packed{0};
+  };
+
   std::size_t num_users_ = 0;
   double scale_max_ = 1.0;                            // score normalization
   std::vector<ItemId> pool_;                          // key -> universe item
@@ -296,6 +335,7 @@ class PreferenceIndex {
   std::vector<ListKey> flat_keys_;
   std::vector<Score> flat_scores_;
   std::vector<std::uint32_t> flat_positions_;
+  BandSpanMemo band_span_memo_;
 };
 
 }  // namespace greca

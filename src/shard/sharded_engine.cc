@@ -93,7 +93,25 @@ std::shared_ptr<const ShardedSnapshotSet> ShardedEngine::Pin() const {
   std::vector<std::shared_ptr<const ShardSnapshot>> snaps;
   snaps.reserve(shards_.size());
   for (const auto& shard : shards_) snaps.push_back(shard->snapshot());
-  return std::make_shared<const ShardedSnapshotSet>(std::move(snaps));
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  if (last_pin_ != nullptr) {
+    // Same per-shard snapshot pointers ⟺ same generation vector: hand out
+    // the SAME set so repeat pins share its (group, pool) tombstone memo.
+    // Any publish between pins fails the comparison and builds a fresh set
+    // (fresh memo); a publish racing the gather above at worst yields a
+    // fresh set where reuse was possible — never a stale reuse.
+    bool same = true;
+    for (std::size_t s = 0; s < snaps.size(); ++s) {
+      if (last_pin_->shard_ptr(s) != snaps[s]) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return last_pin_;
+  }
+  last_pin_ = std::make_shared<const ShardedSnapshotSet>(
+      std::move(snaps), options_.tombstone_cache_max_entries);
+  return last_pin_;
 }
 
 Status ShardedEngine::ApplyUpdates(std::span<const RatingEvent> events,
@@ -191,15 +209,21 @@ Result<Recommendation> ShardedEngine::Recommend(
     const std::shared_ptr<const ShardedSnapshotSet>& set,
     std::span<const UserId> group, const QuerySpec& spec,
     QueryWorkspace* workspace) const {
+  QueryWorkspace local;
+  QueryWorkspace& ws = workspace != nullptr ? *workspace : local;
+  return RecommendOnSet(set, group, spec, ws, nullptr);
+}
+
+Result<Recommendation> ShardedEngine::RecommendOnSet(
+    const std::shared_ptr<const ShardedSnapshotSet>& set,
+    std::span<const UserId> group, const QuerySpec& spec,
+    QueryWorkspace& ws, SolveStats* stats) const {
   if (set == nullptr) {
     return Status::InvalidArgument("snapshot set must not be null");
   }
   if (Status s = ValidateQuery(group, spec); !s.ok()) return s;
   const PeriodId eval_period =
       ResolveEvalPeriod(spec.eval_period, num_periods_).value();
-
-  QueryWorkspace local;
-  QueryWorkspace& ws = workspace != nullptr ? *workspace : local;
 
   // Scatter: one zero-copy MemberSlice per member, pointing into the owning
   // shard's pinned generation. Gather happens inside the shared assembly —
@@ -218,9 +242,13 @@ Result<Recommendation> ShardedEngine::Recommend(
   ctx.key_index = set->shard(0).index.get();
   ctx.affinity = affinity_.get();
   ctx.period_cache = period_cache_.get();
-  // No tombstone memo here: members pin a MIX of per-shard generations, so
-  // no single generation can scope a cache (ctx.tombstone_cache stays null
-  // and the bitmap is built per query, exactly the pre-memo behavior).
+  // Tombstone memo scoped to the SET: members pin a mix of per-shard
+  // generations, so no single generation can scope a cache — but the set
+  // pins that exact generation-vector mix for its whole lifetime, so its own
+  // memo is correct by construction (see ShardedSnapshotSet). Repeat pins
+  // reuse one set while nothing publishes, so repeated groups across queries
+  // hit too.
+  ctx.tombstone_cache = &set->tombstone_cache();
   ctx.exclude_group_rated = options_.exclude_group_rated;
   GroupProblem problem = AssembleGroupProblem(ctx, group, slices, spec,
                                               eval_period, nullptr, &ws);
@@ -228,7 +256,114 @@ Result<Recommendation> ShardedEngine::Recommend(
   // generation: share ownership of the whole set so they survive any
   // shard's concurrent publish.
   problem.PinLifetime(set);
-  return SolveGroupProblem(problem, spec, ctx.key_index->pool(), ws);
+  Result<Recommendation> rec =
+      SolveGroupProblem(problem, spec, ctx.key_index->pool(), ws);
+  if (stats != nullptr) {
+    stats->agreement_deferred = problem.agreement_deferred();
+    stats->agreement_materialized = problem.agreement_materialized();
+  }
+  return rec;
+}
+
+std::vector<Result<Recommendation>> ShardedEngine::RecommendBatch(
+    std::span<const Query> queries, BatchReport* report) const {
+  return RecommendBatch(Pin(), queries, report);
+}
+
+std::vector<Result<Recommendation>> ShardedEngine::RecommendBatch(
+    const std::shared_ptr<const ShardedSnapshotSet>& set,
+    std::span<const Query> queries, BatchReport* report) const {
+  std::vector<Result<Recommendation>> results;
+  results.reserve(queries.size());
+  if (set == nullptr) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      results.emplace_back(
+          Status::InvalidArgument("snapshot set must not be null"));
+    }
+    return results;
+  }
+  const std::uint64_t ph0 = period_cache_->hits();
+  const std::uint64_t pm0 = period_cache_->misses();
+  const TombstoneCache& tombs = set->tombstone_cache();
+  const std::uint64_t th0 = tombs.hits();
+  const std::uint64_t tm0 = tombs.misses();
+  const std::uint64_t te0 = tombs.evictions();
+  QueryWorkspace ws;
+
+  if (!options_.plan_batches) {
+    // Unplanned reference path: one problem per query, in input order.
+    for (const Query& q : queries) {
+      results.push_back(RecommendOnSet(set, q.group, q.spec, ws, nullptr));
+    }
+    if (report != nullptr) {
+      *report = BatchReport{};
+      report->num_queries = queries.size();
+      report->per_query.resize(queries.size());
+      std::uint32_t bucket = 0;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok()) {
+          ++report->num_invalid;
+          continue;
+        }
+        report->per_query[i] = {bucket++, /*representative=*/true};
+      }
+      report->num_buckets = bucket;
+    }
+  } else {
+    BatchPlan plan = BatchPlanner::Plan(
+        queries,
+        [&](const Query& q) { return ValidateQuery(q.group, q.spec); },
+        num_periods_);
+    // Solve each bucket's representative once (sequentially — the sharded
+    // engine's parallelism unit is the shard, not the batch), then fan out.
+    std::vector<Result<Recommendation>> solved;
+    solved.reserve(plan.buckets.size());
+    std::size_t materialized = 0;
+    std::size_t skipped = 0;
+    for (const BatchPlan::Bucket& bucket : plan.buckets) {
+      const Query& q = queries[bucket.queries.front()];
+      SolveStats stats;
+      solved.push_back(RecommendOnSet(set, q.group, q.spec, ws, &stats));
+      if (stats.agreement_deferred) {
+        ++(stats.agreement_materialized ? materialized : skipped);
+      }
+    }
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const std::uint32_t b = plan.bucket_of[i];
+      if (b == BatchQueryAttribution::kInvalid) {
+        results.emplace_back(plan.statuses[i]);
+      } else {
+        results.push_back(solved[b]);
+      }
+    }
+    if (report != nullptr) {
+      *report = BatchReport{};
+      report->planned = true;
+      report->num_queries = queries.size();
+      report->num_invalid = queries.size() - plan.num_valid;
+      report->num_buckets = plan.buckets.size();
+      report->duplicates_shared = plan.num_valid - plan.buckets.size();
+      report->dedup_ratio = plan.DedupRatio();
+      report->agreement_lists_materialized = materialized;
+      report->agreement_lists_skipped = skipped;
+      report->per_query.resize(queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        const std::uint32_t b = plan.bucket_of[i];
+        report->per_query[i] = {
+            b, b != BatchQueryAttribution::kInvalid &&
+                   plan.buckets[b].queries.front() ==
+                       static_cast<std::uint32_t>(i)};
+      }
+    }
+  }
+  if (report != nullptr) {
+    report->period_cache_hits = period_cache_->hits() - ph0;
+    report->period_cache_misses = period_cache_->misses() - pm0;
+    report->tombstone_cache_hits = tombs.hits() - th0;
+    report->tombstone_cache_misses = tombs.misses() - tm0;
+    report->tombstone_cache_evictions = tombs.evictions() - te0;
+  }
+  return results;
 }
 
 }  // namespace greca

@@ -37,6 +37,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -51,6 +52,7 @@
 #include "common/thread_pool.h"
 #include "core/group_recommender.h"
 #include "dataset/facebook_study.h"
+#include "plan/batch_planner.h"
 #include "shard/shard.h"
 #include "shard/shard_router.h"
 
@@ -74,6 +76,13 @@ struct ShardedEngineOptions {
   std::size_t compact_every_n_publishes = 0;
   double compact_delta_fraction = 0.25;
   std::size_t period_cache_max_entries = PeriodListCache::kDefaultMaxEntries;
+  /// Residency cap of each pinned set's (group, pool) tombstone-bitmap memo
+  /// (0 = unbounded; see ShardedSnapshotSet::tombstone_cache).
+  std::size_t tombstone_cache_max_entries = TombstoneCache::kDefaultMaxEntries;
+  /// Plan RecommendBatch calls before solving them (see EngineOptions::
+  /// plan_batches): duplicate queries share one assembled + solved problem,
+  /// bit-identical to the per-query reference path.
+  bool plan_batches = true;
   /// Worker threads fanning out the initial per-row index fills at
   /// construction (0 = serial; results are bit-identical either way).
   std::size_t build_threads = 0;
@@ -102,11 +111,24 @@ struct ShardedEngineInputs {
 /// fence) holds to keep every touched shard's rows alive and stable.
 /// Individual ShardSnapshots are immutable; the set itself is a plain
 /// vector pinned via shared_ptr.
+///
+/// Each set also carries its own (group, pool) tombstone-bitmap memo. A
+/// bitmap depends on every member's rated items, i.e. on the WHOLE per-shard
+/// generation vector — which is exactly what a set pins and never changes —
+/// so scoping the memo to the set makes it correct by construction: queries
+/// running on the same set (ShardedEngine::Pin reuses one set object while
+/// no shard publishes) share bitmaps, while sets pinned across a publish get
+/// a fresh memo. This closes the sharded path's bitmap-per-query gap — the
+/// monolithic engine has had a generation-scoped memo since the Snapshot
+/// grew one.
 class ShardedSnapshotSet {
  public:
   explicit ShardedSnapshotSet(
-      std::vector<std::shared_ptr<const ShardSnapshot>> shards)
-      : shards_(std::move(shards)) {}
+      std::vector<std::shared_ptr<const ShardSnapshot>> shards,
+      std::size_t tombstone_cache_max_entries =
+          TombstoneCache::kDefaultMaxEntries)
+      : shards_(std::move(shards)),
+        tombstone_cache_(tombstone_cache_max_entries) {}
 
   std::size_t num_shards() const { return shards_.size(); }
   const ShardSnapshot& shard(std::size_t s) const { return *shards_[s]; }
@@ -114,8 +136,14 @@ class ShardedSnapshotSet {
     return shards_[s];
   }
 
+  /// The set-scoped (group, pool) tombstone memo (internally synchronized;
+  /// hit/miss/eviction counters like the monolithic caches). Mutable state
+  /// on an otherwise-immutable pin, hence the const accessor.
+  TombstoneCache& tombstone_cache() const { return tombstone_cache_; }
+
  private:
   std::vector<std::shared_ptr<const ShardSnapshot>> shards_;
+  mutable TombstoneCache tombstone_cache_;
 };
 
 /// Cross-shard aggregation of one ApplyUpdates call plus the per-shard
@@ -161,6 +189,11 @@ class ShardedEngine {
   /// explicit pins give cross-call stability). Shards publishing while the
   /// set is assembled yield a mix of generations — each individually
   /// consistent, see the header comment.
+  ///
+  /// While no shard publishes, repeated pins return the SAME set object, so
+  /// successive queries share its tombstone memo; any publish makes the next
+  /// Pin build a fresh set (and fresh memo). Sets pinned before the publish
+  /// keep theirs — still correct for the generations they hold.
   std::shared_ptr<const ShardedSnapshotSet> Pin() const;
 
   /// Validates the whole batch (all-or-nothing), splits it by owning shard
@@ -185,6 +218,20 @@ class ShardedEngine {
       std::span<const UserId> group, const QuerySpec& spec,
       QueryWorkspace* workspace = nullptr) const;
 
+  /// Batch execution against one pinned set (pinned internally; every query
+  /// sees the same per-shard generation vector). Planned by default (see
+  /// ShardedEngineOptions::plan_batches): duplicate queries share one
+  /// assembled + solved problem. Buckets run sequentially on the calling
+  /// thread — the sharded engine's parallelism unit is the shard, not the
+  /// batch. `report`, when non-null, receives planner stats + attribution.
+  std::vector<Result<Recommendation>> RecommendBatch(
+      std::span<const Query> queries, BatchReport* report = nullptr) const;
+
+  /// Set-explicit variant, e.g. to replay a batch on an older pin.
+  std::vector<Result<Recommendation>> RecommendBatch(
+      const std::shared_ptr<const ShardedSnapshotSet>& set,
+      std::span<const Query> queries, BatchReport* report = nullptr) const;
+
   Status ValidateQuery(std::span<const UserId> group,
                        const QuerySpec& spec) const;
 
@@ -201,6 +248,19 @@ class ShardedEngine {
   void BuildShards(std::shared_ptr<const RatingsDataset> base,
                    double scale_max, std::vector<ItemId> pool,
                    std::size_t num_universe_items);
+
+  /// Lazy-agreement outcome of one solved problem (BatchReport accounting).
+  struct SolveStats {
+    bool agreement_deferred = false;
+    bool agreement_materialized = false;
+  };
+
+  /// The assemble + solve core shared by Recommend and the planned batch
+  /// path; `stats`, when non-null, receives the lazy-agreement outcome.
+  Result<Recommendation> RecommendOnSet(
+      const std::shared_ptr<const ShardedSnapshotSet>& set,
+      std::span<const UserId> group, const QuerySpec& spec,
+      QueryWorkspace& workspace, SolveStats* stats) const;
 
   ShardedEngineOptions options_;
   ShardRouter router_;
@@ -221,6 +281,13 @@ class ShardedEngine {
   /// pinning any shard generation).
   std::vector<ItemId> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Pin() reuse: the last set handed out, returned again while every shard's
+  // snapshot pointer is unchanged so repeat pins share its tombstone memo.
+  // Guarded by pin_mu_ (the per-shard snapshot reads take each shard's own
+  // publication mutex, exactly like an un-reused pin).
+  mutable std::mutex pin_mu_;
+  mutable std::shared_ptr<const ShardedSnapshotSet> last_pin_;
 };
 
 }  // namespace greca

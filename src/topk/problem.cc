@@ -71,10 +71,12 @@ GroupProblem::GroupProblem(std::size_t num_items, std::size_t num_candidates,
   assert(!preference_views_.empty());
   assert(num_candidates_ <= num_items_);
   assert(period_views_.size() == combiner_.num_periods());
+  // Pairwise problems may also start with NO views when the caller installs
+  // a deferred builder right after construction (DeferAgreementLists).
   assert((consensus_.disagreement == DisagreementKind::kPairwise &&
           group_size() >= 2)
              ? (agreement_views_.size() == num_pairs() ||
-                agreement_views_.size() == 1)
+                agreement_views_.size() <= 1)
              : agreement_views_.empty());
 }
 
@@ -82,7 +84,13 @@ std::size_t GroupProblem::TotalEntries() const {
   std::size_t total = static_view_.size();
   for (const ListView& list : preference_views_) total += list.size();
   for (const ListView& list : period_views_) total += list.size();
-  for (const ListView& list : agreement_views_) total += list.size();
+  if (agreement_builder_) {
+    // Deferred aggregated list: its live size is known exactly without
+    // building it (one entry per live candidate key).
+    total += deferred_agreement_entries_;
+  } else {
+    for (const ListView& list : agreement_views_) total += list.size();
+  }
   return total;
 }
 
@@ -150,9 +158,10 @@ double GroupProblem::ExactScore(ListKey key) const {
   std::vector<double> prefs(g);
   MemberPreferences(apref, pair_aff, prefs);
   if (uses_agreement_lists()) {
-    std::vector<double> agreements(agreement_views_.size());
+    const std::span<const ListView> lists = agreement_lists();
+    std::vector<double> agreements(lists.size());
     for (std::size_t q = 0; q < agreements.size(); ++q) {
-      agreements[q] = agreement_views_[q].ScoreOfKey(key);
+      agreements[q] = lists[q].ScoreOfKey(key);
     }
     return ConsensusScoreWithAgreements(consensus_, prefs, agreements);
   }

@@ -26,7 +26,9 @@
 #ifndef GRECA_TOPK_PROBLEM_H_
 #define GRECA_TOPK_PROBLEM_H_
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -156,10 +158,50 @@ class GroupProblem {
   }
   const ListView& static_affinity() const { return static_view_; }
   std::span<const ListView> period_affinity() const { return period_views_; }
+  /// The agreement views the pairwise-disagreement consensus walks. On the
+  /// deferred path (DeferAgreementLists) the FIRST call pays the O(C log C)
+  /// aggregated-list build; algorithms that never walk the lists (threshold
+  /// math sizes its buffers via num_agreement_lists()) never pay it.
+  /// Materialization mutates cached state, so it follows the problem's
+  /// existing single-consumer contract (one algorithm at a time).
   std::span<const ListView> agreement_lists() const {
+    if (agreement_builder_) {
+      agreement_views_ = agreement_builder_();
+      agreement_builder_ = nullptr;
+    }
     return agreement_views_;
   }
-  bool uses_agreement_lists() const { return !agreement_views_.empty(); }
+  /// How many agreement lists agreement_lists() would yield — WITHOUT
+  /// forcing a deferred materialization (the deferred path always builds
+  /// the single aggregated group list).
+  std::size_t num_agreement_lists() const {
+    return agreement_builder_ ? 1 : agreement_views_.size();
+  }
+  bool uses_agreement_lists() const {
+    return agreement_builder_ != nullptr || !agreement_views_.empty();
+  }
+
+  /// Installs a lazy agreement-list builder instead of eagerly built views:
+  /// `build` materializes the single aggregated group-agreement list (into
+  /// storage that outlives this problem) on the first agreement_lists()
+  /// call. `live_entries` must equal the built list's live size (the
+  /// problem's candidate count) so TotalEntries() stays exact without
+  /// materializing. Only valid on pairwise-consensus problems constructed
+  /// with no agreement views.
+  void DeferAgreementLists(std::function<std::span<const ListView>()> build,
+                           std::size_t live_entries) {
+    assert(consensus_.disagreement == DisagreementKind::kPairwise &&
+           group_size() >= 2);
+    assert(agreement_views_.empty());
+    agreement_builder_ = std::move(build);
+    deferred_agreement_entries_ = live_entries;
+    agreement_deferred_ = true;
+  }
+  /// True when this problem was assembled with a deferred agreement list.
+  bool agreement_deferred() const { return agreement_deferred_; }
+  /// True once agreement views exist (eagerly built, or deferred-and-walked).
+  bool agreement_materialized() const { return !agreement_views_.empty(); }
+
   const AffinityCombiner& combiner() const { return combiner_; }
   const ConsensusSpec& consensus() const { return consensus_; }
 
@@ -226,7 +268,12 @@ class GroupProblem {
   std::span<const ListView> preference_views_;
   ListView static_view_;
   std::span<const ListView> period_views_;
-  std::span<const ListView> agreement_views_;
+  // mutable: the deferred agreement build is a cached const-path
+  // materialization (single-consumer contract, see agreement_lists()).
+  mutable std::span<const ListView> agreement_views_;
+  mutable std::function<std::span<const ListView>()> agreement_builder_;
+  std::size_t deferred_agreement_entries_ = 0;
+  bool agreement_deferred_ = false;
 };
 
 /// Builds the per-pair agreement lists from the members' preference lists:

@@ -44,7 +44,7 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
     return problem.combiner().Combine(aff_s, aff_p);
   };
 
-  std::vector<double> agreements(problem.agreement_lists().size());
+  std::vector<double> agreements(problem.num_agreement_lists());
 
   const auto score_item = [&](ListKey key, std::size_t seen_in_list) {
     // Random-access the other members' absolute preferences...
@@ -81,7 +81,7 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
   // per-round lambda: the exact pair affinities and the all-ones agreement
   // bound used to allocate fresh vectors on every round.
   const std::vector<double> exact_aff = problem.ExactPairAffinities();
-  const std::vector<double> full_agreement(problem.agreement_lists().size(),
+  const std::vector<double> full_agreement(problem.num_agreement_lists(),
                                            1.0);
   const auto threshold = [&] {
     // Best score an unseen item could have: every member's absolute

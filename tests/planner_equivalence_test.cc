@@ -1,0 +1,504 @@
+// The batch planner's load-bearing contract: a PLANNED RecommendBatch —
+// duplicate queries bucketed by execution signature, one assembled + solved
+// problem per bucket, results fanned back out — is BIT-IDENTICAL to the
+// unplanned one-problem-per-query reference path, on both the monolithic
+// Engine and the ShardedEngine, with invalid queries mixed in, and across
+// publishes landing around a pinned snapshot / snapshot set. "Bit-identical"
+// covers the full observable surface: per-query ok/status, recommended
+// items, scores, raw access counters, rounds, and early termination. The
+// planner's report (buckets, attribution, dedup ratio, lazy-agreement and
+// cache counters) is audited alongside.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/rng.h"
+#include "plan/batch_planner.h"
+#include "shard/sharded_engine.h"
+
+namespace greca {
+namespace {
+
+// --- BatchPlanner unit tests ------------------------------------------------
+
+QuerySpec SmallSpec() {
+  QuerySpec spec;
+  spec.k = 5;
+  spec.num_candidate_items = 360;
+  return spec;
+}
+
+Query MakeQuery(std::vector<UserId> group, QuerySpec spec) {
+  Query q;
+  q.group = std::move(group);
+  q.spec = std::move(spec);
+  return q;
+}
+
+constexpr std::size_t kUnitNumPeriods = 4;
+
+BatchPlan PlanAllValid(const std::vector<Query>& queries) {
+  return BatchPlanner::Plan(
+      queries, [](const Query&) { return Status::Ok(); }, kUnitNumPeriods);
+}
+
+TEST(BatchPlannerTest, BucketsDuplicatesInFirstAppearanceOrder) {
+  const Query a = MakeQuery({1, 2}, SmallSpec());
+  QuerySpec bigger = SmallSpec();
+  bigger.k = 7;
+  const Query b = MakeQuery({1, 2}, bigger);
+  const Query c = MakeQuery({3, 4, 5}, SmallSpec());
+  const std::vector<Query> queries = {a, b, a, c, b, a};
+
+  const BatchPlan plan = PlanAllValid(queries);
+  ASSERT_EQ(plan.buckets.size(), 3u);
+  EXPECT_EQ(plan.buckets[0].queries, (std::vector<std::uint32_t>{0, 2, 5}));
+  EXPECT_EQ(plan.buckets[1].queries, (std::vector<std::uint32_t>{1, 4}));
+  EXPECT_EQ(plan.buckets[2].queries, (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(plan.bucket_of,
+            (std::vector<std::uint32_t>{0, 1, 0, 2, 1, 0}));
+  EXPECT_EQ(plan.num_valid, 6u);
+  EXPECT_DOUBLE_EQ(plan.DedupRatio(), 2.0);
+  for (const Status& s : plan.statuses) EXPECT_TRUE(s.ok());
+}
+
+// The planner buckets on RESOLVED periods: "default period" and "explicitly
+// the last period" are the same execution and must share one solve.
+TEST(BatchPlannerTest, NulloptAndExplicitLastPeriodShareABucket) {
+  QuerySpec implicit_last = SmallSpec();
+  implicit_last.eval_period = std::nullopt;
+  QuerySpec explicit_last = SmallSpec();
+  explicit_last.eval_period = static_cast<PeriodId>(kUnitNumPeriods - 1);
+  QuerySpec earlier = SmallSpec();
+  earlier.eval_period = 0;
+
+  const BatchPlan plan = PlanAllValid({MakeQuery({1, 2}, implicit_last),
+                                       MakeQuery({1, 2}, explicit_last),
+                                       MakeQuery({1, 2}, earlier)});
+  ASSERT_EQ(plan.buckets.size(), 2u);
+  EXPECT_EQ(plan.buckets[0].queries, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(plan.buckets[1].queries, (std::vector<std::uint32_t>{2}));
+}
+
+// Group order is part of the signature (members map to problem rows by
+// position), and every spec field that reaches the solve must split buckets.
+TEST(BatchPlannerTest, SignatureCoversGroupOrderAndEverySpecField) {
+  std::vector<Query> queries = {MakeQuery({1, 2, 3}, SmallSpec())};
+  queries.push_back(MakeQuery({3, 2, 1}, SmallSpec()));  // order flipped
+  auto add = [&queries](auto mutate) {
+    QuerySpec spec = SmallSpec();
+    mutate(spec);
+    queries.push_back(MakeQuery({1, 2, 3}, std::move(spec)));
+  };
+  add([](QuerySpec& s) { s.k = 9; });
+  add([](QuerySpec& s) { s.algorithm = Algorithm::kNaive; });
+  add([](QuerySpec& s) { s.termination = TerminationPolicy::kThresholdOnly; });
+  add([](QuerySpec& s) { s.num_candidate_items = 200; });
+  add([](QuerySpec& s) { s.model = AffinityModelSpec::TimeAgnostic(); });
+  add([](QuerySpec& s) { s.model.drift_gain = 0.5; });
+  add([](QuerySpec& s) { s.consensus = ConsensusSpec::LeastMisery(); });
+  add([](QuerySpec& s) { s.consensus = ConsensusSpec::PairwiseDisagreement(); });
+  add([](QuerySpec& s) {
+    s.consensus = ConsensusSpec::PairwiseDisagreement(0.2);
+  });
+  add([](QuerySpec& s) {
+    s.consensus = ConsensusSpec::PairwiseDisagreement();
+    s.consensus.disagreement_scale = 4.0;
+  });
+
+  const BatchPlan plan = PlanAllValid(queries);
+  EXPECT_EQ(plan.buckets.size(), queries.size())
+      << "two distinct signatures collapsed into one bucket";
+}
+
+TEST(BatchPlannerTest, RejectedQueriesCarryTheValidatorStatus) {
+  const std::vector<Query> queries = {MakeQuery({1, 2}, SmallSpec()),
+                                      MakeQuery({}, SmallSpec()),
+                                      MakeQuery({1, 2}, SmallSpec())};
+  const BatchPlan plan = BatchPlanner::Plan(
+      queries,
+      [](const Query& q) {
+        return q.group.empty() ? Status::InvalidArgument("group is empty")
+                               : Status::Ok();
+      },
+      kUnitNumPeriods);
+  ASSERT_EQ(plan.buckets.size(), 1u);
+  EXPECT_EQ(plan.buckets[0].queries, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(plan.bucket_of[1], BatchQueryAttribution::kInvalid);
+  EXPECT_EQ(plan.statuses[1].code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.statuses[1].message(), "group is empty");
+  EXPECT_EQ(plan.num_valid, 2u);
+}
+
+// --- End-to-end equivalence on both engines ---------------------------------
+
+class PlannerEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticRatingsConfig uc;
+    uc.num_users = 240;
+    uc.num_items = 400;
+    uc.target_ratings = 18'000;
+    uc.seed = 88;
+    universe_ = new SyntheticRatings(GenerateSyntheticRatings(uc));
+    FacebookStudyConfig sc;
+    sc.diversity_pool = 180;
+    study_ = new FacebookStudy(GenerateFacebookStudy(sc, *universe_));
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    delete universe_;
+    study_ = nullptr;
+    universe_ = nullptr;
+  }
+
+  static RecommenderOptions MonoOptions() {
+    RecommenderOptions options;
+    options.max_candidate_items = 360;
+    return options;
+  }
+
+  static std::unique_ptr<Engine> MakePlanned() {
+    EngineOptions eopts;
+    eopts.num_threads = 2;
+    return std::make_unique<Engine>(universe_->dataset, *study_, MonoOptions(),
+                                    eopts);
+  }
+
+  /// The unplanned reference engine: wraps the SAME recommender (and so
+  /// serves the same snapshots) with planning disabled.
+  static std::unique_ptr<Engine> WrapUnplanned(const Engine& planned) {
+    EngineOptions eopts;
+    eopts.num_threads = 2;
+    eopts.plan_batches = false;
+    return std::make_unique<Engine>(planned.recommender(), eopts);
+  }
+
+  static std::unique_ptr<ShardedEngine> MakeSharded(bool plan_batches) {
+    ShardedEngineOptions options;
+    options.num_shards = 4;
+    options.max_candidate_items = 360;
+    options.plan_batches = plan_batches;
+    return std::make_unique<ShardedEngine>(universe_->dataset, *study_,
+                                           options);
+  }
+
+  /// A duplicate-heavy batch: `num_base` distinct valid queries across
+  /// algorithms, models and consensus functions (pairwise included — the
+  /// lazy-agreement path must be exercised), each repeated `dup` times, the
+  /// whole batch shuffled, with invalid queries interleaved.
+  static std::vector<Query> DuplicateHeavyBatch(std::size_t num_base,
+                                                std::size_t dup,
+                                                std::uint64_t seed) {
+    const auto participants = static_cast<UserId>(study_->num_participants());
+    const auto num_periods =
+        static_cast<PeriodId>(study_->periods.num_periods());
+    const AffinityModelSpec models[] = {AffinityModelSpec::Default(),
+                                        AffinityModelSpec::Continuous(),
+                                        AffinityModelSpec::TimeAgnostic()};
+    const Algorithm algorithms[] = {Algorithm::kGreca, Algorithm::kNaive,
+                                    Algorithm::kTa};
+    const ConsensusSpec consensus[] = {ConsensusSpec::AveragePreference(),
+                                       ConsensusSpec::PairwiseDisagreement(),
+                                       ConsensusSpec::LeastMisery()};
+    Rng rng(seed);
+    std::vector<Query> queries;
+    for (std::size_t i = 0; i < num_base; ++i) {
+      Query q;
+      const std::size_t size = 2 + rng.NextBounded(4);
+      while (q.group.size() < size) {
+        const auto u = static_cast<UserId>(rng.NextBounded(participants));
+        if (std::find(q.group.begin(), q.group.end(), u) == q.group.end()) {
+          q.group.push_back(u);
+        }
+      }
+      q.spec.k = 4 + i % 5;
+      q.spec.model = models[i % 3];
+      q.spec.algorithm = algorithms[(i / 3) % 3];
+      q.spec.consensus = consensus[i % 3];
+      q.spec.num_candidate_items = 360;
+      if (i % 4 == 0) {
+        q.spec.eval_period = std::nullopt;  // resolves to the last period
+      } else {
+        q.spec.eval_period = static_cast<PeriodId>(i % num_periods);
+      }
+      for (std::size_t d = 0; d < dup; ++d) queries.push_back(q);
+    }
+    // Invalid queries ride along and must fail identically on every path.
+    queries.push_back(MakeQuery({}, SmallSpec()));                // empty
+    queries.push_back(MakeQuery({1, 1}, SmallSpec()));            // duplicate
+    queries.push_back(MakeQuery({1, participants}, SmallSpec())); // unknown
+    QuerySpec bad_k = SmallSpec();
+    bad_k.k = 0;
+    queries.push_back(MakeQuery({1, 2}, bad_k));
+    QuerySpec bad_period = SmallSpec();
+    bad_period.eval_period = num_periods;
+    queries.push_back(MakeQuery({1, 2}, bad_period));
+    // Fisher–Yates with the deterministic Rng.
+    for (std::size_t i = queries.size(); i > 1; --i) {
+      std::swap(queries[i - 1], queries[rng.NextBounded(i)]);
+    }
+    return queries;
+  }
+
+  static std::vector<RatingEvent> RandomEvents(std::size_t count,
+                                               std::uint64_t seed) {
+    const auto participants = static_cast<UserId>(study_->num_participants());
+    const auto items = static_cast<ItemId>(universe_->dataset.num_items());
+    Rng rng(seed);
+    std::vector<RatingEvent> events;
+    for (std::size_t i = 0; i < count; ++i) {
+      RatingEvent e;
+      e.user = static_cast<UserId>(rng.NextBounded(participants));
+      e.item = static_cast<ItemId>(rng.NextBounded(items));
+      e.rating = static_cast<Score>(1 + rng.NextBounded(5));
+      e.timestamp = static_cast<Timestamp>(rng.NextBounded(3'000'000'000));
+      events.push_back(e);
+    }
+    return events;
+  }
+
+  /// The full observable surface must match per query: status parity for
+  /// rejected queries, and for accepted ones equal access counters prove the
+  /// fanned-out problems were identical — not merely same-ranking.
+  static void ExpectBatchIdentical(
+      const std::vector<Result<Recommendation>>& a,
+      const std::vector<Result<Recommendation>>& b, const char* label) {
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].ok(), b[i].ok()) << label << " query " << i;
+      if (!a[i].ok()) {
+        EXPECT_EQ(a[i].status().code(), b[i].status().code())
+            << label << " query " << i;
+        EXPECT_EQ(a[i].status().message(), b[i].status().message())
+            << label << " query " << i;
+        continue;
+      }
+      const Recommendation& x = a[i].value();
+      const Recommendation& y = b[i].value();
+      EXPECT_EQ(x.items, y.items) << label << " query " << i;
+      EXPECT_EQ(x.scores, y.scores) << label << " query " << i;
+      EXPECT_EQ(x.raw.accesses.sequential, y.raw.accesses.sequential)
+          << label << " query " << i;
+      EXPECT_EQ(x.raw.accesses.random, y.raw.accesses.random)
+          << label << " query " << i;
+      EXPECT_EQ(x.raw.total_entries, y.raw.total_entries)
+          << label << " query " << i;
+      EXPECT_EQ(x.raw.rounds, y.raw.rounds) << label << " query " << i;
+      EXPECT_EQ(x.raw.early_terminated, y.raw.early_terminated)
+          << label << " query " << i;
+    }
+  }
+
+  /// Attribution invariants every planned report must satisfy against its
+  /// batch: buckets partition the valid queries, exactly one representative
+  /// per bucket, and the representative is the bucket's first appearance.
+  static void CheckPlannedReport(const BatchReport& report,
+                                 std::size_t num_queries, const char* label) {
+    EXPECT_TRUE(report.planned) << label;
+    EXPECT_EQ(report.num_queries, num_queries) << label;
+    ASSERT_EQ(report.per_query.size(), num_queries) << label;
+    const std::size_t valid = report.num_queries - report.num_invalid;
+    EXPECT_EQ(report.duplicates_shared, valid - report.num_buckets) << label;
+    EXPECT_NEAR(report.dedup_ratio,
+                static_cast<double>(valid) /
+                    static_cast<double>(report.num_buckets),
+                1e-12)
+        << label;
+    std::vector<std::size_t> members(report.num_buckets, 0);
+    std::vector<std::size_t> representatives(report.num_buckets, 0);
+    std::vector<bool> seen(report.num_buckets, false);
+    std::size_t invalid = 0;
+    for (const BatchQueryAttribution& at : report.per_query) {
+      if (at.bucket == BatchQueryAttribution::kInvalid) {
+        ++invalid;
+        EXPECT_FALSE(at.representative) << label;
+        continue;
+      }
+      ASSERT_LT(at.bucket, report.num_buckets) << label;
+      ++members[at.bucket];
+      if (at.representative) ++representatives[at.bucket];
+      // The representative is the first query of its bucket in input order.
+      EXPECT_EQ(at.representative, !seen[at.bucket]) << label;
+      seen[at.bucket] = true;
+    }
+    EXPECT_EQ(invalid, report.num_invalid) << label;
+    for (std::size_t b = 0; b < report.num_buckets; ++b) {
+      EXPECT_GE(members[b], 1u) << label << " bucket " << b;
+      EXPECT_EQ(representatives[b], 1u) << label << " bucket " << b;
+    }
+  }
+
+  static SyntheticRatings* universe_;
+  static FacebookStudy* study_;
+};
+
+SyntheticRatings* PlannerEquivalenceTest::universe_ = nullptr;
+FacebookStudy* PlannerEquivalenceTest::study_ = nullptr;
+
+TEST_F(PlannerEquivalenceTest, PlannedMatchesUnplannedOnTheMonolithicEngine) {
+  const auto planned = MakePlanned();
+  const auto unplanned = WrapUnplanned(*planned);
+
+  for (const std::size_t dup : {1u, 4u, 16u}) {
+    const std::vector<Query> batch = DuplicateHeavyBatch(12, dup, 900 + dup);
+    BatchReport planned_report, unplanned_report;
+    const auto a = planned->RecommendBatch(batch, &planned_report);
+    const auto b = unplanned->RecommendBatch(batch, &unplanned_report);
+    ExpectBatchIdentical(a, b, "mono");
+
+    CheckPlannedReport(planned_report, batch.size(), "mono-planned");
+    EXPECT_EQ(planned_report.num_invalid, 5u);
+    const std::size_t valid = batch.size() - 5;
+    EXPECT_EQ(planned_report.num_buckets, valid / dup)
+        << "every duplicate must share its base query's bucket";
+    EXPECT_NEAR(planned_report.dedup_ratio, static_cast<double>(dup), 1e-12);
+    // Pairwise-consensus problems were solved, so their agreement lists
+    // must have been built (every algorithm scores through them).
+    EXPECT_GT(planned_report.agreement_lists_materialized, 0u);
+
+    // The reference path reports one bucket per valid query, no sharing.
+    EXPECT_FALSE(unplanned_report.planned);
+    EXPECT_EQ(unplanned_report.num_invalid, 5u);
+    EXPECT_EQ(unplanned_report.num_buckets, valid);
+    EXPECT_EQ(unplanned_report.duplicates_shared, 0u);
+    EXPECT_DOUBLE_EQ(unplanned_report.dedup_ratio, 1.0);
+  }
+}
+
+// A batch replayed on a pinned snapshot must ignore publishes entirely —
+// planned and unplanned alike — while fresh batches see the new generation,
+// still identically across the two paths.
+TEST_F(PlannerEquivalenceTest, PinnedSnapshotSurvivesPublishesOnBothPaths) {
+  const auto planned = MakePlanned();
+  const auto unplanned = WrapUnplanned(*planned);
+  const std::vector<Query> batch = DuplicateHeavyBatch(10, 4, 911);
+
+  const auto pin = planned->snapshot();
+  const auto before = planned->RecommendBatch(batch, pin, nullptr);
+  ExpectBatchIdentical(before, unplanned->RecommendBatch(batch, pin, nullptr),
+                       "pinned-before");
+
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    ASSERT_TRUE(planned->ApplyUpdates(RandomEvents(24, 1'300 + round)).ok());
+    ExpectBatchIdentical(before, planned->RecommendBatch(batch, pin, nullptr),
+                         "pinned-replay-planned");
+    ExpectBatchIdentical(before,
+                         unplanned->RecommendBatch(batch, pin, nullptr),
+                         "pinned-replay-unplanned");
+  }
+  ExpectBatchIdentical(planned->RecommendBatch(batch),
+                       unplanned->RecommendBatch(batch), "fresh-after");
+}
+
+// Sharded planned == sharded unplanned == monolithic, from fresh engines and
+// after every batch of a shared update stream.
+TEST_F(PlannerEquivalenceTest, ShardedPlannedMatchesUnplannedAndMonolithic) {
+  const auto mono = MakePlanned();
+  const auto sharded_planned = MakeSharded(/*plan_batches=*/true);
+  const auto sharded_unplanned = MakeSharded(/*plan_batches=*/false);
+
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    const std::vector<Query> batch = DuplicateHeavyBatch(10, 4, 1'500 + round);
+    BatchReport sp_report, su_report;
+    const auto sp = sharded_planned->RecommendBatch(batch, &sp_report);
+    const auto su = sharded_unplanned->RecommendBatch(batch, &su_report);
+    ExpectBatchIdentical(sp, su, "sharded-planned-vs-unplanned");
+    ExpectBatchIdentical(sp, mono->RecommendBatch(batch),
+                         "sharded-vs-mono");
+    CheckPlannedReport(sp_report, batch.size(), "sharded-planned");
+    EXPECT_NEAR(sp_report.dedup_ratio, 4.0, 1e-12);
+    EXPECT_FALSE(su_report.planned);
+    EXPECT_EQ(su_report.num_buckets,
+              batch.size() - su_report.num_invalid);
+
+    const std::vector<RatingEvent> events = RandomEvents(20, 2'700 + round);
+    ASSERT_TRUE(mono->ApplyUpdates(events).ok());
+    ASSERT_TRUE(sharded_planned->ApplyUpdates(events).ok());
+    ASSERT_TRUE(sharded_unplanned->ApplyUpdates(events).ok());
+  }
+}
+
+// Pin() reuse and the set-scoped tombstone memo: while no shard publishes,
+// repeated pins return the same set object and repeated batches on it hit
+// the memo; a publish retires the set (fresh pin, fresh memo) without
+// perturbing batches replayed on the old one.
+TEST_F(PlannerEquivalenceTest, PinnedSetReuseAndTombstoneMemo) {
+  const auto sharded = MakeSharded(/*plan_batches=*/true);
+  const std::vector<Query> batch = DuplicateHeavyBatch(10, 4, 1'777);
+
+  const auto set = sharded->Pin();
+  EXPECT_EQ(set.get(), sharded->Pin().get())
+      << "no publish landed, so Pin() must reuse the set";
+
+  BatchReport first_report;
+  const auto first = sharded->RecommendBatch(set, batch, &first_report);
+  CheckPlannedReport(first_report, batch.size(), "set-first");
+  // Duplicate groups across specs share (group, pool) bitmaps within the
+  // first batch already; the memo must have been consulted.
+  EXPECT_GT(first_report.tombstone_cache_misses, 0u);
+
+  BatchReport second_report;
+  ExpectBatchIdentical(first,
+                       sharded->RecommendBatch(set, batch, &second_report),
+                       "set-repeat");
+  EXPECT_GT(second_report.tombstone_cache_hits, 0u)
+      << "the second batch on the same set must hit the memo";
+  EXPECT_EQ(second_report.tombstone_cache_misses, 0u)
+      << "every bitmap of the repeat batch was already memoized";
+
+  ASSERT_TRUE(sharded->ApplyUpdates(RandomEvents(24, 3'900)).ok());
+  const auto fresh = sharded->Pin();
+  EXPECT_NE(set.get(), fresh.get())
+      << "a publish must retire the reused set";
+  // The retired set still answers exactly as before, from its own memo.
+  ExpectBatchIdentical(first, sharded->RecommendBatch(set, batch, nullptr),
+                       "set-replay-after-publish");
+  EXPECT_EQ(fresh.get(), sharded->Pin().get());
+}
+
+// The lazy aggregated agreement list: deferred at assembly, materialized
+// only when an algorithm walks it, with TotalEntries (the paper's EDA cost
+// surface) exact in both states.
+TEST_F(PlannerEquivalenceTest, LazyAgreementDeferAndMaterialize) {
+  const auto engine = MakePlanned();
+  const GroupRecommender& rec = engine->recommender();
+
+  QuerySpec pairwise = SmallSpec();
+  pairwise.consensus = ConsensusSpec::PairwiseDisagreement();
+  const std::vector<UserId> group = {1, 2, 3};
+
+  // Build WITHOUT solving: the agreement list must stay unbuilt.
+  auto problem = rec.BuildProblem(group, pairwise);
+  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+  EXPECT_TRUE(problem.value().agreement_deferred());
+  EXPECT_FALSE(problem.value().agreement_materialized());
+  EXPECT_TRUE(problem.value().uses_agreement_lists());
+  EXPECT_EQ(problem.value().num_agreement_lists(), 1u);
+  const std::size_t entries_deferred = problem.value().TotalEntries();
+
+  // First walk materializes; the observable surface must not move.
+  const auto lists = problem.value().agreement_lists();
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_TRUE(problem.value().agreement_materialized());
+  EXPECT_EQ(problem.value().num_agreement_lists(), 1u);
+  EXPECT_EQ(problem.value().TotalEntries(), entries_deferred)
+      << "deferred-entry accounting must equal the built list's size";
+  EXPECT_GT(lists[0].size(), 0u);
+
+  // Non-pairwise consensus never defers (nothing to build).
+  auto plain = rec.BuildProblem(group, SmallSpec());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value().agreement_deferred());
+  EXPECT_FALSE(plain.value().uses_agreement_lists());
+  EXPECT_EQ(plain.value().num_agreement_lists(), 0u);
+}
+
+}  // namespace
+}  // namespace greca
