@@ -24,7 +24,10 @@
 // layout sweep, GRECA_BATCH_ASSERT_BANDED=1 (CI) to fail the run when the
 // banded layout regresses the smallest-pool workload against flat, and
 // GRECA_BATCH_ASSERT_PLANNER=1 (CI) to fail it when planning regresses
-// duplicate-free batches or undershoots 1.5x at duplicate factor 16.
+// duplicate-free batches, undershoots 1.5x at duplicate factor 16, or ever
+// merges buckets across solver ids / weighting modes. GRECA_BATCH_ALGO
+// restricts the registered-solver quality-vs-speed sweep (comma-separated
+// solver ids; default "all").
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -39,6 +42,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "solver/solver_registry.h"
 
 int main() {
   using namespace greca;
@@ -471,6 +475,139 @@ int main() {
                   << dup16_ratio << " at dup 16)\n";
         return 1;
       }
+      // Bucketing-safety smoke: the same group issued under every registered
+      // solver id and under both weighting modes — each duplicated — must
+      // never share a bucket across solver ids or weighting modes (a merge
+      // would silently serve one solver's result as another's), while exact
+      // duplicates still share.
+      std::vector<Query> mixed;
+      const std::vector<std::string> reg_ids =
+          SolverRegistry::Global().RegisteredIds();
+      for (const std::string& id : reg_ids) {
+        Query q = batch[0];
+        q.spec.solver_id = id;
+        mixed.push_back(q);
+        mixed.push_back(q);  // exact duplicate — must still share
+      }
+      Query influence = batch[0];
+      influence.spec.weighting = MemberWeighting::kInfluence;
+      mixed.push_back(influence);
+      mixed.push_back(influence);
+      BatchReport mixed_report;
+      const auto mixed_results =
+          planned_engine.RecommendBatch(mixed, &mixed_report);
+      const std::size_t distinct_signatures = reg_ids.size() + 1;
+      if (mixed_report.num_buckets != distinct_signatures ||
+          mixed_report.duplicates_shared != distinct_signatures) {
+        std::cerr << "ERROR: planner merged queries across solver ids or "
+                     "weighting modes ("
+                  << mixed_report.num_buckets << " buckets for "
+                  << distinct_signatures << " distinct signatures)\n";
+        return 1;
+      }
+      for (const auto& r : mixed_results) {
+        if (!r.ok()) {
+          std::cerr << "ERROR: mixed-solver smoke query failed: "
+                    << r.status().ToString() << "\n";
+          return 1;
+        }
+      }
+      std::cout << "planner bucketing smoke: " << mixed.size()
+                << " mixed-solver queries -> " << mixed_report.num_buckets
+                << " buckets (no cross-solver or cross-weighting merges)\n";
+    }
+  }
+
+  // ---- Solver sweep: the quality-vs-speed frontier -----------------------
+  // Every registered aggregation objective runs the same batch; qps comes
+  // from best-of-3 sequential passes and quality from the satisfaction
+  // oracle at the last study period (the paper's §4 protocol). The exact
+  // rankers (greca/naive/ta) score identical lists, so their satisfaction
+  // matches and the frontier isolates their speed; the submodular solver
+  // trades consensus relevance for coverage — a genuinely different point.
+  // GRECA_BATCH_ALGO restricts the sweep (comma-separated solver ids, or
+  // "all", the default).
+  struct AlgoRow {
+    std::string id;
+    double qps = 0.0;
+    double satisfaction = 0.0;  // mean group satisfaction %, last period
+  };
+  std::vector<AlgoRow> algo_sweep;
+  {
+    const char* algo_env = std::getenv("GRECA_BATCH_ALGO");
+    std::string algo_sel = algo_env != nullptr ? algo_env : "all";
+    std::vector<std::string> solver_ids;
+    if (algo_sel == "all" || algo_sel.empty()) {
+      solver_ids = SolverRegistry::Global().RegisteredIds();
+    } else {
+      std::size_t start = 0;
+      while (start <= algo_sel.size()) {
+        const std::size_t comma = algo_sel.find(',', start);
+        const std::string id = algo_sel.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (!id.empty()) {
+          if (SolverRegistry::Global().Find(id) == nullptr) {
+            std::cerr << "ignoring unknown solver id '" << id
+                      << "' in GRECA_BATCH_ALGO\n";
+          } else {
+            solver_ids.push_back(id);
+          }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+
+    const auto last_period =
+        static_cast<PeriodId>(recommender.num_periods() - 1);
+    QueryWorkspace ws;
+    for (const std::string& id : solver_ids) {
+      QuerySpec algo_spec = spec;
+      algo_spec.solver_id = id;
+      recommender.Recommend(batch[0].group, algo_spec, &ws);  // warm-up
+      std::vector<Recommendation> recs;
+      double best_seconds = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        recs.clear();
+        recs.reserve(batch.size());
+        Stopwatch watch;
+        for (const Query& q : batch) {
+          auto result = recommender.Recommend(q.group, algo_spec, &ws);
+          if (!result.ok()) {
+            std::cerr << "ERROR: solver '" << id
+                      << "' failed: " << result.status().ToString() << "\n";
+            return 1;
+          }
+          recs.push_back(std::move(result).value());
+        }
+        const double seconds = watch.ElapsedSeconds();
+        if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      }
+      AlgoRow row;
+      row.id = id;
+      row.qps = static_cast<double>(batch.size()) / best_seconds;
+      double satisfaction_sum = 0.0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        satisfaction_sum += ctx.oracle->GroupSatisfactionPercent(
+            batch[i].group, recs[i].items, last_period);
+      }
+      row.satisfaction =
+          satisfaction_sum / static_cast<double>(batch.size());
+      algo_sweep.push_back(row);
+    }
+
+    if (!algo_sweep.empty()) {
+      TablePrinter algo_table(
+          "Solver sweep, quality vs speed (" +
+          std::to_string(batch.size()) + " queries, satisfaction at the "
+          "last period)");
+      algo_table.SetColumns({"solver", "queries/s", "satisfaction %"});
+      for (const AlgoRow& row : algo_sweep) {
+        algo_table.AddRow({row.id, TablePrinter::Cell(row.qps, 1),
+                           TablePrinter::Cell(row.satisfaction, 2)});
+      }
+      algo_table.Print(std::cout);
     }
   }
 
@@ -498,6 +635,13 @@ int main() {
            << ", \"tombstone_cache_hits\": " << row.tombstone_hits
            << ", \"tombstone_cache_misses\": " << row.tombstone_misses << "}"
            << (i + 1 < planner_sweep.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"algo_sweep\": [\n";
+    for (std::size_t i = 0; i < algo_sweep.size(); ++i) {
+      json << "    {\"solver\": \"" << algo_sweep[i].id
+           << "\", \"qps\": " << algo_sweep[i].qps
+           << ", \"satisfaction_pct\": " << algo_sweep[i].satisfaction << "}"
+           << (i + 1 < algo_sweep.size() ? "," : "") << "\n";
     }
     json << "  ],\n  \"index_memory\": {\"banded_bytes\": " << mem.banded_bytes
          << ", \"flat_twin_bytes\": " << mem.flat_twin_bytes

@@ -83,6 +83,25 @@ std::vector<double> AffinitySource::PeriodAverages(PeriodId horizon) const {
   return averages;
 }
 
+void AffinitySource::MaterializeMemberWeightsInto(std::span<const UserId> group,
+                                                  std::span<double> out) const {
+  assert(out.size() == group.size());
+  (void)group;
+  std::fill(out.begin(), out.end(), 1.0);
+}
+
+void StudyAffinitySource::MaterializeMemberWeightsInto(
+    std::span<const UserId> group, std::span<double> out) const {
+  if (influence_ == nullptr) {
+    AffinitySource::MaterializeMemberWeightsInto(group, out);
+    return;
+  }
+  assert(out.size() == group.size());
+  for (std::size_t m = 0; m < group.size(); ++m) {
+    out[m] = group[m] < influence_->size() ? (*influence_)[group[m]] : 1.0;
+  }
+}
+
 double StudyAffinitySource::CumulativeDrift(UserId u, UserId v,
                                             PeriodId p) const {
   if (dynamic_ != nullptr && p < dynamic_->num_periods()) {

@@ -87,6 +87,15 @@ class AffinitySource {
 
   /// Normalized population averages for periods 0..horizon inclusive.
   virtual std::vector<double> PeriodAverages(PeriodId horizon) const;
+
+  /// Raw per-member consensus weights for influence weighting
+  /// (QuerySpec::weighting == kInfluence): fills `out` — one slot per group
+  /// member, pre-sized by the caller — with each member's weight on any
+  /// non-negative scale; assembly normalizes per group. The default is
+  /// uniform 1.0, so sources with no social signal weight everyone equally
+  /// and influence queries degrade gracefully to uniform scoring.
+  virtual void MaterializeMemberWeightsInto(std::span<const UserId> group,
+                                            std::span<double> out) const;
 };
 
 /// The study-backed source: common-friend counts (static), common page-like
@@ -95,10 +104,17 @@ class AffinitySource {
 /// source; the source itself is cheap to copy.
 class StudyAffinitySource final : public AffinitySource {
  public:
-  StudyAffinitySource(const PairTable& static_counts,
-                      const PeriodicAffinity& periodic,
-                      const DynamicAffinityIndex* dynamic = nullptr)
-      : static_(&static_counts), periodic_(&periodic), dynamic_(dynamic) {}
+  /// `influence`, when non-null, holds one raw influence weight per study
+  /// participant (e.g. PropagationCentrality over the friendship graph) and
+  /// backs MaterializeMemberWeightsInto; null keeps the uniform default.
+  StudyAffinitySource(
+      const PairTable& static_counts, const PeriodicAffinity& periodic,
+      const DynamicAffinityIndex* dynamic = nullptr,
+      std::shared_ptr<const std::vector<double>> influence = nullptr)
+      : static_(&static_counts),
+        periodic_(&periodic),
+        dynamic_(dynamic),
+        influence_(std::move(influence)) {}
 
   std::size_t num_users() const override { return periodic_->num_users(); }
   std::size_t num_periods() const override { return periodic_->num_periods(); }
@@ -113,11 +129,14 @@ class StudyAffinitySource final : public AffinitySource {
     return periodic_->PopulationAverageNormalized(p);
   }
   double CumulativeDrift(UserId u, UserId v, PeriodId p) const override;
+  void MaterializeMemberWeightsInto(std::span<const UserId> group,
+                                    std::span<double> out) const override;
 
  private:
   const PairTable* static_;
   const PeriodicAffinity* periodic_;
   const DynamicAffinityIndex* dynamic_;  // optional O(1) drift backend
+  std::shared_ptr<const std::vector<double>> influence_;  // per-user, raw
 };
 
 /// Degenerate source for populations with no social signal — the
@@ -176,6 +195,12 @@ class DecayWeightedAffinitySource final : public AffinitySource {
   }
   double PeriodAverage(PeriodId p) const override {
     return Weight(p) * base_->PeriodAverage(p);
+  }
+  /// Influence weights are a property of the wrapped social signal, not of
+  /// the temporal decay — forward to the base source.
+  void MaterializeMemberWeightsInto(std::span<const UserId> group,
+                                    std::span<double> out) const override {
+    base_->MaterializeMemberWeightsInto(group, out);
   }
 
  private:

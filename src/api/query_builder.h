@@ -30,6 +30,7 @@
 #ifndef GRECA_API_QUERY_BUILDER_H_
 #define GRECA_API_QUERY_BUILDER_H_
 
+#include <string>
 #include <vector>
 
 #include "api/engine.h"
@@ -55,7 +56,15 @@ class QueryBuilder {
   QueryBuilder& AtPeriod(PeriodId period);
   /// Evaluates at the last study period (the default).
   QueryBuilder& AtLastPeriod();
+  /// Selects a solver by legacy enum alias. Clears any solver id a previous
+  /// Using(std::string) set — last call wins, like every builder setter.
   QueryBuilder& Using(Algorithm algorithm);
+  /// Selects a registered solver by id (solver/solver_registry.h). Unknown
+  /// ids fail at Build() with kInvalidArgument.
+  QueryBuilder& Using(std::string solver_id);
+  /// Per-member consensus weighting (kUniform default; kInfluence derives
+  /// weights from social-graph centrality through the bound AffinitySource).
+  QueryBuilder& Weighting(MemberWeighting weighting);
   QueryBuilder& Termination(TerminationPolicy policy);
   QueryBuilder& CandidatePool(std::size_t num_items);
 

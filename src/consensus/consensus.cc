@@ -150,4 +150,166 @@ Interval ConsensusInterval(const ConsensusSpec& spec,
           spec.w1 * gpref.ub + spec.w2 * (1.0 - dis.lb)};
 }
 
+// --- Weighted variants. Every function delegates to its unweighted twin on
+// uniform weights, so the default path stays bit-identical to the historical
+// code; least misery additionally ignores weights outright (the minimum is
+// the minimum under any positive weighting).
+
+double GroupPreferenceScore(GroupAggregator aggregator,
+                            std::span<const double> prefs,
+                            const ConsensusWeights& weights) {
+  if (weights.uniform() || aggregator == GroupAggregator::kLeastMisery) {
+    return GroupPreferenceScore(aggregator, prefs);
+  }
+  assert(weights.member.size() == prefs.size());
+  double sum = 0.0;
+  for (std::size_t u = 0; u < prefs.size(); ++u) {
+    sum += weights.member[u] * prefs[u];
+  }
+  return sum;  // member weights sum to 1
+}
+
+double DisagreementScore(DisagreementKind kind, std::span<const double> prefs,
+                         const ConsensusWeights& weights) {
+  if (weights.uniform()) return DisagreementScore(kind, prefs);
+  const std::size_t g = prefs.size();
+  if (kind == DisagreementKind::kNone || g < 2) return 0.0;
+  if (kind == DisagreementKind::kPairwise) {
+    assert(weights.pair.size() == g * (g - 1) / 2);
+    double sum = 0.0;
+    std::size_t q = 0;
+    for (std::size_t a = 0; a < g; ++a) {
+      for (std::size_t b = a + 1; b < g; ++b, ++q) {
+        sum += weights.pair[q] * std::abs(prefs[a] - prefs[b]);
+      }
+    }
+    return sum;  // pair weights sum to 1
+  }
+  // Weighted population variance around the weighted mean.
+  assert(weights.member.size() == g);
+  double mean = 0.0;
+  for (std::size_t u = 0; u < g; ++u) mean += weights.member[u] * prefs[u];
+  double var = 0.0;
+  for (std::size_t u = 0; u < g; ++u) {
+    var += weights.member[u] * (prefs[u] - mean) * (prefs[u] - mean);
+  }
+  return var;
+}
+
+double ConsensusScore(const ConsensusSpec& spec, std::span<const double> prefs,
+                      const ConsensusWeights& weights) {
+  if (weights.uniform()) return ConsensusScore(spec, prefs);
+  const double gpref = GroupPreferenceScore(spec.aggregator, prefs, weights);
+  if (spec.disagreement == DisagreementKind::kNone) {
+    return spec.w1 * gpref + spec.w2;  // dis = 0
+  }
+  const double dis = DisagreementScore(spec.disagreement, prefs, weights);
+  return spec.w1 * gpref + spec.w2 * (1.0 - dis);
+}
+
+Interval GroupPreferenceInterval(GroupAggregator aggregator,
+                                 std::span<const Interval> prefs,
+                                 const ConsensusWeights& weights) {
+  if (weights.uniform() || aggregator == GroupAggregator::kLeastMisery) {
+    return GroupPreferenceInterval(aggregator, prefs);
+  }
+  assert(weights.member.size() == prefs.size());
+  Interval sum{0.0, 0.0};
+  for (std::size_t u = 0; u < prefs.size(); ++u) {
+    sum = sum + weights.member[u] * prefs[u];
+  }
+  return sum;
+}
+
+Interval DisagreementInterval(DisagreementKind kind,
+                              std::span<const Interval> prefs,
+                              const ConsensusWeights& weights) {
+  if (weights.uniform()) return DisagreementInterval(kind, prefs);
+  const std::size_t g = prefs.size();
+  if (kind == DisagreementKind::kNone || g < 2) return Interval::Exact(0.0);
+  if (kind == DisagreementKind::kPairwise) {
+    assert(weights.pair.size() == g * (g - 1) / 2);
+    Interval sum{0.0, 0.0};
+    std::size_t q = 0;
+    for (std::size_t a = 0; a < g; ++a) {
+      for (std::size_t b = a + 1; b < g; ++b, ++q) {
+        sum = sum + weights.pair[q] * AbsDifference(prefs[a], prefs[b]);
+      }
+    }
+    return sum;
+  }
+  // The unweighted envelope bound is sound for any convex weighting
+  // (Bhatia–Davis), so weighted variance reuses it unchanged.
+  return DisagreementInterval(kind, prefs);
+}
+
+Interval ConsensusInterval(const ConsensusSpec& spec,
+                           std::span<const Interval> prefs,
+                           const ConsensusWeights& weights) {
+  if (weights.uniform()) return ConsensusInterval(spec, prefs);
+  const Interval gpref =
+      GroupPreferenceInterval(spec.aggregator, prefs, weights);
+  if (spec.disagreement == DisagreementKind::kNone) {
+    return {spec.w1 * gpref.lb + spec.w2, spec.w1 * gpref.ub + spec.w2};
+  }
+  const Interval dis = DisagreementInterval(spec.disagreement, prefs, weights);
+  return {spec.w1 * gpref.lb + spec.w2 * (1.0 - dis.ub),
+          spec.w1 * gpref.ub + spec.w2 * (1.0 - dis.lb)};
+}
+
+double ConsensusScoreWithAgreements(const ConsensusSpec& spec,
+                                    std::span<const double> prefs,
+                                    std::span<const double> agreements,
+                                    const ConsensusWeights& weights) {
+  if (weights.uniform()) {
+    return ConsensusScoreWithAgreements(spec, prefs, agreements);
+  }
+  if (spec.disagreement != DisagreementKind::kPairwise) {
+    return ConsensusScore(spec, prefs, weights);
+  }
+  const double gpref = GroupPreferenceScore(spec.aggregator, prefs, weights);
+  double agreement = 1.0;  // singleton groups have no disagreement
+  if (agreements.size() == weights.pair.size() && !agreements.empty()) {
+    // Per-pair layout: apply the pair weights directly.
+    agreement = 0.0;
+    for (std::size_t q = 0; q < agreements.size(); ++q) {
+      agreement += weights.pair[q] * agreements[q];
+    }
+  } else if (!agreements.empty()) {
+    // Pre-aggregated group list(s): entries already carry the weighted mean.
+    agreement = 0.0;
+    for (const double a : agreements) agreement += a;
+    agreement /= static_cast<double>(agreements.size());
+  }
+  return spec.w1 * gpref + spec.w2 * agreement;
+}
+
+Interval ConsensusIntervalWithAgreements(const ConsensusSpec& spec,
+                                         std::span<const Interval> prefs,
+                                         std::span<const Interval> agreements,
+                                         const ConsensusWeights& weights) {
+  if (weights.uniform()) {
+    return ConsensusIntervalWithAgreements(spec, prefs, agreements);
+  }
+  if (spec.disagreement != DisagreementKind::kPairwise) {
+    return ConsensusInterval(spec, prefs, weights);
+  }
+  const Interval gpref =
+      GroupPreferenceInterval(spec.aggregator, prefs, weights);
+  Interval agreement{1.0, 1.0};
+  if (agreements.size() == weights.pair.size() && !agreements.empty()) {
+    agreement = {0.0, 0.0};
+    for (std::size_t q = 0; q < agreements.size(); ++q) {
+      agreement = agreement + weights.pair[q] * agreements[q];
+    }
+  } else if (!agreements.empty()) {
+    agreement = {0.0, 0.0};
+    for (const Interval& a : agreements) agreement = agreement + a;
+    const double inv = 1.0 / static_cast<double>(agreements.size());
+    agreement = inv * agreement;
+  }
+  return {spec.w1 * gpref.lb + spec.w2 * agreement.lb,
+          spec.w1 * gpref.ub + spec.w2 * agreement.ub};
+}
+
 }  // namespace greca

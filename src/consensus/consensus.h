@@ -69,23 +69,61 @@ struct ConsensusSpec {
   friend bool operator==(const ConsensusSpec&, const ConsensusSpec&) = default;
 };
 
+/// Per-member consensus weights (influence-aware aggregation). `member`
+/// holds one weight per group member, normalized to sum 1; `pair` holds one
+/// weight per local pair (LocalPairIndex order), normalized to sum 1, used
+/// for pairwise disagreement. Both spans EMPTY means uniform weighting —
+/// every weighted function below delegates to its unweighted twin in that
+/// case, so the uniform path stays bit-identical to the historical code.
+struct ConsensusWeights {
+  std::span<const double> member;
+  std::span<const double> pair;
+
+  bool uniform() const { return member.empty(); }
+};
+
 /// gpref over exact member preferences. `prefs` must be non-empty.
 double GroupPreferenceScore(GroupAggregator aggregator,
                             std::span<const double> prefs);
+/// Weighted gpref: Σ w_u·pref_u for kAverage (weights sum to 1); least
+/// misery ignores weights (the minimum is the minimum for any positive
+/// weighting).
+double GroupPreferenceScore(GroupAggregator aggregator,
+                            std::span<const double> prefs,
+                            const ConsensusWeights& weights);
 
 /// dis over exact member preferences; 0 for kNone or singleton groups.
 double DisagreementScore(DisagreementKind kind, std::span<const double> prefs);
+/// Weighted dis: pairwise uses the per-pair weights (Σ pw_q·|Δpref_q|);
+/// variance uses the weighted mean and weighted second moment.
+double DisagreementScore(DisagreementKind kind, std::span<const double> prefs,
+                         const ConsensusWeights& weights);
 
 /// F(G, i, p) = w1·gpref + w2·(1 − dis).
 double ConsensusScore(const ConsensusSpec& spec, std::span<const double> prefs);
+double ConsensusScore(const ConsensusSpec& spec, std::span<const double> prefs,
+                      const ConsensusWeights& weights);
 
 /// Interval versions (sound bound propagation).
 Interval GroupPreferenceInterval(GroupAggregator aggregator,
                                  std::span<const Interval> prefs);
+Interval GroupPreferenceInterval(GroupAggregator aggregator,
+                                 std::span<const Interval> prefs,
+                                 const ConsensusWeights& weights);
 Interval DisagreementInterval(DisagreementKind kind,
                               std::span<const Interval> prefs);
+/// Weighted intervals stay sound: the weighted average of intervals is a
+/// convex combination (weights >= 0, sum 1), and the weighted variance of
+/// points inside an envelope of range R is still bounded by (R/2)²
+/// (Bhatia–Davis: σ²_w <= (M−μ_w)(μ_w−m) <= (R/2)² for any convex weights).
+Interval DisagreementInterval(DisagreementKind kind,
+                              std::span<const Interval> prefs,
+                              const ConsensusWeights& weights);
 Interval ConsensusInterval(const ConsensusSpec& spec,
                            std::span<const Interval> prefs);
+Interval ConsensusInterval(const ConsensusSpec& spec,
+                           std::span<const Interval> prefs,
+                           const ConsensusWeights& weights);
 
 /// List-decomposable pairwise disagreement (Lemma 1's "pair-wise
 /// disagreement lists"): the paper's index transforms group disagreement
@@ -104,6 +142,19 @@ double ConsensusScoreWithAgreements(const ConsensusSpec& spec,
 Interval ConsensusIntervalWithAgreements(
     const ConsensusSpec& spec, std::span<const Interval> prefs,
     std::span<const Interval> agreements);
+/// Weighted agreement aggregation: when `agreements` is in the per-pair
+/// layout (one entry per local pair) the pair weights apply directly; a
+/// single pre-aggregated group list must already carry the weighted mean
+/// (BuildGroupAgreementListInto's pair_weights parameter) and is consumed
+/// as-is.
+double ConsensusScoreWithAgreements(const ConsensusSpec& spec,
+                                    std::span<const double> prefs,
+                                    std::span<const double> agreements,
+                                    const ConsensusWeights& weights);
+Interval ConsensusIntervalWithAgreements(const ConsensusSpec& spec,
+                                         std::span<const Interval> prefs,
+                                         std::span<const Interval> agreements,
+                                         const ConsensusWeights& weights);
 
 /// ag = 1 − scale·|a − b| for apref values a, b on the [0, 1] scale
 /// (see ConsensusSpec::disagreement_scale). In [1 − scale, 1].

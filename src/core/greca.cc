@@ -198,7 +198,8 @@ class GrecaRun {
     }
     problem_.MemberPreferenceIntervals(apref_iv_, pair_iv_, pref_iv_);
     if (!uses_agreements_) {
-      return ConsensusInterval(problem_.consensus(), pref_iv_);
+      return ConsensusInterval(problem_.consensus(), pref_iv_,
+                               problem_.consensus_weights());
     }
     for (std::size_t q = 0; q < num_ag_; ++q) {
       const std::size_t idx = key * num_ag_ + q;
@@ -206,7 +207,8 @@ class GrecaRun {
                                 : Interval{ag_floor_, ag_bound_[q]};
     }
     return ConsensusIntervalWithAgreements(problem_.consensus(), pref_iv_,
-                                           ag_iv_);
+                                           ag_iv_,
+                                           problem_.consensus_weights());
   }
 
   /// ComputeTh: the best consensus score any *unseen* item could reach given
@@ -217,13 +219,16 @@ class GrecaRun {
     }
     problem_.MemberPreferenceIntervals(apref_iv_, pair_iv_, pref_iv_);
     if (!uses_agreements_) {
-      return ConsensusInterval(problem_.consensus(), pref_iv_).ub;
+      return ConsensusInterval(problem_.consensus(), pref_iv_,
+                               problem_.consensus_weights())
+          .ub;
     }
     for (std::size_t q = 0; q < num_ag_; ++q) {
       ag_iv_[q] = Interval{ag_floor_, ag_bound_[q]};
     }
     return ConsensusIntervalWithAgreements(problem_.consensus(), pref_iv_,
-                                           ag_iv_)
+                                           ag_iv_,
+                                           problem_.consensus_weights())
         .ub;
   }
 

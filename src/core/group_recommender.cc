@@ -9,6 +9,7 @@
 
 #include "cf/similarity.h"
 #include "core/problem_assembly.h"
+#include "dataset/social_graph.h"
 
 namespace greca {
 
@@ -32,8 +33,13 @@ GroupRecommender::GroupRecommender(const RatingsDataset& universe,
         knn_.PredictAll(study.study_ratings.RatingsOfUser(su)));
   }
   static_ = ComputeCommonFriendCounts(study.graph);
-  auto source =
-      std::make_shared<StudyAffinitySource>(static_, periodic_, &dynamic_);
+  // Influence weights for kInfluence queries: propagation centrality over
+  // the friendship graph, shared by every snapshot generation (the study
+  // graph is immutable).
+  auto influence = std::make_shared<const std::vector<double>>(
+      PropagationCentrality(study.graph));
+  auto source = std::make_shared<StudyAffinitySource>(
+      static_, periodic_, &dynamic_, std::move(influence));
   // One shared, immutable sorted-preference index over the popular-item
   // pool; every query (and every batch worker) slices it by prefix. Banded
   // rows (the default) keep small-prefix scans proportional to the prefix;
@@ -332,6 +338,7 @@ Result<GroupProblem> GroupRecommender::BuildProblem(
   for (const UserId su : group) {
     slices.push_back({&snap->index(), su, &snap->ratings(), su});
   }
+  StampMemberWeights(snap->affinity(), group, spec, slices);
   AssemblyContext ctx;
   ctx.key_index = &snap->index();
   ctx.affinity = &snap->affinity();

@@ -45,6 +45,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "affinity/affinity_source.h"
@@ -69,10 +70,25 @@
 
 namespace greca {
 
+/// Legacy solver selector, kept as a thin alias for API compatibility: each
+/// enumerator maps to a registered solver id (solver/solver_registry.h's
+/// AlgorithmSolverId). New code — and any solver beyond these three — selects
+/// by QuerySpec::solver_id instead; a non-empty solver_id always wins.
 enum class Algorithm {
   kGreca,
   kNaive,
   kTa,
+};
+
+/// How member preferences are weighted inside the consensus functions.
+enum class MemberWeighting {
+  /// Every member counts equally — the historical, bit-identical default.
+  kUniform,
+  /// Per-member weights from social-graph influence (propagation
+  /// centrality over the study's friendship graph), materialized by the
+  /// bound AffinitySource and normalized per group. Flows through every
+  /// registered solver without per-solver code.
+  kInfluence,
 };
 
 /// Row layout of the shared PreferenceIndex (identical recommendations and
@@ -156,13 +172,22 @@ struct QuerySpec {
   /// out-of-range values with kOutOfRange instead of clamping.
   std::optional<PeriodId> eval_period;
   Algorithm algorithm = Algorithm::kGreca;
+  /// Registry solver id (solver/solver_registry.h). Empty — the default —
+  /// falls back to the `algorithm` enum alias; non-empty always wins, so the
+  /// enum never constrains which registered solver runs. Unknown ids are
+  /// rejected at validation with kInvalidArgument.
+  std::string solver_id;
+  /// Per-member consensus weighting (see MemberWeighting). kUniform keeps
+  /// the historical bit-identical scoring path.
+  MemberWeighting weighting = MemberWeighting::kUniform;
   TerminationPolicy termination = TerminationPolicy::kBufferCondition;
   /// Candidate pool size for this query (<= RecommenderOptions limit).
   std::size_t num_candidate_items = 3'900;
 
   /// Field-wise equality. Note the batch planner (plan/batch_planner.h)
-  /// buckets on RESOLVED periods, so specs differing only in "nullopt vs
-  /// explicit last period" compare unequal here but still share a bucket.
+  /// buckets on RESOLVED periods and RESOLVED solver ids, so specs differing
+  /// only in "nullopt vs explicit last period" (or "enum alias vs its
+  /// explicit solver id") compare unequal here but still share a bucket.
   friend bool operator==(const QuerySpec&, const QuerySpec&) = default;
 };
 

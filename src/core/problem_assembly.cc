@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <utility>
 
 #include "dataset/ratings_overlay.h"
-#include "topk/naive.h"
-#include "topk/ta.h"
+#include "solver/solver_registry.h"
 
 namespace greca {
 
@@ -30,12 +30,18 @@ Status ValidateGroupQuery(std::span<const UserId> group, const QuerySpec& spec,
   if (group.empty()) {
     return Status::InvalidArgument("group must not be empty");
   }
-  // The seen-bitmask in GRECA's runtime state caps its groups at 32
-  // members; the naive scan and TA have no such limit.
-  if (spec.algorithm == Algorithm::kGreca && group.size() > 32) {
-    return Status::InvalidArgument(
-        "GRECA is limited to 32-member groups (got " +
-        std::to_string(group.size()) + "); use kNaive or kTa");
+  // Solver resolution plus the solver's own veto hook, at the exact position
+  // of the historical GRECA group-size check (GrecaSolver::ValidateQuery
+  // reproduces its message byte for byte), so error sequences are unchanged.
+  const GroupSolver* solver =
+      SolverRegistry::Global().Find(ResolveSolverId(spec));
+  if (solver == nullptr) {
+    return Status::InvalidArgument("unknown solver id \"" + spec.solver_id +
+                                   "\"");
+  }
+  if (Status solver_veto = solver->ValidateQuery(group, spec);
+      !solver_veto.ok()) {
+    return solver_veto;
   }
   if (spec.k == 0) {
     return Status::InvalidArgument("k must be >= 1");
@@ -174,6 +180,52 @@ GroupProblem AssembleGroupProblem(const AssemblyContext& ctx,
     averages = source.PeriodAverages(eval_period);
   }
 
+  // Per-member consensus weights: influence queries normalize the raw
+  // weights stamped on the slices (StampMemberWeights) to sum 1; the weight
+  // of pair (a, b) is the normalized product w_a·w_b. Uniform queries clear
+  // the arena vectors so the problem carries empty spans — the bit-identical
+  // historical scoring path (and no stale weights survive from a previous
+  // weighted query in a reused workspace). Degenerate raw weights (zero sum,
+  // negatives, non-finite) also fall back to uniform.
+  arena.member_weights.clear();
+  arena.pair_weights.clear();
+  bool weighted = false;
+  if (spec.weighting == MemberWeighting::kInfluence) {
+    const std::size_t g = members.size();
+    double sum = 0.0;
+    bool sane = true;
+    for (const MemberSlice& m : members) {
+      sane = sane && std::isfinite(m.weight) && m.weight >= 0.0;
+      sum += m.weight;
+    }
+    if (sane && sum > 0.0) {
+      weighted = true;
+      arena.member_weights.reserve(g);
+      for (const MemberSlice& m : members) {
+        arena.member_weights.push_back(m.weight / sum);
+      }
+      if (g >= 2) {
+        double pair_sum = 0.0;
+        arena.pair_weights.reserve(NumUserPairs(g));
+        for (std::size_t a = 0; a < g; ++a) {
+          for (std::size_t b = a + 1; b < g; ++b) {
+            const double w =
+                arena.member_weights[a] * arena.member_weights[b];
+            arena.pair_weights.push_back(w);
+            pair_sum += w;
+          }
+        }
+        if (pair_sum > 0.0) {
+          for (double& w : arena.pair_weights) w /= pair_sum;
+        } else {
+          const double uniform =
+              1.0 / static_cast<double>(arena.pair_weights.size());
+          for (double& w : arena.pair_weights) w = uniform;
+        }
+      }
+    }
+  }
+
   // Pair-wise disagreement consensus reads its own agreement list (Lemma 1's
   // "pair-wise disagreement lists"); since the lists are built per ad-hoc
   // group anyway, the per-pair components are pre-aggregated into one
@@ -196,6 +248,9 @@ GroupProblem AssembleGroupProblem(const AssemblyContext& ctx,
                        ListView(arena.static_list), arena.period_views,
                        std::move(combiner), spec.consensus,
                        arena.agreement_views, std::move(owned_arena));
+  if (weighted) {
+    problem.SetConsensusWeights(arena.member_weights, arena.pair_weights);
+  }
   if (wants_agreements) {
     // The closure captures the arena by address: an external arena outlives
     // the problem by contract, and an owned arena was just moved into the
@@ -208,7 +263,8 @@ GroupProblem AssembleGroupProblem(const AssemblyContext& ctx,
         [backing, pool, scale]() -> std::span<const ListView> {
           BuildGroupAgreementListInto(backing->preference_views, pool, scale,
                                       backing->entry_scratch,
-                                      backing->agreement_list);
+                                      backing->agreement_list,
+                                      backing->pair_weights);
           backing->agreement_views.clear();
           backing->agreement_views.emplace_back(backing->agreement_list);
           return backing->agreement_views;
@@ -218,25 +274,34 @@ GroupProblem AssembleGroupProblem(const AssemblyContext& ctx,
   return problem;
 }
 
+void StampMemberWeights(const AffinitySource& source,
+                        std::span<const UserId> group, const QuerySpec& spec,
+                        std::span<MemberSlice> slices) {
+  assert(slices.size() == group.size());
+  if (spec.weighting != MemberWeighting::kInfluence) {
+    for (MemberSlice& s : slices) s.weight = 1.0;
+    return;
+  }
+  std::vector<double> weights(group.size(), 1.0);
+  source.MaterializeMemberWeightsInto(group, weights);
+  for (std::size_t m = 0; m < slices.size(); ++m) {
+    slices[m].weight = weights[m];
+  }
+}
+
 Recommendation SolveGroupProblem(GroupProblem& problem, const QuerySpec& spec,
                                  std::span<const ItemId> pool_items,
                                  QueryWorkspace& workspace) {
   Recommendation rec;
-  switch (spec.algorithm) {
-    case Algorithm::kGreca: {
-      GrecaConfig config;
-      config.k = spec.k;
-      config.termination = spec.termination;
-      rec.raw = Greca(problem, config, &rec.greca_stats, &workspace.greca);
-      break;
-    }
-    case Algorithm::kNaive:
-      rec.raw = NaiveTopK(problem, spec.k);
-      break;
-    case Algorithm::kTa:
-      rec.raw = TaTopK(problem, spec.k);
-      break;
-  }
+  const GroupSolver* solver =
+      SolverRegistry::Global().Find(ResolveSolverId(spec));
+  // ValidateGroupQuery rejects unknown ids before any assembly happens; a
+  // null here means a caller skipped validation.
+  assert(solver != nullptr);
+  if (solver == nullptr) return rec;
+  SolverResult solved = solver->Solve(problem, spec, workspace);
+  rec.raw = std::move(solved.raw);
+  rec.greca_stats = solved.greca_stats;
   rec.items.reserve(rec.raw.items.size());
   rec.scores.reserve(rec.raw.items.size());
   for (const ListEntry& e : rec.raw.items) {

@@ -60,12 +60,24 @@ Result<PeriodId> ResolveEvalPeriod(std::optional<PeriodId> requested,
                                    std::size_t num_periods);
 
 /// Validation shared by every facade: non-empty group of known, distinct
-/// members (<= 32 for GRECA), k >= 1, a non-empty candidate pool, an
-/// in-range evaluation period and (for time+affinity aware models) an
-/// affinity source covering it.
+/// members, a registered solver (unknown QuerySpec::solver_id values are
+/// rejected with kInvalidArgument; the resolved solver's own ValidateQuery
+/// hook may veto further — GRECA caps groups at 32 members), k >= 1, a
+/// non-empty candidate pool, an in-range evaluation period and (for
+/// time+affinity aware models) an affinity source covering it.
 Status ValidateGroupQuery(std::span<const UserId> group, const QuerySpec& spec,
                           std::size_t num_users, std::size_t num_periods,
                           std::size_t affinity_num_periods);
+
+/// Scatter step for per-member consensus weights: when the query asks for
+/// influence weighting, materializes the group's raw weights from the bound
+/// AffinitySource into the slices' `weight` fields (uniform 1.0 otherwise —
+/// including resetting slices reused from a previous weighted query). Call
+/// after locating each member's rows, before AssembleGroupProblem; assembly
+/// normalizes the raw weights to sum 1.
+void StampMemberWeights(const AffinitySource& source,
+                        std::span<const UserId> group, const QuerySpec& spec,
+                        std::span<MemberSlice> slices);
 
 /// Assembles the zero-copy GroupProblem for `group` at `eval_period`.
 /// `members` is parallel to `group` (members[m] locates group[m]'s rows);
@@ -84,9 +96,11 @@ GroupProblem AssembleGroupProblem(const AssemblyContext& ctx,
                                   std::vector<ItemId>* candidates_out,
                                   QueryWorkspace* workspace);
 
-/// Runs the spec's algorithm over an assembled problem and maps the result
-/// keys back to universe items through `pool_items` (the shared pool, key
-/// order). `workspace` provides GRECA's reusable buffers.
+/// Dispatches the spec's RESOLVED solver (solver/solver_registry.h) over an
+/// assembled problem and maps the result keys back to universe items through
+/// `pool_items` (the shared pool, key order). `workspace` provides the
+/// solvers' reusable buffers. The spec must have passed ValidateGroupQuery —
+/// that is where unknown solver ids are rejected.
 Recommendation SolveGroupProblem(GroupProblem& problem, const QuerySpec& spec,
                                  std::span<const ItemId> pool_items,
                                  QueryWorkspace& workspace);

@@ -83,6 +83,48 @@ double SocialGraph::AverageDegree() const {
          static_cast<double>(num_users());
 }
 
+std::vector<double> DegreeCentrality(const SocialGraph& graph) {
+  const std::size_t n = graph.num_users();
+  std::vector<double> weights(n, 1.0);
+  std::size_t max_degree = 0;
+  for (UserId u = 0; u < n; ++u) {
+    max_degree = std::max(max_degree, graph.FriendsOf(u).size());
+  }
+  const double denom = 1.0 + static_cast<double>(max_degree);
+  for (UserId u = 0; u < n; ++u) {
+    weights[u] = (1.0 + static_cast<double>(graph.FriendsOf(u).size())) / denom;
+  }
+  return weights;
+}
+
+std::vector<double> PropagationCentrality(const SocialGraph& graph,
+                                          double damping,
+                                          std::size_t iterations) {
+  assert(damping > 0.0 && damping < 1.0);
+  const std::size_t n = graph.num_users();
+  std::vector<double> x(n, 1.0);
+  if (n == 0) return x;
+  std::size_t max_degree = 0;
+  for (UserId u = 0; u < n; ++u) {
+    max_degree = std::max(max_degree, graph.FriendsOf(u).size());
+  }
+  // β < 1/max_deg keeps the affine iteration a contraction, so the fixed
+  // point exists and the fixed iteration count lands effectively on it.
+  const double beta = damping / (static_cast<double>(max_degree) + 1.0);
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (UserId u = 0; u < n; ++u) {
+      double sum = 0.0;
+      for (const UserId v : graph.FriendsOf(u)) sum += x[v];
+      next[u] = 1.0 + beta * sum;
+    }
+    x.swap(next);
+  }
+  const double max_x = *std::max_element(x.begin(), x.end());
+  for (double& w : x) w /= max_x;  // max_x >= 1, so weights land in (0, 1]
+  return x;
+}
+
 SocialGraph GenerateSeedAndInvite(const SeedAndInviteConfig& config) {
   assert(config.num_seeds < config.total_users);
   assert(config.min_invites <= config.max_invites);

@@ -69,6 +69,28 @@ SocialGraph GeneratePreferentialAttachment(std::size_t num_users,
                                            std::size_t edges_per_node,
                                            std::uint64_t seed);
 
+// --- Influence centrality (per-member consensus weighting) ---
+//
+// Both return one weight per user in (0, 1], deterministic for a given graph
+// and equivariant under node relabeling (a permuted graph yields the
+// permuted weights — exactly for degree, within fp round-off for
+// propagation, whose neighbor sums accumulate in adjacency order). Isolated
+// nodes get the smoothed floor rather than 0, so normalizing a group's
+// weights never divides by zero.
+
+/// Smoothed degree centrality (1 + deg(u)) / (1 + max_v deg(v)).
+std::vector<double> DegreeCentrality(const SocialGraph& graph);
+
+/// Katz-style propagation centrality: `iterations` rounds of
+///   x'(u) = 1 + β·Σ_{v ∈ N(u)} x(v),  β = damping / (max_deg + 1),
+/// normalized by the maximum. β < 1/max_deg guarantees the iteration
+/// contracts for damping < 1, so a handful of rounds is effectively
+/// converged. Captures who is connected to well-connected members, not just
+/// how many friends someone has.
+std::vector<double> PropagationCentrality(const SocialGraph& graph,
+                                          double damping = 0.85,
+                                          std::size_t iterations = 16);
+
 }  // namespace greca
 
 #endif  // GRECA_DATASET_SOCIAL_GRAPH_H_

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "api/query_builder.h"
 #include "common/distributions.h"
 #include "common/stats.h"
+#include "solver/solver_registry.h"
 
 namespace greca {
 
@@ -43,14 +45,19 @@ QualityHarness::QualityHarness(const GroupRecommender& recommender,
 
 std::vector<ItemId> QualityHarness::RecommendList(
     const StudyGroup& group, const RecommendationVariant& v) const {
-  QuerySpec spec;
-  spec.k = k_;
-  spec.model = v.model;
-  spec.consensus = v.consensus;
-  // The naive algorithm gives the exact, totally-ordered list; quality
-  // results must not depend on GRECA's partial order.
-  spec.algorithm = Algorithm::kNaive;
-  return recommender_->Recommend(group.members, spec).value().items;
+  // The naive solver gives the exact, totally-ordered list; quality results
+  // must not depend on GRECA's partial order. Selected through the registry
+  // id (the builder path) rather than the legacy enum.
+  const Result<Query> query = QueryBuilder(*recommender_)
+                                  .Members(group.members)
+                                  .TopK(k_)
+                                  .Model(v.model)
+                                  .Consensus(v.consensus)
+                                  .Using(std::string(kNaiveSolverId))
+                                  .Build();
+  return recommender_->Recommend(query.value().group, query.value().spec)
+      .value()
+      .items;
 }
 
 std::vector<double> QualityHarness::IndependentEval(
@@ -148,7 +155,9 @@ QuerySpec PerformanceHarness::DefaultSpec() {
   spec.k = 10;
   spec.model = AffinityModelSpec::Default();
   spec.consensus = ConsensusSpec::AveragePreference();
-  spec.algorithm = Algorithm::kGreca;
+  // Registry id rather than the legacy enum (no engine in scope here, so the
+  // spec carries the id directly instead of going through QueryBuilder).
+  spec.solver_id = std::string(kGrecaSolverId);
   spec.num_candidate_items = 3'900;
   return spec;
 }

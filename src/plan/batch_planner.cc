@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/problem_assembly.h"
+#include "solver/solver_registry.h"
 
 namespace greca {
 
@@ -44,7 +45,13 @@ std::uint64_t HashSignature(const Signature& s) {
   mix_double(spec.consensus.w2);
   mix_double(spec.consensus.disagreement_scale);
   mix(s.resolved_period);
-  mix(static_cast<std::uint64_t>(spec.algorithm));
+  // Solver identity goes in RESOLVED (solver/solver_registry.h), so the enum
+  // alias and its explicit solver_id spelling share a bucket — mirroring the
+  // resolved-period convention above.
+  for (const char c : ResolveSolverId(spec)) {
+    mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  mix(static_cast<std::uint64_t>(spec.weighting));
   mix(static_cast<std::uint64_t>(spec.termination));
   mix(spec.num_candidate_items);
   return h;
@@ -55,7 +62,8 @@ bool SameSignature(const Signature& a, const Signature& b) {
   const QuerySpec& y = b.query->spec;
   return a.resolved_period == b.resolved_period && x.k == y.k &&
          x.model == y.model && x.consensus == y.consensus &&
-         x.algorithm == y.algorithm && x.termination == y.termination &&
+         ResolveSolverId(x) == ResolveSolverId(y) &&
+         x.weighting == y.weighting && x.termination == y.termination &&
          x.num_candidate_items == y.num_candidate_items &&
          std::ranges::equal(a.query->group, b.query->group);
 }

@@ -6,9 +6,17 @@
 // caches (period lists, tombstone bitmaps) already share SUB-problem state
 // across such repeats; the planner shares the WHOLE problem: before a batch
 // executes, queries are bucketed by their execution signature — the ordered
-// group plus every spec field that affects the result, with the evaluation
-// period resolved so "nullopt" and an explicit last period land in one
-// bucket. Each bucket assembles and solves one GroupProblem (one arena slot,
+// group plus every solve-relevant QuerySpec field: k, the affinity model,
+// the consensus spec, the termination policy, the pool size, the weighting
+// mode, and the solver identity, with two fields stored RESOLVED rather than
+// as written: the evaluation period (so "nullopt" and an explicit last
+// period land in one bucket) and the solver id (so the legacy Algorithm enum
+// and its explicit QuerySpec::solver_id spelling land in one bucket, while
+// two genuinely different solvers never merge). Any new QuerySpec field that
+// can change a result MUST be added to both HashSignature and SameSignature
+// — tests/planner_equivalence_test.cc pins this by flipping every field and
+// asserting the bucket splits. Each bucket assembles and solves one
+// GroupProblem (one arena slot,
 // one tombstone bitmap, one affinity/agreement build, one top-k run) and the
 // result fans back out to every duplicate; per-query attribution (which
 // bucket, who solved) is reported so callers can audit the sharing.
@@ -129,8 +137,8 @@ class BatchPlanner {
   /// Plans `queries`: validates each through `validate`, resolves the
   /// evaluation period against `num_periods`, and buckets the valid ones by
   /// (group order-significant, k, model, consensus, resolved period,
-  /// algorithm, termination, pool size). Deterministic: bucket order is
-  /// first-appearance order, duplicates keep input order.
+  /// resolved solver id, weighting, termination, pool size). Deterministic:
+  /// bucket order is first-appearance order, duplicates keep input order.
   static BatchPlan Plan(std::span<const Query> queries,
                         const Validator& validate, std::size_t num_periods);
 };

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/problem_assembly.h"
+#include "dataset/social_graph.h"
 
 namespace greca {
 
@@ -23,9 +24,13 @@ ShardedEngine::ShardedEngine(const RatingsDataset& universe,
           PeriodicAffinity::Compute(study.likes, study.periods))),
       dynamic_(std::make_unique<DynamicAffinityIndex>(
           DynamicAffinityIndex::Build(*periodic_))) {
-  affinity_ =
-      std::make_shared<StudyAffinitySource>(static_, *periodic_,
-                                            dynamic_.get());
+  // Same influence backing as the monolithic recommender: propagation
+  // centrality over the immutable study graph, so influence-weighted queries
+  // score identically on both engines.
+  auto influence = std::make_shared<const std::vector<double>>(
+      PropagationCentrality(study.graph));
+  affinity_ = std::make_shared<StudyAffinitySource>(
+      static_, *periodic_, dynamic_.get(), std::move(influence));
   // The shard-side prediction backend: CF over the merged profile, gathered
   // down to pool positions. Feeding RebuildRowFromPool the same raw values
   // Build() would read via pool[key] keeps shard rows bit-identical to a
@@ -238,6 +243,7 @@ Result<Recommendation> ShardedEngine::RecommendOnSet(
     slices.push_back(
         {snap.index.get(), shards_[s]->LocalRowOf(u), snap.ratings.get(), u});
   }
+  StampMemberWeights(*affinity_, group, spec, slices);
   AssemblyContext ctx;
   ctx.key_index = set->shard(0).index.get();
   ctx.affinity = affinity_.get();

@@ -50,9 +50,11 @@ TopKResult NaiveTopK(const GroupProblem& problem, std::size_t k) {
         agreements[q] = agreement_lists[q].ScoreOfKey(key);
       }
       score = ConsensusScoreWithAgreements(problem.consensus(), prefs,
-                                           agreements);
+                                           agreements,
+                                           problem.consensus_weights());
     } else {
-      score = ConsensusScore(problem.consensus(), prefs);
+      score = ConsensusScore(problem.consensus(), prefs,
+                             problem.consensus_weights());
     }
     scored.push_back({key, score});
   }

@@ -163,9 +163,10 @@ double GroupProblem::ExactScore(ListKey key) const {
     for (std::size_t q = 0; q < agreements.size(); ++q) {
       agreements[q] = lists[q].ScoreOfKey(key);
     }
-    return ConsensusScoreWithAgreements(consensus_, prefs, agreements);
+    return ConsensusScoreWithAgreements(consensus_, prefs, agreements,
+                                        weights_);
   }
-  return ConsensusScore(consensus_, prefs);
+  return ConsensusScore(consensus_, prefs, weights_);
 }
 
 std::vector<SortedList> BuildAgreementLists(
@@ -196,22 +197,29 @@ void BuildGroupAgreementListInto(std::span<const ListView> preference_lists,
                                  std::size_t num_items,
                                  double disagreement_scale,
                                  std::vector<ListEntry>& scratch,
-                                 SortedList& out) {
+                                 SortedList& out,
+                                 std::span<const double> pair_weights) {
   const std::size_t g = preference_lists.size();
   const double num_pairs = static_cast<double>(NumUserPairs(g));
+  const bool weighted = !pair_weights.empty();
+  assert(!weighted || pair_weights.size() == NumUserPairs(g));
   scratch.clear();
   scratch.reserve(num_items);
   for (ListKey key = 0; key < num_items; ++key) {
     if (preference_lists[0].IsTombstoned(key)) continue;
     double sum = 0.0;
+    std::size_t q = 0;
     for (std::size_t a = 0; a < g; ++a) {
-      for (std::size_t b = a + 1; b < g; ++b) {
-        sum += PairAgreement(preference_lists[a].ScoreOfKey(key),
-                             preference_lists[b].ScoreOfKey(key),
-                             disagreement_scale);
+      for (std::size_t b = a + 1; b < g; ++b, ++q) {
+        const double ag = PairAgreement(preference_lists[a].ScoreOfKey(key),
+                                        preference_lists[b].ScoreOfKey(key),
+                                        disagreement_scale);
+        sum += weighted ? pair_weights[q] * ag : ag;
       }
     }
-    scratch.push_back({key, num_pairs > 0 ? sum / num_pairs : 1.0});
+    // Weighted pair weights already sum to 1; the uniform path divides.
+    scratch.push_back(
+        {key, weighted ? sum : (num_pairs > 0 ? sum / num_pairs : 1.0)});
   }
   out.AssignUnsorted(scratch, static_cast<ListKey>(num_items));
 }

@@ -58,6 +58,11 @@ struct MemberSlice {
   UserId row = 0;
   const RatingsOverlay* ratings = nullptr;
   UserId ratings_user = 0;
+  /// Raw (un-normalized) consensus weight of this member, stamped by the
+  /// facade's scatter step (StampMemberWeights) when the query asks for
+  /// influence weighting; 1.0 — uniform — otherwise. Assembly normalizes the
+  /// group's raw weights to sum 1 before any solver sees them.
+  double weight = 1.0;
 };
 
 /// Reusable backing store for one in-flight query's problem: the group's
@@ -86,6 +91,12 @@ struct ProblemArena {
   std::vector<ListEntry> entry_scratch;
   /// Per-member slice descriptors (scatter/gather assembly scratch).
   std::vector<MemberSlice> member_slices;
+  /// Normalized consensus weights (member sums to 1; pair = normalized
+  /// products, LocalPairIndex order). Empty on uniform-weight queries — the
+  /// problem then carries empty spans and every scorer takes the historical
+  /// bit-identical path.
+  std::vector<double> member_weights;
+  std::vector<double> pair_weights;
 };
 
 class GroupProblem {
@@ -205,6 +216,27 @@ class GroupProblem {
   const AffinityCombiner& combiner() const { return combiner_; }
   const ConsensusSpec& consensus() const { return consensus_; }
 
+  /// Per-member consensus weights of this problem (empty spans = uniform —
+  /// the default). Solvers pass this straight into the weighted consensus
+  /// overloads, which delegate to the exact historical code when uniform, so
+  /// weighting flows through every solver without per-solver code.
+  const ConsensusWeights& consensus_weights() const { return weights_; }
+  bool weighted() const { return !weights_.uniform(); }
+
+  /// Installs normalized consensus weights: `member` one weight per member
+  /// summing to 1, `pair` one weight per local pair summing to 1 (empty only
+  /// for singleton groups). Backing storage must outlive the problem (the
+  /// assembly arena, or a caller-owned vector on the owning path). Must be
+  /// set before any solver reads the problem and before a deferred
+  /// agreement list materializes.
+  void SetConsensusWeights(std::span<const double> member,
+                           std::span<const double> pair) {
+    assert(member.size() == group_size());
+    assert(pair.size() == num_pairs());
+    weights_.member = member;
+    weights_.pair = pair;
+  }
+
   /// Total live entries across all input lists — the exhaustive-scan cost
   /// that normalizes the %SA metric.
   std::size_t TotalEntries() const;
@@ -252,6 +284,7 @@ class GroupProblem {
   std::size_t num_candidates_;
   AffinityCombiner combiner_;
   ConsensusSpec consensus_;
+  ConsensusWeights weights_;  // empty spans = uniform
 
   // Owning backing for the adapter path (empty on the zero-copy path); views
   // point into these lists' heap buffers, which move with the problem.
@@ -290,12 +323,16 @@ SortedList BuildGroupAgreementList(std::span<const ListView> preference_lists,
                                    double disagreement_scale);
 
 /// Hot-path variant: rebuilds `out` in place (capacities reused) using
-/// `scratch` for the unsorted entries.
+/// `scratch` for the unsorted entries. `pair_weights`, when non-empty, holds
+/// one normalized weight per local pair and the aggregated entry becomes the
+/// WEIGHTED mean Σ pw_q·ag_q(i); empty = uniform mean (the historical
+/// bit-identical path).
 void BuildGroupAgreementListInto(std::span<const ListView> preference_lists,
                                  std::size_t num_items,
                                  double disagreement_scale,
                                  std::vector<ListEntry>& scratch,
-                                 SortedList& out);
+                                 SortedList& out,
+                                 std::span<const double> pair_weights = {});
 
 /// Owning-list conveniences for tests/benches that hold SortedLists.
 std::vector<SortedList> BuildAgreementLists(

@@ -72,9 +72,11 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
             problem.agreement_lists()[q].RandomAccess(key, result.accesses);
       }
       return ConsensusScoreWithAgreements(problem.consensus(), prefs,
-                                          agreements);
+                                          agreements,
+                                          problem.consensus_weights());
     }
-    return ConsensusScore(problem.consensus(), prefs);
+    return ConsensusScore(problem.consensus(), prefs,
+                          problem.consensus_weights());
   };
 
   // Both threshold inputs are problem constants, hoisted out of the
@@ -90,9 +92,11 @@ TopKResult TaTopK(const GroupProblem& problem, std::size_t k) {
     problem.MemberPreferences(cursor_score, exact_aff, prefs);
     if (problem.uses_agreement_lists()) {
       return ConsensusScoreWithAgreements(problem.consensus(), prefs,
-                                          full_agreement);
+                                          full_agreement,
+                                          problem.consensus_weights());
     }
-    return ConsensusScore(problem.consensus(), prefs);
+    return ConsensusScore(problem.consensus(), prefs,
+                          problem.consensus_weights());
   };
 
   // Round-robin over the lists' live entries via the per-list cursors the

@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "plan/batch_planner.h"
 #include "shard/sharded_engine.h"
+#include "solver/solver_registry.h"
 
 namespace greca {
 namespace {
@@ -86,6 +87,29 @@ TEST(BatchPlannerTest, NulloptAndExplicitLastPeriodShareABucket) {
   EXPECT_EQ(plan.buckets[1].queries, (std::vector<std::uint32_t>{2}));
 }
 
+// Likewise the solver id is bucketed RESOLVED: the legacy enum alias and the
+// explicit QuerySpec::solver_id spelling of the same solver are the same
+// execution — one solve — while genuinely different solvers never merge.
+TEST(BatchPlannerTest, EnumAliasAndExplicitSolverIdShareABucket) {
+  QuerySpec via_enum = SmallSpec();
+  via_enum.algorithm = Algorithm::kNaive;
+  QuerySpec via_id = SmallSpec();
+  via_id.algorithm = Algorithm::kGreca;  // overridden by the explicit id
+  via_id.solver_id = std::string(kNaiveSolverId);
+  QuerySpec other_solver = SmallSpec();
+  other_solver.solver_id = std::string(kSubmodularSolverId);
+  QuerySpec other_weighting = via_enum;
+  other_weighting.weighting = MemberWeighting::kInfluence;
+
+  const BatchPlan plan = PlanAllValid(
+      {MakeQuery({1, 2}, via_enum), MakeQuery({1, 2}, via_id),
+       MakeQuery({1, 2}, other_solver), MakeQuery({1, 2}, other_weighting)});
+  ASSERT_EQ(plan.buckets.size(), 3u);
+  EXPECT_EQ(plan.buckets[0].queries, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(plan.buckets[1].queries, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(plan.buckets[2].queries, (std::vector<std::uint32_t>{3}));
+}
+
 // Group order is part of the signature (members map to problem rows by
 // position), and every spec field that reaches the solve must split buckets.
 TEST(BatchPlannerTest, SignatureCoversGroupOrderAndEverySpecField) {
@@ -98,6 +122,9 @@ TEST(BatchPlannerTest, SignatureCoversGroupOrderAndEverySpecField) {
   };
   add([](QuerySpec& s) { s.k = 9; });
   add([](QuerySpec& s) { s.algorithm = Algorithm::kNaive; });
+  add([](QuerySpec& s) { s.solver_id = std::string(kSubmodularSolverId); });
+  add([](QuerySpec& s) { s.weighting = MemberWeighting::kInfluence; });
+  add([](QuerySpec& s) { s.eval_period = 0; });
   add([](QuerySpec& s) { s.termination = TerminationPolicy::kThresholdOnly; });
   add([](QuerySpec& s) { s.num_candidate_items = 200; });
   add([](QuerySpec& s) { s.model = AffinityModelSpec::TimeAgnostic(); });

@@ -1,6 +1,12 @@
-// Tests for the friendship graph and its generators.
+// Tests for the friendship graph, its generators and the influence
+// centralities behind kInfluence member weighting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
 #include "dataset/social_graph.h"
 
 namespace greca {
@@ -89,6 +95,83 @@ TEST(PreferentialAttachmentTest, DegreeSkewAndConnectivity) {
   }
   // Hubs emerge under preferential attachment.
   EXPECT_GT(max_degree, 20u);
+}
+
+// Applies permutation perm (new id of old node u = perm[u]) to a graph's
+// edge list.
+SocialGraph Permuted(const SocialGraph& g, const std::vector<UserId>& perm) {
+  std::vector<std::pair<UserId, UserId>> edges;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    for (const UserId v : g.FriendsOf(u)) {
+      if (u < v) edges.emplace_back(perm[u], perm[v]);
+    }
+  }
+  return SocialGraph::FromEdges(g.num_users(), std::move(edges));
+}
+
+TEST(CentralityTest, DegreeCentralityDeterministicAndNormalized) {
+  // Star: hub 0 with leaves 1..4, plus isolated node 5.
+  const SocialGraph g =
+      SocialGraph::FromEdges(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const std::vector<double> w = DegreeCentrality(g);
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);        // (1+4)/(1+4)
+  EXPECT_DOUBLE_EQ(w[1], 2.0 / 5.0);  // (1+1)/(1+4)
+  EXPECT_DOUBLE_EQ(w[5], 1.0 / 5.0);  // smoothed floor, never 0
+  for (const double x : w) {
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+  // Deterministic: two computations agree exactly.
+  EXPECT_EQ(w, DegreeCentrality(g));
+}
+
+TEST(CentralityTest, PropagationCentralityRanksHubsAboveLeaves) {
+  // Barbell-ish: a hub with many leaves vs a lightly connected pair.
+  const SocialGraph g = SocialGraph::FromEdges(
+      8, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {6, 7}, {5, 6}});
+  const std::vector<double> w = PropagationCentrality(g);
+  ASSERT_EQ(w.size(), 8u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);  // the hub normalizes to the max
+  for (const double x : w) {
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+  EXPECT_GT(w[0], w[1]);  // hub beats its leaves
+  EXPECT_GT(w[5], w[7]);  // bridging to the hub beats the far pair
+  // Leaf 5 (hub + node 6) beats leaf 1 (hub only): propagation sees the
+  // second-order structure degree centrality cannot.
+  EXPECT_GT(w[5], w[1]);
+  EXPECT_DOUBLE_EQ(DegreeCentrality(g)[5], DegreeCentrality(g)[6]);
+  EXPECT_GT(w[5], w[6]);
+  // Deterministic: same graph, same weights, exactly.
+  EXPECT_EQ(w, PropagationCentrality(g));
+}
+
+TEST(CentralityTest, StableUnderNodeIdPermutation) {
+  const SocialGraph g = GenerateSeedAndInvite({});
+  const std::size_t n = g.num_users();
+  std::vector<UserId> perm(n);
+  std::iota(perm.begin(), perm.end(), UserId{0});
+  Rng rng(4242);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+  }
+  const SocialGraph h = Permuted(g, perm);
+
+  // Degree centrality is exactly equivariant (pure integer degrees).
+  const std::vector<double> dg = DegreeCentrality(g);
+  const std::vector<double> dh = DegreeCentrality(h);
+  for (UserId u = 0; u < n; ++u) {
+    EXPECT_DOUBLE_EQ(dg[u], dh[perm[u]]);
+  }
+  // Propagation accumulates neighbor sums in adjacency order, so relabeling
+  // may reorder floating-point additions: equivariant to round-off.
+  const std::vector<double> pg = PropagationCentrality(g);
+  const std::vector<double> ph = PropagationCentrality(h);
+  for (UserId u = 0; u < n; ++u) {
+    EXPECT_NEAR(pg[u], ph[perm[u]], 1e-12);
+  }
 }
 
 }  // namespace
