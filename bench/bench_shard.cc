@@ -18,6 +18,14 @@
 // while locality 0 scatters every batch across all shards and gives the
 // win back. The bench sweeps shards x locality to show exactly that.
 //
+// A second sweep exercises the unified serving runtime's PLANNED BATCH
+// path (serve/batch_executor.h): duplicate-heavy read-only batches (dup
+// factor 1/4/16 over a fixed set of distinct groups) at 1 and 4 shards,
+// served three ways — parallel planned (bucket solving on the batch pool),
+// serial planned (batch_threads=1 inline reference), and unplanned serial.
+// All three produce bit-identical recommendations; the sweep measures what
+// dedup + parallelism buy in throughput.
+//
 // Output: a table plus BENCH_shard.json (override with
 // GRECA_BENCH_SHARD_JSON). Env knobs: GRECA_BENCH_SMALL=1 (smoke scale),
 // GRECA_SHARD_USERS, GRECA_SHARD_ITEMS, GRECA_SHARD_POOL,
@@ -25,12 +33,17 @@
 // GRECA_SHARD_EVENTS. GRECA_SHARD_ASSERT=1 exits nonzero unless the
 // 2-shard high-locality configuration reaches 0.9x single-shard throughput
 // (the CI smoke gate; full runs should clear 1.3x at 4+ shards).
+// GRECA_SHARD_ASSERT_PLANNER=1 exits nonzero unless parallel planned
+// serving reaches 1.3x the serial planned reference at 4 shards / dup 16
+// (skipped on single-core hosts, which cannot show wall-clock parallelism).
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -181,6 +194,40 @@ WorkloadResult RunWorkload(ShardedEngine& engine, double locality,
   return result;
 }
 
+struct PlannerSweepResult {
+  std::size_t shards = 0;
+  std::size_t dup = 0;
+  std::size_t batch_queries = 0;
+  std::size_t buckets = 0;
+  double dedup_ratio = 0.0;
+  double parallel_qps = 0.0;
+  double serial_qps = 0.0;
+  double unplanned_qps = 0.0;
+  /// parallel_qps / serial_qps, both planned — what ParallelFor buys.
+  double parallel_speedup = 0.0;
+};
+
+/// Repeated read-only RecommendBatch over `queries`; returns queries/sec.
+/// The warm-up call (outside the window) also checks every result and
+/// fills `report` when non-null.
+double BatchQps(const ShardedEngine& engine, std::span<const Query> queries,
+                std::size_t rounds, BatchReport* report) {
+  const auto warm = engine.RecommendBatch(queries, report);
+  for (const auto& r : warm) {
+    if (!r.ok()) {
+      std::cerr << "ERROR: batch query failed: " << r.status().ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+  Stopwatch watch;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (engine.RecommendBatch(queries).size() != queries.size()) std::abort();
+  }
+  return static_cast<double>(queries.size() * rounds) /
+         watch.ElapsedSeconds();
+}
+
 }  // namespace
 
 int main() {
@@ -296,6 +343,102 @@ int main() {
                "reduction back)\nExpected: >= 1.3x at 4+ shards with high "
                "locality — the per-shard publish clones 1/N of the index\n";
 
+  // --- Planned-batch sweep: the unified serving runtime under dedup ---
+  const std::size_t planner_distinct = small ? 12 : 24;
+  const std::size_t planner_rounds = small ? 3 : 6;
+  const std::size_t planner_shards[] = {1, 4};
+  const std::size_t dup_factors[] = {1, 4, 16};
+  std::vector<PlannerSweepResult> planner_results;
+
+  for (const std::size_t n : planner_shards) {
+    const auto engine_with = [&](bool plan, std::size_t threads) {
+      ShardedEngineOptions options;
+      options.num_shards = n;
+      options.strategy = ShardStrategy::kHash;
+      options.plan_batches = plan;
+      options.batch_threads = threads;
+      ShardedEngineInputs inputs;
+      inputs.ratings = base;
+      inputs.affinity = affinity;
+      inputs.predictor = predictor;
+      inputs.pool = pool;
+      inputs.num_universe_items = base->num_items();
+      inputs.num_periods = 1;
+      return std::make_unique<ShardedEngine>(std::move(inputs), options);
+    };
+    const auto parallel = engine_with(/*plan=*/true, /*threads=*/4);
+    const auto serial = engine_with(/*plan=*/true, /*threads=*/1);
+    const auto unplanned = engine_with(/*plan=*/false, /*threads=*/1);
+
+    ScaleGroupsConfig gc;
+    gc.num_groups = planner_distinct;
+    gc.locality = 0.0;
+    gc.seed = 71 + n;
+    const std::vector<std::vector<UserId>> distinct = GenerateScaleGroups(
+        gc, parallel->num_users(), n,
+        [&](UserId u) { return parallel->router().ShardOf(u); });
+
+    QuerySpec spec;
+    spec.k = 10;
+    spec.model = AffinityModelSpec::TimeAgnostic();
+    spec.algorithm = Algorithm::kGreca;
+    spec.num_candidate_items = pool.size();
+    spec.eval_period = 0;
+
+    for (const std::size_t dup : dup_factors) {
+      // Interleaved duplicates — the planner's first-appearance bucket order
+      // sees the worst case, not presorted runs.
+      std::vector<Query> batch;
+      batch.reserve(planner_distinct * dup);
+      for (std::size_t i = 0; i < planner_distinct * dup; ++i) {
+        batch.push_back({distinct[i % planner_distinct], spec});
+      }
+      PlannerSweepResult r;
+      r.shards = n;
+      r.dup = dup;
+      r.batch_queries = batch.size();
+      BatchReport report;
+      r.parallel_qps = BatchQps(*parallel, batch, planner_rounds, &report);
+      r.buckets = report.num_buckets;
+      r.dedup_ratio = report.dedup_ratio;
+      r.serial_qps = BatchQps(*serial, batch, planner_rounds, nullptr);
+      r.unplanned_qps = BatchQps(*unplanned, batch, planner_rounds, nullptr);
+      r.parallel_speedup = r.parallel_qps / r.serial_qps;
+      planner_results.push_back(r);
+      std::cout << "  planner shards=" << n << " dup=" << dup
+                << "  parallel=" << r.parallel_qps
+                << " serial=" << r.serial_qps
+                << " unplanned=" << r.unplanned_qps << " qps\n";
+    }
+  }
+
+  TablePrinter planner_table(
+      "Planned batch serving: parallel vs serial vs unplanned (qps, " +
+      std::to_string(planner_distinct) + " distinct groups)");
+  planner_table.SetColumns({"shards", "dup", "queries", "buckets",
+                            "parallel qps", "serial qps", "unplanned qps",
+                            "parallel/serial"});
+  for (const PlannerSweepResult& r : planner_results) {
+    planner_table.AddRow(
+        {std::to_string(r.shards), std::to_string(r.dup),
+         std::to_string(r.batch_queries), std::to_string(r.buckets),
+         TablePrinter::Cell(r.parallel_qps, 1),
+         TablePrinter::Cell(r.serial_qps, 1),
+         TablePrinter::Cell(r.unplanned_qps, 1),
+         TablePrinter::Cell(r.parallel_speedup, 2)});
+  }
+  planner_table.Print(std::cout);
+
+  const auto planner_find = [&](std::size_t shards, std::size_t dup) {
+    for (const PlannerSweepResult& r : planner_results) {
+      if (r.shards == shards && r.dup == dup) return r;
+    }
+    std::abort();
+  };
+  const double planner_speedup = planner_find(4, 16).parallel_speedup;
+  std::cout << "parallel planned vs serial planned at 4 shards / dup 16: "
+            << planner_speedup << "x\n";
+
   const char* json_env = std::getenv("GRECA_BENCH_SHARD_JSON");
   const std::string path =
       json_env != nullptr ? json_env : "BENCH_shard.json";
@@ -324,6 +467,22 @@ int main() {
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << "  \"planner\": [\n";
+  for (std::size_t i = 0; i < planner_results.size(); ++i) {
+    const PlannerSweepResult& r = planner_results[i];
+    json << "    {\"shards\": " << r.shards << ", \"dup\": " << r.dup
+         << ", \"batch_queries\": " << r.batch_queries
+         << ", \"buckets\": " << r.buckets
+         << ", \"dedup_ratio\": " << r.dedup_ratio
+         << ", \"parallel_qps\": " << r.parallel_qps
+         << ", \"serial_qps\": " << r.serial_qps
+         << ", \"unplanned_qps\": " << r.unplanned_qps
+         << ", \"parallel_speedup\": " << r.parallel_speedup << "}"
+         << (i + 1 < planner_results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"planner_parallel_speedup_4_shards_dup16\": " << planner_speedup
+       << ",\n"
        << "  \"high_locality_speedup_2_shards\": " << speedup2 << ",\n"
        << "  \"high_locality_speedup_4_shards\": " << speedup4 << ",\n"
        << "  \"high_locality_speedup_8_shards\": " << speedup8 << ",\n"
@@ -335,6 +494,21 @@ int main() {
     std::cerr << "ASSERT FAILED: 2-shard high-locality qps is " << speedup2
               << "x of single-shard (expected >= 0.9x)\n";
     return 1;
+  }
+  if (std::getenv("GRECA_SHARD_ASSERT_PLANNER") != nullptr) {
+    // A single hardware thread cannot demonstrate parallel speedup — the
+    // sweep still proves bit-identity there, but the wall-clock gate only
+    // means something with real cores under the batch pool.
+    if (std::thread::hardware_concurrency() < 2) {
+      std::cout << "planner assert skipped: single-core host ("
+                << planner_speedup << "x measured)\n";
+    } else if (planner_speedup < 1.3) {
+      std::cerr << "ASSERT FAILED: parallel planned serving is "
+                << planner_speedup
+                << "x of the serial reference at 4 shards / dup 16 "
+                   "(expected >= 1.3x)\n";
+      return 1;
+    }
   }
   return 0;
 }

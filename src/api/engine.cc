@@ -1,40 +1,26 @@
 #include "api/engine.h"
 
-#include <cstdint>
-#include <optional>
-#include <thread>
 #include <utility>
 
-#include "core/problem_assembly.h"
+#include "serve/batch_executor.h"
+#include "serve/serving_backend.h"
 
 namespace greca {
-
-namespace {
-
-std::size_t ResolveNumThreads(std::size_t requested) {
-  if (requested > 0) return requested;
-  const std::size_t hw = std::thread::hardware_concurrency();
-  return hw > 2 ? hw : 2;
-}
-
-}  // namespace
 
 Engine::Engine(const RatingsDataset& universe, const FacebookStudy& study,
                RecommenderOptions options, EngineOptions engine_options)
     : owned_(std::make_unique<GroupRecommender>(universe, study, options)),
       recommender_(owned_.get()),
       pool_(std::make_unique<ThreadPool>(
-          ResolveNumThreads(engine_options.num_threads))),
-      plan_batches_(engine_options.plan_batches),
-      workspaces_(pool_->size()) {}
+          ResolveBatchThreads(engine_options.num_threads))),
+      plan_batches_(engine_options.plan_batches) {}
 
 Engine::Engine(const GroupRecommender& recommender,
                EngineOptions engine_options)
     : recommender_(&recommender),
       pool_(std::make_unique<ThreadPool>(
-          ResolveNumThreads(engine_options.num_threads))),
-      plan_batches_(engine_options.plan_batches),
-      workspaces_(pool_->size()) {}
+          ResolveBatchThreads(engine_options.num_threads))),
+      plan_batches_(engine_options.plan_batches) {}
 
 Status Engine::ApplyUpdates(std::span<const RatingEvent> events,
                             UpdateReport* report) {
@@ -68,29 +54,6 @@ Result<Recommendation> Engine::Recommend(
   return recommender_->Recommend(snap, query.group, query.spec);
 }
 
-namespace {
-
-/// Snapshot-cache counter snapshot, for the BatchReport deltas.
-struct CacheCounters {
-  std::uint64_t period_hits, period_misses;
-  std::uint64_t tomb_hits, tomb_misses, tomb_evictions;
-
-  static CacheCounters Of(const Snapshot& snap) {
-    return {snap.period_cache_hits(), snap.period_cache_misses(),
-            snap.tombstone_cache_hits(), snap.tombstone_cache_misses(),
-            snap.tombstone_cache_evictions()};
-  }
-  void DeltaInto(const CacheCounters& before, BatchReport& report) const {
-    report.period_cache_hits = period_hits - before.period_hits;
-    report.period_cache_misses = period_misses - before.period_misses;
-    report.tombstone_cache_hits = tomb_hits - before.tomb_hits;
-    report.tombstone_cache_misses = tomb_misses - before.tomb_misses;
-    report.tombstone_cache_evictions = tomb_evictions - before.tomb_evictions;
-  }
-};
-
-}  // namespace
-
 std::vector<Result<Recommendation>> Engine::RecommendBatch(
     std::span<const Query> queries, BatchReport* report) const {
   // One snapshot pin per batch: every query in the batch sees the same
@@ -101,117 +64,9 @@ std::vector<Result<Recommendation>> Engine::RecommendBatch(
 std::vector<Result<Recommendation>> Engine::RecommendBatch(
     std::span<const Query> queries, std::shared_ptr<const Snapshot> snap,
     BatchReport* report) const {
-  // Serialize batches: each worker's QueryWorkspace must belong to exactly
-  // one in-flight batch.
-  std::lock_guard<std::mutex> lock(batch_mutex_);
-  if (plan_batches_) return RecommendBatchPlanned(queries, snap, report);
-
-  // Unplanned reference path: one problem per query. Kept selectable so the
-  // planner's bit-identity contract stays testable against it.
-  const CacheCounters before = CacheCounters::Of(*snap);
-  std::vector<std::optional<Result<Recommendation>>> scratch(queries.size());
-  pool_->ParallelFor(
-      queries.size(), [&](std::size_t worker, std::size_t i) {
-        scratch[i].emplace(recommender_->Recommend(
-            snap, queries[i].group, queries[i].spec, &workspaces_[worker]));
-      });
-  std::vector<Result<Recommendation>> results;
-  results.reserve(queries.size());
-  for (auto& r : scratch) {
-    results.push_back(std::move(*r));
-  }
-  if (report != nullptr) {
-    *report = BatchReport{};
-    report->num_queries = queries.size();
-    report->per_query.resize(queries.size());
-    std::uint32_t bucket = 0;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      if (!results[i].ok()) {
-        ++report->num_invalid;
-        continue;
-      }
-      // Every valid query is its own single-member bucket here.
-      report->per_query[i] = {bucket++, /*representative=*/true};
-    }
-    report->num_buckets = bucket;
-    CacheCounters::Of(*snap).DeltaInto(before, *report);
-  }
-  return results;
-}
-
-std::vector<Result<Recommendation>> Engine::RecommendBatchPlanned(
-    std::span<const Query> queries,
-    const std::shared_ptr<const Snapshot>& snap, BatchReport* report) const {
-  const CacheCounters before = CacheCounters::Of(*snap);
-  BatchPlan plan = BatchPlanner::Plan(
-      queries,
-      [&](const Query& q) {
-        return recommender_->ValidateQuery(*snap, q.group, q.spec);
-      },
-      recommender_->num_periods());
-
-  // Solve one representative problem per bucket, in parallel. This mirrors
-  // GroupRecommender::Recommend exactly (BuildProblem + SolveGroupProblem on
-  // a worker workspace), so every fanned-out copy below is bit-identical to
-  // solving its query directly.
-  struct BucketOutcome {
-    std::optional<Result<Recommendation>> result;
-    bool agreement_deferred = false;
-    bool agreement_materialized = false;
-  };
-  std::vector<BucketOutcome> solved(plan.buckets.size());
-  pool_->ParallelFor(plan.buckets.size(), [&](std::size_t worker,
-                                              std::size_t b) {
-    const Query& q = queries[plan.buckets[b].queries.front()];
-    QueryWorkspace& ws = workspaces_[worker];
-    Result<GroupProblem> problem =
-        recommender_->BuildProblem(snap, q.group, q.spec, nullptr, &ws);
-    if (!problem.ok()) {
-      solved[b].result.emplace(problem.status());
-      return;
-    }
-    solved[b].result.emplace(SolveGroupProblem(problem.value(), q.spec,
-                                               snap->index().pool(), ws));
-    solved[b].agreement_deferred = problem.value().agreement_deferred();
-    solved[b].agreement_materialized = problem.value().agreement_materialized();
-  });
-
-  // Fan the solved results back out to every duplicate, in input order.
-  std::vector<Result<Recommendation>> results;
-  results.reserve(queries.size());
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    const std::uint32_t b = plan.bucket_of[i];
-    if (b == BatchQueryAttribution::kInvalid) {
-      results.emplace_back(plan.statuses[i]);
-    } else {
-      results.push_back(*solved[b].result);
-    }
-  }
-
-  if (report != nullptr) {
-    *report = BatchReport{};
-    report->planned = true;
-    report->num_queries = queries.size();
-    report->num_invalid = queries.size() - plan.num_valid;
-    report->num_buckets = plan.buckets.size();
-    report->duplicates_shared = plan.num_valid - plan.buckets.size();
-    report->dedup_ratio = plan.DedupRatio();
-    for (const BucketOutcome& o : solved) {
-      if (!o.agreement_deferred) continue;
-      ++(o.agreement_materialized ? report->agreement_lists_materialized
-                                  : report->agreement_lists_skipped);
-    }
-    report->per_query.resize(queries.size());
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      const std::uint32_t b = plan.bucket_of[i];
-      report->per_query[i] = {
-          b, b != BatchQueryAttribution::kInvalid &&
-                 plan.buckets[b].queries.front() == static_cast<std::uint32_t>(
-                                                        i)};
-    }
-    CacheCounters::Of(*snap).DeltaInto(before, *report);
-  }
-  return results;
+  const SnapshotServingBackend backend(*recommender_, std::move(snap));
+  return BatchExecutor::Execute(backend, queries, plan_batches_, pool_.get(),
+                                workspace_pool_, report);
 }
 
 }  // namespace greca

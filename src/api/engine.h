@@ -10,10 +10,12 @@
 //    immutable Snapshot (pre-sorted PreferenceIndex + CF predictions +
 //    bound AffinitySource + generation id, see snapshot.h) and read nothing
 //    else for their whole lifetime. A batch executes in parallel over an
-//    internal thread pool, all workers sharing the one pinned snapshot;
-//    each worker owns a reusable QueryWorkspace holding only mutable
-//    scratch, so steady-state queries sort nothing and allocate nothing on
-//    the hot path.
+//    internal thread pool through the unified serving runtime
+//    (serve/batch_executor.h), all workers sharing the one pinned snapshot;
+//    each worker leases a reusable QueryWorkspace holding only mutable
+//    scratch from a shared pool, so steady-state queries sort nothing and
+//    allocate nothing on the hot path — and concurrent batches interleave
+//    instead of serializing.
 //  * Writes — ApplyUpdates / UpdateAffinitySource — rebuild the affected
 //    index rows and CF state OFF the serving path and publish the result as
 //    a new snapshot generation with an atomic pointer swap. Readers never
@@ -34,7 +36,6 @@
 #define GRECA_API_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -44,6 +45,7 @@
 #include "common/thread_pool.h"
 #include "core/group_recommender.h"
 #include "plan/batch_planner.h"
+#include "serve/workspace_pool.h"
 
 namespace greca {
 
@@ -129,7 +131,8 @@ class Engine {
   /// concurrent publishes; they are identical to issuing the queries
   /// sequentially against that snapshot (the algorithms are deterministic
   /// and workspaces only amortize allocations). Thread-safe; concurrent
-  /// batches are serialized internally.
+  /// batches interleave (each checks its workspaces out of a shared pool —
+  /// see serve/batch_executor.h) rather than queueing on a whole-batch lock.
   ///
   /// With EngineOptions::plan_batches (the default) the batch is PLANNED
   /// first: duplicate (group, spec-signature) queries share one assembled
@@ -159,17 +162,11 @@ class Engine {
   }
 
  private:
-  /// The planned execution path behind RecommendBatch (plan_batches = true).
-  std::vector<Result<Recommendation>> RecommendBatchPlanned(
-      std::span<const Query> queries,
-      const std::shared_ptr<const Snapshot>& snap, BatchReport* report) const;
-
   std::unique_ptr<GroupRecommender> owned_;  // null when wrapping
   const GroupRecommender* recommender_;
   std::unique_ptr<ThreadPool> pool_;
   const bool plan_batches_;
-  mutable std::vector<QueryWorkspace> workspaces_;  // one per worker
-  mutable std::mutex batch_mutex_;
+  mutable WorkspacePool workspace_pool_;
 };
 
 }  // namespace greca

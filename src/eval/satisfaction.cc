@@ -15,10 +15,17 @@ SatisfactionOracle::SatisfactionOracle(const RatingGroundTruth& rating_truth,
       universe_user_(std::move(universe_user)),
       weights_(weights) {}
 
+SatisfactionOracle::SatisfactionOracle(const RatingGroundTruth& rating_truth,
+                                       OracleWeights weights)
+    : rating_truth_(&rating_truth), like_truth_(nullptr), weights_(weights) {}
+
 double SatisfactionOracle::TruePref01(UserId study_user, ItemId item) const {
-  assert(study_user < universe_user_.size());
-  const double stars =
-      rating_truth_->TruePreference(universe_user_[study_user], item);
+  UserId universe_user = study_user;
+  if (!universe_user_.empty()) {
+    assert(study_user < universe_user_.size());
+    universe_user = universe_user_[study_user];
+  }
+  const double stars = rating_truth_->TruePreference(universe_user, item);
   return (stars - 1.0) / 4.0;  // 1..5 stars -> [0, 1]
 }
 
@@ -30,8 +37,11 @@ double SatisfactionOracle::ItemSatisfaction(UserId u,
   std::size_t companions = 0;
   for (const UserId v : group) {
     if (v == u) continue;
-    const double affinity = std::pow(like_truth_->TrueAffinity(u, v, p),
-                                     weights_.affinity_sharpness);
+    const double affinity =
+        like_truth_ == nullptr
+            ? 1.0
+            : std::pow(like_truth_->TrueAffinity(u, v, p),
+                       weights_.affinity_sharpness);
     social += affinity * TruePref01(v, item);
     ++companions;
   }

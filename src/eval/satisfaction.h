@@ -41,10 +41,18 @@ struct OracleWeights {
 class SatisfactionOracle {
  public:
   /// `universe_user` maps study participants to universe users (their latent
-  /// tastes). All referenced objects must outlive the oracle.
+  /// tastes); empty means identity (study ids ARE universe ids). All
+  /// referenced objects must outlive the oracle.
   SatisfactionOracle(const RatingGroundTruth& rating_truth,
                      const PageLikeGroundTruth& like_truth,
                      std::vector<UserId> universe_user, OracleWeights weights);
+
+  /// Scale-population oracle: no page-like ground truth exists (the scale
+  /// generator emits ratings only), so true affinity is taken as 1.0 — the
+  /// social term reduces to the companions' mean latent preference — and
+  /// users map to themselves.
+  explicit SatisfactionOracle(const RatingGroundTruth& rating_truth,
+                              OracleWeights weights = {});
 
   /// Satisfaction of study user `u` with item `i` in group `group` at period
   /// `p`, in [0, 1].
@@ -80,8 +88,8 @@ class SatisfactionOracle {
   double TruePref01(UserId study_user, ItemId item) const;
 
   const RatingGroundTruth* rating_truth_;
-  const PageLikeGroundTruth* like_truth_;
-  std::vector<UserId> universe_user_;
+  const PageLikeGroundTruth* like_truth_;  // null => true affinity == 1.0
+  std::vector<UserId> universe_user_;      // empty => identity mapping
   OracleWeights weights_;
 };
 

@@ -1,0 +1,177 @@
+#include "groups/formation_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cf/similarity.h"
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "groups/user_clustering.h"
+
+namespace greca {
+
+const char* FormationStrategyName(FormationStrategy s) {
+  switch (s) {
+    case FormationStrategy::kSimilar:
+      return "similar";
+    case FormationStrategy::kDissimilar:
+      return "dissimilar";
+    case FormationStrategy::kHighAffinity:
+      return "high_affinity";
+    case FormationStrategy::kLowAffinity:
+      return "low_affinity";
+    case FormationStrategy::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+FormationPipeline::FormationPipeline(const RatingsDataset& ratings,
+                                     PairScoreFn affinity,
+                                     FormationPipelineConfig config)
+    : ratings_(&ratings), affinity_(std::move(affinity)), config_(config) {}
+
+namespace {
+
+constexpr FormationStrategy kStrategyCycle[] = {
+    FormationStrategy::kSimilar,      FormationStrategy::kDissimilar,
+    FormationStrategy::kHighAffinity, FormationStrategy::kLowAffinity,
+    FormationStrategy::kRandom,
+};
+
+Group FormOne(const GroupFormer& former, FormationStrategy strategy,
+              std::size_t size, Rng& rng) {
+  switch (strategy) {
+    case FormationStrategy::kSimilar:
+      return former.FormSimilar(size);
+    case FormationStrategy::kDissimilar:
+      return former.FormDissimilar(size);
+    case FormationStrategy::kHighAffinity:
+      return former.FormHighAffinity(size);
+    case FormationStrategy::kLowAffinity:
+      return former.FormLowAffinity(size);
+    case FormationStrategy::kRandom:
+      return former.FormRandom(size, rng);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<FormedGroup> FormationPipeline::FormGroups() const {
+  Rng rng(config_.seed);
+
+  // Stage 1 — sample the candidate cohort. SampleDistinct returns sorted
+  // ascending, so cohort order (and everything downstream) is independent
+  // of anything but the seed.
+  const std::size_t population = ratings_->num_users();
+  std::vector<UserId> cohort;
+  if (config_.candidate_users == 0 || config_.candidate_users >= population) {
+    cohort.resize(population);
+    for (UserId u = 0; u < population; ++u) cohort[u] = u;
+  } else {
+    for (const std::size_t u :
+         SampleDistinct(rng, population, config_.candidate_users)) {
+      cohort.push_back(static_cast<UserId>(u));
+    }
+  }
+
+  // Stage 2 — taste clusters over the cohort.
+  KMeansConfig kmeans;
+  kmeans.num_clusters = std::min(config_.num_clusters,
+                                 std::max<std::size_t>(1, cohort.size()));
+  kmeans.seed = config_.seed + 1;
+  std::vector<std::vector<UserId>> clusters = ClusterUsersByRatings(
+      *ratings_, cohort, config_.num_feature_items, kmeans);
+
+  // Stage 3 — greedy builds over a sliding window of each cluster's
+  // remaining users. A deterministic shuffle first: clusters come out of
+  // k-means in cohort (ascending id) order, and a greedy window over sorted
+  // ids would always form groups of low-id users.
+  for (auto& cluster : clusters) Shuffle(rng, cluster);
+  std::vector<std::size_t> next(clusters.size(), 0);  // consumed prefix
+
+  const PairScoreFn rating_similarity = [this](UserId a, UserId b) {
+    return PearsonSimilarity(ratings_->RatingsOfUser(a),
+                             ratings_->RatingsOfUser(b));
+  };
+
+  std::vector<FormedGroup> formed;
+  formed.reserve(config_.num_groups);
+  std::size_t strategy_ix = 0;
+  bool any_progress = true;
+  while (formed.size() < config_.num_groups && any_progress) {
+    any_progress = false;
+    for (std::size_t c = 0;
+         c < clusters.size() && formed.size() < config_.num_groups; ++c) {
+      const std::size_t remaining = clusters[c].size() - next[c];
+      if (remaining < config_.group_size) continue;
+      const std::size_t window = std::min(config_.greedy_window, remaining);
+      const std::vector<UserId> eligible(
+          clusters[c].begin() + static_cast<std::ptrdiff_t>(next[c]),
+          clusters[c].begin() + static_cast<std::ptrdiff_t>(next[c] + window));
+      const GroupFormer former(eligible, rating_similarity, affinity_);
+      const FormationStrategy strategy =
+          kStrategyCycle[strategy_ix % std::size(kStrategyCycle)];
+      ++strategy_ix;
+      Group group = FormOne(former, strategy, config_.group_size, rng);
+      if (group.size() < config_.group_size) continue;
+
+      // Consume the members: swap them into the consumed prefix so they are
+      // invisible to every later window and groups stay disjoint.
+      for (const UserId u : group) {
+        auto it = std::find(
+            clusters[c].begin() + static_cast<std::ptrdiff_t>(next[c]),
+            clusters[c].end(), u);
+        std::iter_swap(it, clusters[c].begin() +
+                               static_cast<std::ptrdiff_t>(next[c]));
+        ++next[c];
+      }
+      formed.push_back({std::move(group), strategy, c});
+      any_progress = true;
+    }
+  }
+  return formed;
+}
+
+std::vector<Query> FormationPipeline::MakeQueries(
+    std::span<const FormedGroup> groups, const QuerySpec& spec) {
+  std::vector<Query> queries;
+  queries.reserve(groups.size());
+  for (const FormedGroup& g : groups) {
+    queries.push_back({g.members, spec});
+  }
+  return queries;
+}
+
+FormationScore ScoreFormedGroups(
+    const SatisfactionOracle& oracle, std::span<const FormedGroup> groups,
+    std::span<const Result<Recommendation>> results, PeriodId period) {
+  FormationScore score;
+  score.per_group_pct.reserve(groups.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < groups.size() && i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      ++score.groups_failed;
+      score.per_group_pct.push_back(-1.0);
+      continue;
+    }
+    const double pct = oracle.GroupSatisfactionPercent(
+        groups[i].members, results[i].value().items, period);
+    score.per_group_pct.push_back(pct);
+    if (score.groups_scored == 0) {
+      score.min_satisfaction_pct = score.max_satisfaction_pct = pct;
+    } else {
+      score.min_satisfaction_pct = std::min(score.min_satisfaction_pct, pct);
+      score.max_satisfaction_pct = std::max(score.max_satisfaction_pct, pct);
+    }
+    ++score.groups_scored;
+    sum += pct;
+  }
+  if (score.groups_scored > 0) {
+    score.mean_satisfaction_pct = sum / static_cast<double>(score.groups_scored);
+  }
+  return score;
+}
+
+}  // namespace greca

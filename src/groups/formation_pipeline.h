@@ -1,0 +1,126 @@
+// Group formation as a serving workload: form → RecommendBatch → evaluate.
+//
+// The paper recommends to GIVEN groups; From Group Recommendations to Group
+// Formation (PAPERS.md) runs the pipeline in reverse — given a user
+// population, form the groups themselves, then judge them by the
+// satisfaction the recommender can deliver. This module promotes the
+// group_formation.* + user_clustering.* seeds into that end-to-end pipeline,
+// and it is deliberately shaped as a heavy BATCH consumer: formation emits
+// one Query per candidate group and the whole set goes through
+// RecommendBatch (the unified serving runtime, serve/batch_executor.h) in
+// one planned, parallel call.
+//
+// Stages:
+//  1. SAMPLE — draw a bounded candidate set from the population (the scale
+//     harness has millions of users; formation quality needs a cohort, not
+//     a census), deterministically in the seed.
+//  2. CLUSTER — k-means taste clusters over mean-centered ratings of the
+//     most popular items (user_clustering.h). Formation inside a taste
+//     cluster is where cohesiveness-based strategies have signal.
+//  3. FORM — per cluster, greedy GroupFormer builds cycling through the
+//     formation strategies (similar / dissimilar / high-affinity /
+//     low-affinity / random). Each build sees a bounded WINDOW of the
+//     cluster's remaining users — the greedy seed-pair search is O(E²), so
+//     the window caps per-group cost regardless of cluster size — and
+//     formed members are consumed, keeping groups disjoint.
+//  4. SERVE + SCORE — the caller runs MakeQueries() through any engine's
+//     RecommendBatch and hands the results to ScoreFormedGroups with a
+//     ground-truth SatisfactionOracle (eval/satisfaction.h).
+//
+// Everything is deterministic in FormationPipelineConfig::seed, so a
+// formation round trip reproduces bit-identical groups and scores across
+// runs and engines (tests/formation_test.cc).
+#ifndef GRECA_GROUPS_FORMATION_PIPELINE_H_
+#define GRECA_GROUPS_FORMATION_PIPELINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/group_recommender.h"
+#include "dataset/ratings.h"
+#include "eval/satisfaction.h"
+#include "groups/group_formation.h"
+
+namespace greca {
+
+enum class FormationStrategy : std::uint8_t {
+  kSimilar,
+  kDissimilar,
+  kHighAffinity,
+  kLowAffinity,
+  kRandom,
+};
+
+const char* FormationStrategyName(FormationStrategy s);
+
+struct FormationPipelineConfig {
+  /// Total groups to form (across all clusters and strategies).
+  std::size_t num_groups = 64;
+  std::size_t group_size = 5;
+  /// Candidate cohort sampled from the population before clustering (0 =
+  /// use everyone; keep bounded on scale populations).
+  std::size_t candidate_users = 2'000;
+  /// Taste clusters over the cohort.
+  std::size_t num_clusters = 8;
+  /// Most-popular items used as clustering features.
+  std::size_t num_feature_items = 48;
+  /// Users visible to one greedy build — caps the O(E²) seed-pair search.
+  std::size_t greedy_window = 96;
+  std::uint64_t seed = 19;
+};
+
+struct FormedGroup {
+  Group members;
+  FormationStrategy strategy = FormationStrategy::kRandom;
+  /// Taste cluster the group was drawn from.
+  std::size_t cluster = 0;
+};
+
+class FormationPipeline {
+ public:
+  /// `affinity` is the formation-side pair score (e.g. the engine's
+  /// AffinitySource at the evaluation period, or a constant for populations
+  /// without social signal); rating similarity is derived internally
+  /// (Pearson over the users' observed ratings). `ratings` must outlive the
+  /// pipeline.
+  FormationPipeline(const RatingsDataset& ratings, PairScoreFn affinity,
+                    FormationPipelineConfig config);
+
+  /// Stages 1–3: sample, cluster, form. Deterministic in the config seed.
+  std::vector<FormedGroup> FormGroups() const;
+
+  /// One Query per formed group, sharing `spec` — feed to RecommendBatch.
+  static std::vector<Query> MakeQueries(std::span<const FormedGroup> groups,
+                                        const QuerySpec& spec);
+
+ private:
+  const RatingsDataset* ratings_;
+  PairScoreFn affinity_;
+  FormationPipelineConfig config_;
+};
+
+/// Satisfaction summary of one formation round trip.
+struct FormationScore {
+  std::size_t groups_scored = 0;
+  /// Groups whose recommendation failed validation (no score contribution).
+  std::size_t groups_failed = 0;
+  double mean_satisfaction_pct = 0.0;
+  double min_satisfaction_pct = 0.0;
+  double max_satisfaction_pct = 0.0;
+  /// Parallel to `groups`; -1 for failed groups.
+  std::vector<double> per_group_pct;
+};
+
+/// Scores each formed group's recommended list through the oracle.
+/// `results` must be RecommendBatch's output for MakeQueries(groups, spec),
+/// in order.
+FormationScore ScoreFormedGroups(const SatisfactionOracle& oracle,
+                                 std::span<const FormedGroup> groups,
+                                 std::span<const Result<Recommendation>> results,
+                                 PeriodId period);
+
+}  // namespace greca
+
+#endif  // GRECA_GROUPS_FORMATION_PIPELINE_H_

@@ -1,0 +1,117 @@
+// Checkout pool of per-query scratch buffers — how concurrent batches stop
+// queueing behind each other.
+//
+// A QueryWorkspace (core/group_recommender.h) amortizes hot-path allocations
+// across queries but must never be shared by two in-flight queries. The
+// engines used to enforce that with a whole-batch mutex over a fixed
+// worker-indexed workspace array, which serialized CONCURRENT RecommendBatch
+// callers end to end. The WorkspacePool replaces that: each batch checks out
+// as many workspaces as it has workers (a mutex-guarded freelist pop, or a
+// fresh allocation when the freelist is dry) and returns them when the batch
+// finishes, so any number of batches can be in flight at once, each on its
+// own scratch. Steady state allocates nothing: the pool's high-water mark is
+// the maximum number of simultaneously checked-out workspaces ever reached,
+// and every one of them is reused forever after.
+//
+// Leases are RAII moves — dropping a Lease returns its workspace to the
+// pool. The pool must outlive every lease; leases may be destroyed on any
+// thread.
+#ifndef GRECA_SERVE_WORKSPACE_POOL_H_
+#define GRECA_SERVE_WORKSPACE_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/group_recommender.h"
+
+namespace greca {
+
+class WorkspacePool {
+ public:
+  /// One checked-out workspace; returns it to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(WorkspacePool* pool, std::unique_ptr<QueryWorkspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          ws_(std::move(other.ws_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        ws_ = std::move(other.ws_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    QueryWorkspace& operator*() const { return *ws_; }
+    QueryWorkspace* get() const { return ws_.get(); }
+
+   private:
+    void Release() {
+      if (pool_ != nullptr && ws_ != nullptr) {
+        pool_->Return(std::move(ws_));
+      }
+      pool_ = nullptr;
+      ws_.reset();
+    }
+
+    WorkspacePool* pool_ = nullptr;
+    std::unique_ptr<QueryWorkspace> ws_;
+  };
+
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Checks a workspace out: reuses an idle one when available, allocates
+  /// otherwise. Thread-safe.
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<QueryWorkspace> ws = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(ws));
+      }
+      ++created_;
+    }
+    // Allocate outside the lock — a cold pool under concurrent batches
+    // should not serialize its first allocations.
+    return Lease(this, std::make_unique<QueryWorkspace>());
+  }
+
+  /// Workspaces currently idle in the freelist (observability / tests).
+  std::size_t idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+  /// Total workspaces ever allocated — the checkout high-water mark.
+  std::size_t created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return created_;
+  }
+
+ private:
+  void Return(std::unique_ptr<QueryWorkspace> ws) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(ws));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<QueryWorkspace>> free_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace greca
+
+#endif  // GRECA_SERVE_WORKSPACE_POOL_H_

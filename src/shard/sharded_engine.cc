@@ -8,6 +8,7 @@
 
 #include "core/problem_assembly.h"
 #include "dataset/social_graph.h"
+#include "serve/batch_executor.h"
 
 namespace greca {
 
@@ -92,9 +93,26 @@ void ShardedEngine::BuildShards(std::shared_ptr<const RatingsDataset> base,
         pool_ /*copied per shard*/, num_universe_items, breakpoints,
         shard_options, build_pool.get()));
   }
+  // batch_threads == 1 keeps batches inline on the calling thread (the
+  // serial reference path); anything else gets a dedicated pool.
+  if (options_.batch_threads != 1) {
+    batch_pool_ = std::make_unique<ThreadPool>(
+        ResolveBatchThreads(options_.batch_threads));
+  }
 }
 
 std::shared_ptr<const ShardedSnapshotSet> ShardedEngine::Pin() const {
+  // The per-shard gathers run OUTSIDE pin_mu_ on purpose: each takes its
+  // shard's own publication mutex, and holding pin_mu_ across all N of them
+  // would serialize pins against every concurrent publish. The race this
+  // opens is benign by direction: a shard publishing between its gather
+  // above and the comparison below makes `snaps` differ from whatever
+  // last_pin_ holds, so the comparison FAILS and a fresh set is built from
+  // the gathered (individually consistent) snapshots. Reuse only succeeds
+  // when every gathered pointer equals the cached one — i.e. last_pin_ is
+  // exactly the gathered state — so a stale set can never be handed out;
+  // the worst case is a missed reuse. tests/serving_runtime_test.cc pins
+  // this with a publish-storm stress.
   std::vector<std::shared_ptr<const ShardSnapshot>> snaps;
   snaps.reserve(shards_.size());
   for (const auto& shard : shards_) snaps.push_back(shard->snapshot());
@@ -102,9 +120,6 @@ std::shared_ptr<const ShardedSnapshotSet> ShardedEngine::Pin() const {
   if (last_pin_ != nullptr) {
     // Same per-shard snapshot pointers ⟺ same generation vector: hand out
     // the SAME set so repeat pins share its (group, pool) tombstone memo.
-    // Any publish between pins fails the comparison and builds a fresh set
-    // (fresh memo); a publish racing the gather above at worst yields a
-    // fresh set where reuse was possible — never a stale reuse.
     bool same = true;
     for (std::size_t s = 0; s < snaps.size(); ++s) {
       if (last_pin_->shard_ptr(s) != snaps[s]) {
@@ -222,7 +237,7 @@ Result<Recommendation> ShardedEngine::Recommend(
 Result<Recommendation> ShardedEngine::RecommendOnSet(
     const std::shared_ptr<const ShardedSnapshotSet>& set,
     std::span<const UserId> group, const QuerySpec& spec,
-    QueryWorkspace& ws, SolveStats* stats) const {
+    QueryWorkspace& ws, SolveOutcome* outcome) const {
   if (set == nullptr) {
     return Status::InvalidArgument("snapshot set must not be null");
   }
@@ -264,9 +279,9 @@ Result<Recommendation> ShardedEngine::RecommendOnSet(
   problem.PinLifetime(set);
   Result<Recommendation> rec =
       SolveGroupProblem(problem, spec, ctx.key_index->pool(), ws);
-  if (stats != nullptr) {
-    stats->agreement_deferred = problem.agreement_deferred();
-    stats->agreement_materialized = problem.agreement_materialized();
+  if (outcome != nullptr) {
+    outcome->agreement_deferred = problem.agreement_deferred();
+    outcome->agreement_materialized = problem.agreement_materialized();
   }
   return rec;
 }
@@ -279,97 +294,18 @@ std::vector<Result<Recommendation>> ShardedEngine::RecommendBatch(
 std::vector<Result<Recommendation>> ShardedEngine::RecommendBatch(
     const std::shared_ptr<const ShardedSnapshotSet>& set,
     std::span<const Query> queries, BatchReport* report) const {
-  std::vector<Result<Recommendation>> results;
-  results.reserve(queries.size());
   if (set == nullptr) {
+    std::vector<Result<Recommendation>> results;
+    results.reserve(queries.size());
     for (std::size_t i = 0; i < queries.size(); ++i) {
       results.emplace_back(
           Status::InvalidArgument("snapshot set must not be null"));
     }
     return results;
   }
-  const std::uint64_t ph0 = period_cache_->hits();
-  const std::uint64_t pm0 = period_cache_->misses();
-  const TombstoneCache& tombs = set->tombstone_cache();
-  const std::uint64_t th0 = tombs.hits();
-  const std::uint64_t tm0 = tombs.misses();
-  const std::uint64_t te0 = tombs.evictions();
-  QueryWorkspace ws;
-
-  if (!options_.plan_batches) {
-    // Unplanned reference path: one problem per query, in input order.
-    for (const Query& q : queries) {
-      results.push_back(RecommendOnSet(set, q.group, q.spec, ws, nullptr));
-    }
-    if (report != nullptr) {
-      *report = BatchReport{};
-      report->num_queries = queries.size();
-      report->per_query.resize(queries.size());
-      std::uint32_t bucket = 0;
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        if (!results[i].ok()) {
-          ++report->num_invalid;
-          continue;
-        }
-        report->per_query[i] = {bucket++, /*representative=*/true};
-      }
-      report->num_buckets = bucket;
-    }
-  } else {
-    BatchPlan plan = BatchPlanner::Plan(
-        queries,
-        [&](const Query& q) { return ValidateQuery(q.group, q.spec); },
-        num_periods_);
-    // Solve each bucket's representative once (sequentially — the sharded
-    // engine's parallelism unit is the shard, not the batch), then fan out.
-    std::vector<Result<Recommendation>> solved;
-    solved.reserve(plan.buckets.size());
-    std::size_t materialized = 0;
-    std::size_t skipped = 0;
-    for (const BatchPlan::Bucket& bucket : plan.buckets) {
-      const Query& q = queries[bucket.queries.front()];
-      SolveStats stats;
-      solved.push_back(RecommendOnSet(set, q.group, q.spec, ws, &stats));
-      if (stats.agreement_deferred) {
-        ++(stats.agreement_materialized ? materialized : skipped);
-      }
-    }
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      const std::uint32_t b = plan.bucket_of[i];
-      if (b == BatchQueryAttribution::kInvalid) {
-        results.emplace_back(plan.statuses[i]);
-      } else {
-        results.push_back(solved[b]);
-      }
-    }
-    if (report != nullptr) {
-      *report = BatchReport{};
-      report->planned = true;
-      report->num_queries = queries.size();
-      report->num_invalid = queries.size() - plan.num_valid;
-      report->num_buckets = plan.buckets.size();
-      report->duplicates_shared = plan.num_valid - plan.buckets.size();
-      report->dedup_ratio = plan.DedupRatio();
-      report->agreement_lists_materialized = materialized;
-      report->agreement_lists_skipped = skipped;
-      report->per_query.resize(queries.size());
-      for (std::size_t i = 0; i < queries.size(); ++i) {
-        const std::uint32_t b = plan.bucket_of[i];
-        report->per_query[i] = {
-            b, b != BatchQueryAttribution::kInvalid &&
-                   plan.buckets[b].queries.front() ==
-                       static_cast<std::uint32_t>(i)};
-      }
-    }
-  }
-  if (report != nullptr) {
-    report->period_cache_hits = period_cache_->hits() - ph0;
-    report->period_cache_misses = period_cache_->misses() - pm0;
-    report->tombstone_cache_hits = tombs.hits() - th0;
-    report->tombstone_cache_misses = tombs.misses() - tm0;
-    report->tombstone_cache_evictions = tombs.evictions() - te0;
-  }
-  return results;
+  const ShardedSetServingBackend backend(*this, set);
+  return BatchExecutor::Execute(backend, queries, options_.plan_batches,
+                                batch_pool_.get(), workspace_pool_, report);
 }
 
 }  // namespace greca

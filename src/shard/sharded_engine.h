@@ -53,6 +53,8 @@
 #include "core/group_recommender.h"
 #include "dataset/facebook_study.h"
 #include "plan/batch_planner.h"
+#include "serve/serving_backend.h"
+#include "serve/workspace_pool.h"
 #include "shard/shard.h"
 #include "shard/shard_router.h"
 
@@ -86,6 +88,11 @@ struct ShardedEngineOptions {
   /// Worker threads fanning out the initial per-row index fills at
   /// construction (0 = serial; results are bit-identical either way).
   std::size_t build_threads = 0;
+  /// Worker threads for RecommendBatch work units (planner buckets, or
+  /// queries on the unplanned path). 0 picks max(2, hardware_concurrency);
+  /// 1 runs every unit inline on the calling thread — the serial reference
+  /// the parallel path is bit-identical to.
+  std::size_t batch_threads = 0;
 };
 
 /// The generic (study-free) construction inputs — the million-user scale
@@ -221,9 +228,10 @@ class ShardedEngine {
   /// Batch execution against one pinned set (pinned internally; every query
   /// sees the same per-shard generation vector). Planned by default (see
   /// ShardedEngineOptions::plan_batches): duplicate queries share one
-  /// assembled + solved problem. Buckets run sequentially on the calling
-  /// thread — the sharded engine's parallelism unit is the shard, not the
-  /// batch. `report`, when non-null, receives planner stats + attribution.
+  /// assembled + solved problem. Work units run in parallel over the batch
+  /// pool (ShardedEngineOptions::batch_threads) through the unified serving
+  /// runtime (serve/batch_executor.h), bit-identical to serial execution.
+  /// `report`, when non-null, receives planner stats + attribution.
   std::vector<Result<Recommendation>> RecommendBatch(
       std::span<const Query> queries, BatchReport* report = nullptr) const;
 
@@ -235,6 +243,8 @@ class ShardedEngine {
   Status ValidateQuery(std::span<const UserId> group,
                        const QuerySpec& spec) const;
 
+  std::size_t num_periods() const { return num_periods_; }
+
   /// Distinct shards owning at least one member of `group` — the scatter
   /// width of a query (bench/bench_shard.cc reports its average per
   /// workload).
@@ -245,22 +255,21 @@ class ShardedEngine {
   std::span<const ItemId> pool() const;
 
  private:
+  // The sharded backend of the unified serving runtime forwards to
+  // RecommendOnSet and reads the engine-owned period cache for its
+  // counter deltas.
+  friend class ShardedSetServingBackend;
+
   void BuildShards(std::shared_ptr<const RatingsDataset> base,
                    double scale_max, std::vector<ItemId> pool,
                    std::size_t num_universe_items);
 
-  /// Lazy-agreement outcome of one solved problem (BatchReport accounting).
-  struct SolveStats {
-    bool agreement_deferred = false;
-    bool agreement_materialized = false;
-  };
-
-  /// The assemble + solve core shared by Recommend and the planned batch
-  /// path; `stats`, when non-null, receives the lazy-agreement outcome.
+  /// The assemble + solve core shared by Recommend and the batch executor's
+  /// backend; `outcome`, when non-null, receives the lazy-agreement flags.
   Result<Recommendation> RecommendOnSet(
       const std::shared_ptr<const ShardedSnapshotSet>& set,
       std::span<const UserId> group, const QuerySpec& spec,
-      QueryWorkspace& workspace, SolveStats* stats) const;
+      QueryWorkspace& workspace, SolveOutcome* outcome) const;
 
   ShardedEngineOptions options_;
   ShardRouter router_;
@@ -281,6 +290,11 @@ class ShardedEngine {
   /// pinning any shard generation).
   std::vector<ItemId> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Batch parallelism (null when batch_threads == 1) + the workspace pool
+  // concurrent batches lease their per-worker scratch from.
+  std::unique_ptr<ThreadPool> batch_pool_;
+  mutable WorkspacePool workspace_pool_;
 
   // Pin() reuse: the last set handed out, returned again while every shard's
   // snapshot pointer is unchanged so repeat pins share its tombstone memo.

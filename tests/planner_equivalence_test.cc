@@ -208,10 +208,18 @@ class PlannerEquivalenceTest : public ::testing::Test {
   }
 
   static std::unique_ptr<ShardedEngine> MakeSharded(bool plan_batches) {
+    return MakeShardedN(4, plan_batches, /*batch_threads=*/0);
+  }
+
+  /// `batch_threads == 1` is the serial reference the executor's parallel
+  /// path must be bit-identical to.
+  static std::unique_ptr<ShardedEngine> MakeShardedN(
+      std::size_t num_shards, bool plan_batches, std::size_t batch_threads) {
     ShardedEngineOptions options;
-    options.num_shards = 4;
+    options.num_shards = num_shards;
     options.max_candidate_items = 360;
     options.plan_batches = plan_batches;
+    options.batch_threads = batch_threads;
     return std::make_unique<ShardedEngine>(universe_->dataset, *study_,
                                            options);
   }
@@ -488,6 +496,75 @@ TEST_F(PlannerEquivalenceTest, PinnedSetReuseAndTombstoneMemo) {
   ExpectBatchIdentical(first, sharded->RecommendBatch(set, batch, nullptr),
                        "set-replay-after-publish");
   EXPECT_EQ(fresh.get(), sharded->Pin().get());
+}
+
+// The unified executor's parallel sharded path: planned buckets solved over
+// the batch pool must be bit-identical to the serial reference
+// (batch_threads = 1, inline on the calling thread) AND to the unplanned
+// per-query path, at every shard count, on duplicate-heavy batches with
+// invalid queries mixed in, and across publishes landing around pinned sets.
+TEST_F(PlannerEquivalenceTest, ShardedParallelPlannedMatchesSerialReference) {
+  for (const std::size_t num_shards : {1u, 2u, 4u}) {
+    const auto parallel =
+        MakeShardedN(num_shards, /*plan_batches=*/true, /*batch_threads=*/4);
+    const auto serial =
+        MakeShardedN(num_shards, /*plan_batches=*/true, /*batch_threads=*/1);
+    const auto unplanned =
+        MakeShardedN(num_shards, /*plan_batches=*/false, /*batch_threads=*/1);
+
+    for (const std::size_t dup : {4u, 16u}) {
+      const std::vector<Query> batch =
+          DuplicateHeavyBatch(10, dup, 5'000 + 10 * num_shards + dup);
+      BatchReport parallel_report, serial_report;
+      const auto p = parallel->RecommendBatch(batch, &parallel_report);
+      const auto s = serial->RecommendBatch(batch, &serial_report);
+      ExpectBatchIdentical(p, s, "sharded-parallel-vs-serial");
+      ExpectBatchIdentical(p, unplanned->RecommendBatch(batch),
+                           "sharded-parallel-vs-unplanned");
+      CheckPlannedReport(parallel_report, batch.size(), "sharded-parallel");
+      CheckPlannedReport(serial_report, batch.size(), "sharded-serial");
+      // Attribution is deterministic (the plan is computed before any solve
+      // runs), so the parallel report matches the serial one bucket-for-
+      // bucket; only cache hit/miss counters may differ under racing
+      // workers, never the attribution.
+      ASSERT_EQ(parallel_report.per_query.size(),
+                serial_report.per_query.size());
+      for (std::size_t i = 0; i < parallel_report.per_query.size(); ++i) {
+        EXPECT_EQ(parallel_report.per_query[i].bucket,
+                  serial_report.per_query[i].bucket)
+            << "query " << i;
+        EXPECT_EQ(parallel_report.per_query[i].representative,
+                  serial_report.per_query[i].representative)
+            << "query " << i;
+      }
+      EXPECT_EQ(parallel_report.num_buckets, serial_report.num_buckets);
+    }
+
+    // Publishes around a pinned set: the pinned replay ignores them on both
+    // paths, fresh batches see the new generation identically.
+    const std::vector<Query> batch = DuplicateHeavyBatch(8, 4, 5'500);
+    const auto pin_parallel = parallel->Pin();
+    const auto pin_serial = serial->Pin();
+    const auto before =
+        parallel->RecommendBatch(pin_parallel, batch, nullptr);
+    ExpectBatchIdentical(
+        before, serial->RecommendBatch(pin_serial, batch, nullptr),
+        "pinned-before");
+    for (std::uint64_t round = 0; round < 2; ++round) {
+      const std::vector<RatingEvent> events =
+          RandomEvents(24, 6'100 + round);
+      ASSERT_TRUE(parallel->ApplyUpdates(events).ok());
+      ASSERT_TRUE(serial->ApplyUpdates(events).ok());
+      ExpectBatchIdentical(
+          before, parallel->RecommendBatch(pin_parallel, batch, nullptr),
+          "pinned-replay-parallel");
+      ExpectBatchIdentical(
+          before, serial->RecommendBatch(pin_serial, batch, nullptr),
+          "pinned-replay-serial");
+    }
+    ExpectBatchIdentical(parallel->RecommendBatch(batch),
+                         serial->RecommendBatch(batch), "fresh-after");
+  }
 }
 
 // The lazy aggregated agreement list: deferred at assembly, materialized
